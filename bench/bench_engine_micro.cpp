@@ -1,0 +1,167 @@
+// Engine microbenchmarks (E11): substrate performance in real time.
+//
+// google-benchmark over the storage/index/exec/optimizer building
+// blocks. These measure *wall-clock* cost of the simulator itself (not
+// simulated seconds) — the budget that bounds how large an experiment
+// replays in reasonable time.
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "db/database.h"
+#include "index/bplus_tree.h"
+#include "sql/binder.h"
+#include "stats/histogram.h"
+#include "trace/trace_generator.h"
+#include "workload/datagen.h"
+
+using namespace sqp;
+
+namespace {
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  CostMeter meter;
+  DiskManager disk(&meter);
+  BufferPool pool(&disk, 64);
+  auto page = pool.NewPage();
+  page_id_t id = page->first;
+  pool.UnpinPage(id, true);
+  for (auto _ : state) {
+    auto p = pool.FetchPage(id);
+    benchmark::DoNotOptimize(*p);
+    pool.UnpinPage(id, false);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_BufferPoolFetchMiss(benchmark::State& state) {
+  CostMeter meter;
+  DiskManager disk(&meter);
+  BufferPool pool(&disk, 16);
+  std::vector<page_id_t> ids;
+  for (int i = 0; i < 256; i++) {
+    auto page = pool.NewPage();
+    ids.push_back(page->first);
+    pool.UnpinPage(page->first, true);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    // Stride beyond the pool so every fetch evicts.
+    auto p = pool.FetchPage(ids[(i += 17) % ids.size()]);
+    benchmark::DoNotOptimize(*p);
+    pool.UnpinPage(ids[i % ids.size()], false);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchMiss);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  BPlusTree tree;
+  int64_t k = 0;
+  for (auto _ : state) {
+    tree.Insert(Value(static_cast<int64_t>(rng.NextUint64() % 100000)),
+                Rid{static_cast<page_id_t>(k++), 0});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeRangeScan(benchmark::State& state) {
+  Rng rng(1);
+  BPlusTree tree;
+  for (int64_t i = 0; i < 100000; i++) {
+    tree.Insert(Value(i), Rid{static_cast<page_id_t>(i), 0});
+  }
+  for (auto _ : state) {
+    KeyRange range{Value(int64_t{40000}), true, Value(int64_t{41000}), true};
+    auto rids = tree.RangeScan(range);
+    benchmark::DoNotOptimize(rids);
+  }
+}
+BENCHMARK(BM_BPlusTreeRangeScan);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(3);
+  ZipfGenerator zipf(100, 0.85);
+  std::vector<Value> values;
+  for (int i = 0; i < 50000; i++) {
+    values.emplace_back(static_cast<int64_t>(zipf.Next(rng)));
+  }
+  for (auto _ : state) {
+    auto h = Histogram::Build(values);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramBuild);
+
+struct LoadedDb {
+  Database db;
+  LoadedDb() : db([] {
+    DatabaseOptions o;
+    o.buffer_pool_pages = 4096;
+    return o;
+  }()) {
+    tpch::LoadOptions load;
+    load.scale = tpch::Scale::kSmall;
+    Status s = tpch::LoadTpch(&db, load);
+    (void)s;
+  }
+};
+
+LoadedDb& SharedDb() {
+  static LoadedDb instance;
+  return instance;
+}
+
+void BM_SeqScanQuery(benchmark::State& state) {
+  Database& db = SharedDb().db;
+  auto query = ParseAndBind(
+      "SELECT * FROM lineitem WHERE l_quantity < 5", db.catalog());
+  for (auto _ : state) {
+    auto r = db.Execute(*query);
+    benchmark::DoNotOptimize(r->row_count);
+  }
+}
+BENCHMARK(BM_SeqScanQuery)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinQuery(benchmark::State& state) {
+  Database& db = SharedDb().db;
+  auto query = ParseAndBind(
+      "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+      "AND o_totalprice < 30000",
+      db.catalog());
+  for (auto _ : state) {
+    auto r = db.Execute(*query);
+    benchmark::DoNotOptimize(r->row_count);
+  }
+}
+BENCHMARK(BM_HashJoinQuery)->Unit(benchmark::kMillisecond);
+
+void BM_PlannerFiveWay(benchmark::State& state) {
+  Database& db = SharedDb().db;
+  auto query = ParseAndBind(
+      "SELECT * FROM customer, orders, lineitem, part, supplier WHERE "
+      "c_custkey = o_custkey AND o_orderkey = l_orderkey AND "
+      "l_partkey = p_partkey AND l_suppkey = s_suppkey AND p_size < 10",
+      db.catalog());
+  for (auto _ : state) {
+    auto plan = db.planner().Plan(*query, &db.views(), ViewMode::kCostBased);
+    benchmark::DoNotOptimize(plan->est_cost);
+  }
+}
+BENCHMARK(BM_PlannerFiveWay);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  UserModelParams params;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Trace t = GenerateTrace(params, 0, seed++);
+    benchmark::DoNotOptimize(t.events.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Figure 4 (+ §6.1 text, E3/E5): average relative performance of
+#include <algorithm>
+// speculation per execution-time bucket, for the three dataset sizes.
+//
+// Prints, per scale: the bucket series (improvement % vs normal-time
+// bucket), the overall average improvement, the average materialization
+// time, and the manipulation non-completion rate — the numbers the paper
+// reports as 42/28/20 % improvement, 6/9/10 s materializations, and
+// 17/25/30 % non-completion for 100 MB / 500 MB / 1 GB.
+#include "bench_common.h"
+#include "harness/metrics.h"
+
+using namespace sqp;
+
+int main() {
+  std::printf("=== Figure 4: speculation vs normal, per-bucket ===\n");
+  for (tpch::Scale scale : benchutil::ScalesFromEnv()) {
+    ExperimentConfig cfg = benchutil::DefaultConfig(
+        scale, benchutil::DefaultUsersForScale(scale, 6));
+    auto result = RunSingleUserExperiment(cfg);
+    if (!result.ok()) {
+      std::printf("experiment failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n--- %s dataset (paper: %s), %zu users, %zu queries ---\n",
+                tpch::ScaleName(scale), tpch::ScalePaperLabel(scale),
+                cfg.num_users, result->normal.size());
+    BucketOptions buckets = AutoBuckets(result->normal);
+    auto series = BucketImprovements(result->normal, result->speculative,
+                                     buckets);
+    std::printf("%s", FormatBuckets(series, /*include_extremes=*/false).c_str());
+    std::printf("  improvement in range:        %5.1f %%  (paper metric)\n",
+                100 * ImprovementInRange(result->normal, result->speculative,
+                                         buckets.lo, buckets.hi));
+    std::printf("  improvement, all queries:    %5.1f %%\n",
+                100 * result->overall_improvement);
+    std::printf("  avg materialization:         %5.2f s\n",
+                result->avg_materialization_seconds);
+    std::printf("  manipulation non-completion: %5.1f %%  (at GO)\n",
+                100 * result->noncompletion_rate);
+    std::printf("  cancelled by user edits:     %5.1f %%\n",
+                100 * result->edit_cancellation_rate);
+    std::printf("  manipulations issued/done:   %zu / %zu\n",
+                result->manipulations_issued,
+                result->manipulations_completed);
+    std::printf("  queries rewritten via views: %5.1f %%\n",
+                100 * result->rewritten_query_fraction);
+
+    if (std::getenv("SQP_DEBUG_QUERIES") != nullptr) {
+      std::vector<size_t> order(result->normal.size());
+      for (size_t i = 0; i < order.size(); i++) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        double da = result->speculative[a].seconds - result->normal[a].seconds;
+        double db = result->speculative[b].seconds - result->normal[b].seconds;
+        return da < db;
+      });
+      auto dump = [&](size_t i) {
+        const auto& n = result->normal[i];
+        const auto& s = result->speculative[i];
+        std::printf("    n=%6.2fs s=%6.2fs views=[", n.seconds, s.seconds);
+        for (const auto& v : s.views_used) std::printf("%s ", v.c_str());
+        std::printf("] %s\n", n.query.ToSql().c_str());
+      };
+      std::printf("  best 8:\n");
+      for (size_t k = 0; k < 8 && k < order.size(); k++) dump(order[k]);
+      std::printf("  worst 8:\n");
+      for (size_t k = 0; k < 8 && k < order.size(); k++) {
+        dump(order[order.size() - 1 - k]);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 5 (E4): maximum performance improvement and maximum penalty
+// per execution-time bucket, three dataset sizes.
+//
+// The paper observes improvements approaching 100% for some queries
+// (e.g. a 40 s query answered sub-second from a materialization) while
+// penalties stay much smaller and rare — mostly short queries whose
+// forced rewriting replaced an indexed base relation with an unindexed
+// materialized one.
+#include "bench_common.h"
+#include "harness/metrics.h"
+
+using namespace sqp;
+
+int main() {
+  std::printf("=== Figure 5: max improvement / max penalty per bucket ===\n");
+  for (tpch::Scale scale : benchutil::ScalesFromEnv()) {
+    ExperimentConfig cfg = benchutil::DefaultConfig(
+        scale, benchutil::DefaultUsersForScale(scale, 6));
+    auto result = RunSingleUserExperiment(cfg);
+    if (!result.ok()) {
+      std::printf("experiment failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n--- %s dataset (paper: %s), %zu users, %zu queries ---\n",
+                tpch::ScaleName(scale), tpch::ScalePaperLabel(scale),
+                cfg.num_users, result->normal.size());
+    BucketOptions buckets = AutoBuckets(result->normal);
+    auto series =
+        BucketImprovements(result->normal, result->speculative, buckets);
+    std::printf("%s",
+                FormatBuckets(series, /*include_extremes=*/true).c_str());
+
+    // Global extremes, as the paper calls out in the text.
+    double best = -1e9, worst = 1e9;
+    size_t best_i = 0, worst_i = 0;
+    for (size_t i = 0; i < result->normal.size(); i++) {
+      if (result->normal[i].seconds <= 0) continue;
+      double imp =
+          1.0 - result->speculative[i].seconds / result->normal[i].seconds;
+      if (imp > best) {
+        best = imp;
+        best_i = i;
+      }
+      if (imp < worst) {
+        worst = imp;
+        worst_i = i;
+      }
+    }
+    std::printf("  best : %5.1f %%  (%.2fs -> %.2fs)\n", 100 * best,
+                result->normal[best_i].seconds,
+                result->speculative[best_i].seconds);
+    std::printf("  worst: %5.1f %%  (%.2fs -> %.2fs)\n", 100 * worst,
+                result->normal[worst_i].seconds,
+                result->speculative[worst_i].seconds);
+  }
+  return 0;
+}

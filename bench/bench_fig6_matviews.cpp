@@ -1,0 +1,47 @@
+// Figure 6 (E6): speculation vs materialized views vs the combination.
+//
+// Three runs are compared against plain normal processing: (a) normal
+// processing over pre-materialized views (the join of every connected
+// relation subset, all attributes kept — the paper's extreme
+// views-favouring configuration), (b) speculation without views, and
+// (c) speculation on top of the views. Paper shape: speculation wins on
+// shorter queries, views win as queries grow costlier, the combination
+// wins almost everywhere.
+#include "bench_common.h"
+#include "harness/metrics.h"
+
+using namespace sqp;
+
+namespace {
+void PrintSeries(const char* name, const std::vector<QueryRecord>& normal,
+                 const std::vector<QueryRecord>& variant,
+                 const BucketOptions& buckets) {
+  auto series = BucketImprovements(normal, variant, buckets);
+  std::printf("  %s (overall %+.1f %%):\n", name,
+              100 * Improvement(normal, variant));
+  std::printf("%s", FormatBuckets(series, false).c_str());
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 6: speculation vs materialized views vs combo ===\n");
+  for (tpch::Scale scale : benchutil::ScalesFromEnv()) {
+    ExperimentConfig cfg = benchutil::DefaultConfig(
+        scale, benchutil::DefaultUsersForScale(scale, 5));
+    auto result = RunMatViewsExperiment(cfg);
+    if (!result.ok()) {
+      std::printf("experiment failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n--- %s dataset (paper: %s), %zu users, %zu queries ---\n",
+                tpch::ScaleName(scale), tpch::ScalePaperLabel(scale),
+                cfg.num_users, result->normal.size());
+    BucketOptions buckets = AutoBuckets(result->normal);
+    PrintSeries("Views     ", result->normal, result->views_only, buckets);
+    PrintSeries("Spec      ", result->normal, result->spec_only, buckets);
+    PrintSeries("Spec+Views", result->normal, result->spec_views, buckets);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// §5 table + query-structure statistics (E1/E2): user querying behaviour.
+//
+// Paper targets — duration of query formulation (seconds):
+//   min 1 | avg 28 | max 680 | 25% 4 | 50% 11 | 75% 29
+// and structure: ~42 SQL queries per trace; 1–2 selection predicates and
+// ~4 relations per query; a selection survives ~3 consecutive queries,
+// a join ~10.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "trace/trace_generator.h"
+
+using namespace sqp;
+
+int main() {
+  size_t users = benchutil::UsersFromEnv(15);
+  TraceGeneratorOptions options;
+  options.num_users = users;
+  options.seed = benchutil::SeedFromEnv(42) + 7;
+  std::vector<Trace> traces = GenerateTraces(options);
+  TraceStats stats = ComputeTraceStats(traces);
+
+  std::printf("=== Section 5: user querying behaviour (%zu users) ===\n\n",
+              users);
+  std::printf("Query formulation duration (seconds):\n");
+  std::printf("        %6s %6s %6s %6s %6s %6s\n", "min", "avg", "max",
+              "25%", "50%", "75%");
+  std::printf("paper   %6.0f %6.0f %6.0f %6.0f %6.0f %6.0f\n", 1.0, 28.0,
+              680.0, 4.0, 11.0, 29.0);
+  std::printf("ours    %6.1f %6.1f %6.0f %6.1f %6.1f %6.1f\n",
+              stats.min_duration, stats.avg_duration, stats.max_duration,
+              stats.p25_duration, stats.p50_duration, stats.p75_duration);
+
+  std::printf("\nQuery structure:\n");
+  std::printf("  %-38s paper   ours\n", "");
+  std::printf("  %-38s %5.0f  %6.1f\n", "SQL queries per trace", 42.0,
+              stats.avg_queries_per_trace);
+  std::printf("  %-38s %5s  %6.2f\n", "selection predicates per query",
+              "1-2", stats.avg_selections_per_query);
+  std::printf("  %-38s %5.0f  %6.2f\n", "relations in FROM per query", 4.0,
+              stats.avg_relations_per_query);
+  std::printf("  %-38s %5.0f  %6.2f\n",
+              "selection lifetime (consecutive queries)", 3.0,
+              stats.avg_selection_lifetime);
+  std::printf("  %-38s %5.0f  %6.2f\n", "join lifetime (consecutive queries)",
+              10.0, stats.avg_join_lifetime);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Exploration session: the paper's full pipeline on the TPC-H subset.
+//
+// Generates one simulated analyst session (calibrated to the paper's §5
+// user profile), replays it twice against the same database — normal and
+// speculative — and prints the per-query comparison plus the engine's
+// bookkeeping, i.e. a miniature of the paper's Figure 4 methodology.
+//
+// Usage: exploration_session [user_seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.h"
+
+using namespace sqp;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2003;
+
+  std::printf("Loading the TPC-H subset (small scale)...\n");
+  ExperimentConfig cfg;
+  cfg.scale = tpch::Scale::kSmall;
+  cfg.num_users = 1;
+  cfg.trace_seed = seed;
+  auto db = BuildDatabase(cfg);
+  if (!db.ok()) {
+    std::printf("load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Trace> traces = BuildTraces(cfg);
+  const Trace& trace = traces.front();
+  std::printf("Generated a session with %zu queries (%zu events).\n\n",
+              trace.QueryCount(), trace.events.size());
+
+  ReplayOptions normal_opts;
+  normal_opts.speculation = false;
+  auto normal = TraceReplayer(db->get(), normal_opts).Replay(trace);
+  if (!normal.ok()) {
+    std::printf("normal replay failed: %s\n",
+                normal.status().ToString().c_str());
+    return 1;
+  }
+
+  ReplayOptions spec_opts;
+  spec_opts.speculation = true;
+  auto spec = TraceReplayer(db->get(), spec_opts).Replay(trace);
+  if (!spec.ok()) {
+    std::printf("speculative replay failed: %s\n",
+                spec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-4s %9s %9s %8s  %s\n", "#", "normal", "spec", "gain%",
+              "query (views used)");
+  for (size_t i = 0; i < normal->queries.size(); i++) {
+    const auto& n = normal->queries[i];
+    const auto& s = spec->queries[i];
+    double gain = n.seconds > 0 ? 100 * (1 - s.seconds / n.seconds) : 0;
+    std::string sql = n.query.ToSql();
+    if (sql.size() > 60) sql = sql.substr(0, 57) + "...";
+    std::printf("%-4zu %8.2fs %8.2fs %7.1f%%  %s", i + 1, n.seconds,
+                s.seconds, gain, sql.c_str());
+    if (!s.views_used.empty()) {
+      std::printf("  [%zu view%s]", s.views_used.size(),
+                  s.views_used.size() == 1 ? "" : "s");
+    }
+    std::printf("\n");
+  }
+
+  const EngineStats& stats = spec->engine_stats;
+  std::printf("\nSession summary\n");
+  std::printf("  total execution, normal:      %8.2fs\n",
+              normal->total_exec_seconds);
+  std::printf("  total execution, speculative: %8.2fs\n",
+              spec->total_exec_seconds);
+  std::printf("  improvement:                  %8.1f%%\n",
+              100 * (1 - spec->total_exec_seconds /
+                             normal->total_exec_seconds));
+  std::printf("  manipulations issued:         %zu\n",
+              stats.manipulations_issued);
+  std::printf("  completed / cancelled@GO / cancelled@edit / abandoned: "
+              "%zu / %zu / %zu / %zu\n",
+              stats.manipulations_completed, stats.cancelled_at_go,
+              stats.cancelled_by_edit, stats.abandoned_at_completion);
+  std::printf("  views garbage-collected:      %zu\n",
+              stats.views_garbage_collected);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// replay_trace: replay saved trace files against a freshly loaded
+// TPC-H subset, normal vs speculative — the paper's §4.1 methodology
+// as a standalone tool.
+//
+// Usage: replay_trace <trace-dir> [scale: small|medium|large]
+#include <cstdio>
+#include <cstring>
+
+#include "harness/experiment.h"
+
+using namespace sqp;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: replay_trace <trace-dir> [small|medium|large]\n");
+    return 1;
+  }
+  tpch::Scale scale = tpch::Scale::kSmall;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "medium") == 0) scale = tpch::Scale::kMedium;
+    if (std::strcmp(argv[2], "large") == 0) scale = tpch::Scale::kLarge;
+  }
+
+  auto traces = LoadTraces(argv[1]);
+  if (!traces.ok()) {
+    std::printf("error: %s\n", traces.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu traces; loading %s dataset...\n", traces->size(),
+              tpch::ScaleName(scale));
+
+  ExperimentConfig cfg;
+  cfg.scale = scale;
+  auto db = BuildDatabase(cfg);
+  if (!db.ok()) {
+    std::printf("error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %8s %12s %12s %9s %9s\n", "user", "queries",
+              "normal(s)", "spec(s)", "gain%", "manips");
+  double total_normal = 0, total_spec = 0;
+  for (const Trace& trace : *traces) {
+    ReplayOptions normal_opts;
+    normal_opts.speculation = false;
+    auto normal = TraceReplayer(db->get(), normal_opts).Replay(trace);
+    if (!normal.ok()) {
+      std::printf("replay failed: %s\n",
+                  normal.status().ToString().c_str());
+      return 1;
+    }
+    ReplayOptions spec_opts;
+    spec_opts.speculation = true;
+    auto spec = TraceReplayer(db->get(), spec_opts).Replay(trace);
+    if (!spec.ok()) {
+      std::printf("replay failed: %s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    double gain = normal->total_exec_seconds > 0
+                      ? 100 * (1 - spec->total_exec_seconds /
+                                       normal->total_exec_seconds)
+                      : 0;
+    std::printf("%-6llu %8zu %12.1f %12.1f %8.1f%% %4zu/%zu\n",
+                static_cast<unsigned long long>(trace.user_id),
+                normal->queries.size(), normal->total_exec_seconds,
+                spec->total_exec_seconds, gain,
+                spec->engine_stats.manipulations_completed,
+                spec->engine_stats.manipulations_issued);
+    total_normal += normal->total_exec_seconds;
+    total_spec += spec->total_exec_seconds;
+  }
+  if (total_normal > 0) {
+    std::printf("\noverall improvement: %.1f%%\n",
+                100 * (1 - total_spec / total_normal));
+  }
+  return 0;
+}

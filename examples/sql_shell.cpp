@@ -1,0 +1,266 @@
+// sql_shell: an interactive textual query interface with speculation —
+// the variant the paper sketches in §2 footnote 1 ("one can envision
+// speculation in the context of a textual query interface").
+//
+// The analyst *previews* a query (the partial query on the canvas),
+// *thinks* (simulated seconds pass; the engine runs manipulations in the
+// background), and finally *goes*. The shell narrates what the
+// speculation subsystem does.
+//
+// Commands (also accepted from a pipe; try `sql_shell --demo`):
+//   preview SELECT ...   set/update the partial query
+//   think N              let N seconds of think time pass
+//   go                   submit the current partial query
+//   sql SELECT ...       run a statement directly (aggregates, ORDER BY,
+//                        LIMIT supported); benefits from live views
+//   explain              show the current plan for the partial query
+//   stats                engine statistics
+//   tables               list tables
+//   quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "sql/binder.h"
+
+using namespace sqp;
+
+namespace {
+
+/// Feed the structural diff old -> new to the engine as edit events.
+Status ApplyDiff(SpeculationEngine* engine, const QueryGraph& next,
+                 double sim_time) {
+  QueryGraph current = engine->partial();
+  for (const auto& sel : current.selections()) {
+    if (!next.HasSelection(sel.Key())) {
+      TraceEvent e;
+      e.type = TraceEventType::kRemoveSelection;
+      e.selection = sel;
+      SQP_RETURN_IF_ERROR(engine->OnUserEvent(e, sim_time));
+    }
+  }
+  for (const auto& join : current.joins()) {
+    if (!next.HasJoin(join.Key())) {
+      TraceEvent e;
+      e.type = TraceEventType::kRemoveJoin;
+      e.join = join;
+      SQP_RETURN_IF_ERROR(engine->OnUserEvent(e, sim_time));
+    }
+  }
+  for (const auto& join : next.joins()) {
+    if (!engine->partial().HasJoin(join.Key())) {
+      TraceEvent e;
+      e.type = TraceEventType::kAddJoin;
+      e.join = join;
+      SQP_RETURN_IF_ERROR(engine->OnUserEvent(e, sim_time));
+    }
+  }
+  for (const auto& sel : next.selections()) {
+    if (!engine->partial().HasSelection(sel.Key())) {
+      TraceEvent e;
+      e.type = TraceEventType::kAddSelection;
+      e.selection = sel;
+      SQP_RETURN_IF_ERROR(engine->OnUserEvent(e, sim_time));
+    }
+  }
+  return Status::OK();
+}
+
+const char* kDemoScript =
+    "preview SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+    " AND o_totalprice < 20000\n"
+    "think 15\n"
+    "stats\n"
+    "go\n"
+    "think 8\n"
+    "preview SELECT * FROM orders, lineitem, part WHERE o_orderkey = "
+    "l_orderkey AND l_partkey = p_partkey AND o_totalprice < 20000\n"
+    "think 10\n"
+    "go\n"
+    "sql SELECT p_mfgr, COUNT(*), AVG(l_quantity) FROM orders, lineitem, "
+    "part WHERE o_orderkey = l_orderkey AND l_partkey = p_partkey AND "
+    "o_totalprice < 20000 GROUP BY p_mfgr ORDER BY p_mfgr\n"
+    "stats\n"
+    "quit\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
+
+  std::printf("Loading the TPC-H subset (small scale)...\n");
+  ExperimentConfig cfg;
+  cfg.scale = tpch::Scale::kSmall;
+  auto db = BuildDatabase(cfg);
+  if (!db.ok()) {
+    std::printf("load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Database& database = **db;
+
+  SimServer server;
+  SpeculationEngine engine(&database, &server);
+  double clock = 0;
+
+  std::istringstream demo_input(kDemoScript);
+  std::istream& in = demo ? static_cast<std::istream&>(demo_input)
+                          : std::cin;
+
+  std::printf("sqp shell — type 'preview SELECT ...', 'think N', 'go'.\n");
+  std::string line;
+  while (std::printf("sqp[t=%.0fs]> ", clock), std::fflush(stdout),
+         std::getline(in, line)) {
+    if (demo) std::printf("%s\n", line.c_str());
+    std::istringstream ls(line);
+    std::string cmd;
+    ls >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "tables") {
+      for (const auto& name : database.catalog().TableNames()) {
+        const TableInfo* t = database.catalog().GetTable(name);
+        std::printf("  %-16s %8llu rows  %s\n", name.c_str(),
+                    static_cast<unsigned long long>(t->stats.row_count()),
+                    t->schema.ToString().c_str());
+      }
+      continue;
+    }
+
+    if (cmd == "think") {
+      double seconds = 0;
+      ls >> seconds;
+      size_t before = engine.stats().manipulations_completed;
+      clock += seconds;
+      server.AdvanceTo(clock);
+      (void)engine.OnQueryResult(clock);  // lazy sync + re-issue
+      if (engine.stats().manipulations_completed > before) {
+        std::printf("  [%.0fs pass; a speculative materialization "
+                    "completed: %zu view(s) ready]\n",
+                    seconds, engine.live_views().size());
+      } else {
+        std::printf("  [%.0fs pass]\n", seconds);
+      }
+      continue;
+    }
+
+    if (cmd == "preview") {
+      std::string sql = line.substr(line.find("preview") + 8);
+      auto graph = ParseAndBind(sql, database.catalog());
+      if (!graph.ok()) {
+        std::printf("  error: %s\n", graph.status().ToString().c_str());
+        continue;
+      }
+      Status status = ApplyDiff(&engine, *graph, clock);
+      if (!status.ok()) {
+        std::printf("  error: %s\n", status.ToString().c_str());
+        continue;
+      }
+      std::printf("  partial query: %s\n",
+                  engine.partial().ToSql().c_str());
+      if (engine.stats().manipulations_issued > 0) {
+        std::printf("  [engine: %zu issued, %zu completed, %zu live "
+                    "view(s)]\n",
+                    engine.stats().manipulations_issued,
+                    engine.stats().manipulations_completed,
+                    engine.live_views().size());
+      }
+      continue;
+    }
+
+    if (cmd == "explain") {
+      auto plan = database.planner().Plan(engine.partial(),
+                                          &database.views(),
+                                          engine.final_view_mode());
+      if (!plan.ok()) {
+        std::printf("  error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", plan->Explain().c_str());
+      continue;
+    }
+
+    if (cmd == "go") {
+      QueryGraph final_query = engine.partial();
+      if (final_query.empty()) {
+        std::printf("  nothing to run — preview a query first\n");
+        continue;
+      }
+      auto submit = engine.OnGo(clock);
+      if (!submit.ok()) {
+        std::printf("  error: %s\n", submit.status().ToString().c_str());
+        continue;
+      }
+      ExecuteOptions opts;
+      opts.view_mode = engine.final_view_mode();
+      auto result = database.Execute(final_query, opts);
+      if (!result.ok()) {
+        std::printf("  error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      clock += result->seconds;
+      server.AdvanceTo(clock);
+      std::printf("  %llu rows in %.2f simulated seconds",
+                  static_cast<unsigned long long>(result->row_count),
+                  result->seconds);
+      if (!result->views_used.empty()) {
+        std::printf("  (rewritten via");
+        for (const auto& v : result->views_used) {
+          std::printf(" %s", v.c_str());
+        }
+        std::printf(")");
+      }
+      std::printf("\n");
+      (void)engine.OnQueryResult(clock);
+      continue;
+    }
+
+    if (cmd == "sql") {
+      std::string sql = line.substr(line.find("sql") + 4);
+      ExecuteOptions opts;
+      opts.keep_rows = true;
+      opts.view_mode = ViewMode::kCostBased;
+      auto result = database.ExecuteSql(sql, opts);
+      if (!result.ok()) {
+        std::printf("  error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      clock += result->seconds;
+      server.AdvanceTo(clock);
+      std::printf("  %s\n", result->schema.ToString().c_str());
+      size_t shown = 0;
+      for (const auto& row : result->rows) {
+        if (shown++ >= 10) {
+          std::printf("  ... (%llu rows total)\n",
+                      static_cast<unsigned long long>(result->row_count));
+          break;
+        }
+        std::printf("  (");
+        for (size_t i = 0; i < row.size(); i++) {
+          std::printf("%s%s", i > 0 ? ", " : "", row[i].ToString().c_str());
+        }
+        std::printf(")\n");
+      }
+      std::printf("  %.2f simulated seconds\n", result->seconds);
+      continue;
+    }
+
+    if (cmd == "stats") {
+      const EngineStats& st = engine.stats();
+      std::printf("  issued %zu | completed %zu | cancelled %zu | "
+                  "abandoned %zu | GC'd %zu | live views %zu\n",
+                  st.manipulations_issued, st.manipulations_completed,
+                  st.cancelled(), st.abandoned_at_completion,
+                  st.views_garbage_collected, engine.live_views().size());
+      continue;
+    }
+
+    std::printf("  unknown command: %s\n", cmd.c_str());
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// tracegen: generate user-session trace files (the paper's recorded
+// SQUID sessions, §4.1) for offline replay with replay_trace.
+//
+// Usage: tracegen <output-dir> [num_users] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/trace_generator.h"
+
+using namespace sqp;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: tracegen <output-dir> [num_users] [seed]\n");
+    return 1;
+  }
+  TraceGeneratorOptions options;
+  options.num_users = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 15;
+  options.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1234;
+
+  std::vector<Trace> traces = GenerateTraces(options);
+  Status status = SaveTraces(traces, argv[1]);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  TraceStats stats = ComputeTraceStats(traces);
+  std::printf("wrote %zu traces to %s\n", traces.size(), argv[1]);
+  std::printf("  queries/trace: %.1f  selections/query: %.2f  "
+              "relations/query: %.2f\n",
+              stats.avg_queries_per_trace, stats.avg_selections_per_query,
+              stats.avg_relations_per_query);
+  std::printf("  formulation seconds: min %.1f / med %.1f / avg %.1f / "
+              "max %.0f\n",
+              stats.min_duration, stats.p50_duration, stats.avg_duration,
+              stats.max_duration);
+  return 0;
+}

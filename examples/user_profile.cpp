@@ -1,0 +1,88 @@
+// Learner demo (paper §3.4): train the user-profile models on recorded
+// sessions, then open the hood on one speculation decision — showing
+// the probability terms that weigh each candidate manipulation.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "speculation/speculator.h"
+
+using namespace sqp;
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.scale = tpch::Scale::kSmall;
+  cfg.num_users = 10;
+  auto db = BuildDatabase(cfg);
+  if (!db.ok()) {
+    std::printf("load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Trace> history = BuildTraces(cfg);
+
+  SimServer server;
+  SpeculationEngine engine(db->get(), &server);
+  engine.PretrainLearner(history);
+  const Learner& learner = engine.learner();
+
+  std::printf("Learner profile after observing %zu sessions:\n",
+              history.size());
+  std::printf("  formulations seen:        %zu\n",
+              learner.survival().observed_formulations());
+  std::printf("  selection retention/query: %.2f  (lifetime %.1f queries)\n",
+              learner.retention().RetentionProbability(false),
+              1.0 / (1.0 - learner.retention().RetentionProbability(false)));
+  std::printf("  join retention/query:      %.2f  (lifetime %.1f queries)\n",
+              learner.retention().RetentionProbability(true),
+              1.0 / (1.0 - learner.retention().RetentionProbability(true)));
+  std::printf("  P(1s manipulation completes | just started): %.2f\n",
+              learner.think_time().ProbCompleteInTime(0, 1.0));
+  std::printf("  P(10s manipulation completes | just started): %.2f\n",
+              learner.think_time().ProbCompleteInTime(0, 10.0));
+  std::printf("  P(10s manipulation completes | 20s elapsed):  %.2f\n",
+              learner.think_time().ProbCompleteInTime(20.0, 10.0));
+
+  // A partial query mid-formulation: σ(orders) ⋈ lineitem, plus a
+  // selection on part.
+  QueryGraph partial;
+  JoinPred j1;
+  j1.left_table = "orders";
+  j1.left_column = "o_orderkey";
+  j1.right_table = "lineitem";
+  j1.right_column = "l_orderkey";
+  partial.AddJoin(j1);
+  SelectionPred s1;
+  s1.table = "orders";
+  s1.column = "o_totalprice";
+  s1.op = CompareOp::kLt;
+  s1.constant = Value(40000.0);
+  partial.AddSelection(s1);
+  SelectionPred s2;
+  s2.table = "lineitem";
+  s2.column = "l_quantity";
+  s2.op = CompareOp::kLe;
+  s2.constant = Value(int64_t{3});
+  partial.AddSelection(s2);
+
+  SpeculationCostModel model(db->get(), &learner);
+  Speculator speculator(db->get(), &model);
+  SpeculationDecision decision = speculator.Decide(partial, /*elapsed=*/3.0);
+
+  std::printf("\nPartial query: %s\n", partial.ToSql().c_str());
+  std::printf("\n%-52s %8s %6s %6s %6s %9s\n", "candidate manipulation",
+              "Cost_sub", "f_sub", "P(cpl)", "E[use]", "duration");
+  for (const auto& [m, eval] : decision.considered) {
+    std::string desc = m.Describe();
+    if (desc.size() > 52) desc = desc.substr(0, 49) + "...";
+    std::printf("%-52s %8.3f %6.2f %6.2f %6.2f %8.2fs\n", desc.c_str(),
+                eval.score, eval.containment_probability,
+                eval.completion_probability, eval.expected_uses,
+                eval.estimated_duration);
+  }
+  if (decision.chosen.has_value()) {
+    std::printf("\nSpeculator picks: %s\n",
+                decision.chosen->Describe().c_str());
+  } else {
+    std::printf("\nSpeculator picks: m0 (do nothing)\n");
+  }
+  return 0;
+}

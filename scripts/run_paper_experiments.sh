@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Paper-strength experiment sweep: 15 simulated users (the paper's
+# cohort) at every dataset scale. Expect several hours on one core;
+# results land in paper_bench_output.txt. The default `for b in
+# build/bench/*` sweep uses smaller cohorts and finishes in ~1 hour.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+export SQP_USERS=15
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b (SQP_USERS=$SQP_USERS) ====="
+    "$b"
+  done
+} 2>&1 | tee paper_bench_output.txt

@@ -1,0 +1,164 @@
+#include "catalog/catalog.h"
+
+#include <cassert>
+
+namespace sqp {
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        const Schema& schema,
+                                        bool is_materialized) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = schema;
+  info->heap = std::make_unique<HeapFile>(pool_);
+  info->is_materialized = is_materialized;
+  TableInfo* raw = info.get();
+  tables_[name] = std::move(info);
+  return raw;
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableInfo* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  TableInfo* info = it->second.get();
+  // Drop dependent indexes and histograms.
+  for (const auto& col : info->schema.columns()) {
+    indexes_.erase(Key(name, col.name));
+    histograms_.erase(Key(name, col.name));
+  }
+  info->heap->Drop(disk_);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeTable(const std::string& name) {
+  TableInfo* info = GetTable(name);
+  if (info == nullptr) return Status::NotFound("table " + name);
+  TableStats stats;
+  stats.Begin(info->schema);
+  auto iter = info->heap->Scan();
+  for (;;) {
+    auto row = iter.Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    stats.Observe(**row);
+  }
+  stats.Finish(info->heap->page_count());
+  info->stats = std::move(stats);
+  return Status::OK();
+}
+
+Result<BPlusTree*> Catalog::CreateIndex(const std::string& table,
+                                        const std::string& column) {
+  TableInfo* info = GetTable(table);
+  if (info == nullptr) return Status::NotFound("table " + table);
+  auto col_idx = info->schema.ColumnIndex(column);
+  if (!col_idx.has_value()) {
+    return Status::NotFound("column " + column + " in " + table);
+  }
+  std::string key = Key(table, column);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index on " + key);
+  }
+  auto tree = std::make_unique<BPlusTree>();
+  // Build: full scan, inserting (key, rid). The scan's buffer-pool
+  // traffic charges the build's simulated I/O cost.
+  const auto& pages = info->heap->pages();
+  for (page_id_t page_id : pages) {
+    auto page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, page_id, *page);
+    const Page* p = guard.get();
+    for (uint16_t slot = 0; slot < p->slot_count(); slot++) {
+      uint16_t len = 0;
+      const uint8_t* rec = p->Record(slot, &len);
+      Tuple tuple = DeserializeTuple(rec, len);
+      tree->Insert(tuple[*col_idx], Rid{page_id, slot});
+    }
+  }
+  BPlusTree* raw = tree.get();
+  indexes_[key] = std::move(tree);
+  return raw;
+}
+
+BPlusTree* Catalog::GetIndex(const std::string& table,
+                             const std::string& column) {
+  auto it = indexes_.find(Key(table, column));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+bool Catalog::HasIndex(const std::string& table,
+                       const std::string& column) const {
+  return indexes_.count(Key(table, column)) > 0;
+}
+
+Status Catalog::DropIndex(const std::string& table,
+                          const std::string& column) {
+  return indexes_.erase(Key(table, column)) > 0
+             ? Status::OK()
+             : Status::NotFound("index on " + Key(table, column));
+}
+
+Status Catalog::DropHistogram(const std::string& table,
+                              const std::string& column) {
+  return histograms_.erase(Key(table, column)) > 0
+             ? Status::OK()
+             : Status::NotFound("histogram on " + Key(table, column));
+}
+
+Status Catalog::CreateHistogram(const std::string& table,
+                                const std::string& column) {
+  TableInfo* info = GetTable(table);
+  if (info == nullptr) return Status::NotFound("table " + table);
+  auto col_idx = info->schema.ColumnIndex(column);
+  if (!col_idx.has_value()) {
+    return Status::NotFound("column " + column + " in " + table);
+  }
+  std::vector<Value> values;
+  values.reserve(info->heap->tuple_count());
+  auto iter = info->heap->Scan();
+  for (;;) {
+    auto row = iter.Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    values.push_back((**row)[*col_idx]);
+  }
+  histograms_[Key(table, column)] = Histogram::Build(std::move(values));
+  return Status::OK();
+}
+
+const Histogram* Catalog::GetHistogram(const std::string& table,
+                                       const std::string& column) const {
+  auto it = histograms_.find(Key(table, column));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Catalog::MaterializedTableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, info] : tables_) {
+    if (info->is_materialized) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace sqp

@@ -1,0 +1,10 @@
+// Aggregate function tags, shared by the SQL frontend and executors.
+#pragma once
+
+namespace sqp {
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+}  // namespace sqp

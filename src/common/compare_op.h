@@ -1,0 +1,47 @@
+// Comparison operators shared by predicates, histograms, and the planner.
+#pragma once
+
+#include <cassert>
+
+namespace sqp {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+inline const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+inline bool EvalCompare(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  assert(false && "unknown CompareOp");
+  return false;
+}
+
+}  // namespace sqp

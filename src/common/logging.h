@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+//
+// Used by the speculation engine to narrate issue/cancel/GC decisions when
+// verbose mode is enabled; silent by default so benches stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sqp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) LogMessage(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+#define SQP_LOG_DEBUG ::sqp::internal::LogLine(::sqp::LogLevel::kDebug)
+#define SQP_LOG_INFO ::sqp::internal::LogLine(::sqp::LogLevel::kInfo)
+#define SQP_LOG_WARN ::sqp::internal::LogLine(::sqp::LogLevel::kWarn)
+#define SQP_LOG_ERROR ::sqp::internal::LogLine(::sqp::LogLevel::kError)
+
+}  // namespace sqp

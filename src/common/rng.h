@@ -1,0 +1,72 @@
+// Deterministic random number generation for data/trace synthesis.
+//
+// All stochastic components (skewed data generator, user model) draw from
+// an explicitly seeded Rng so that every experiment is a deterministic
+// function of its seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sqp {
+
+/// xoshiro256** generator plus the distributions the workload needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextRange(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  bool NextBool(double p_true);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate.
+  double NextExponential(double rate);
+
+  /// Split off an independent stream (for per-user / per-table seeding).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian distribution over {0, .., n-1} with exponent theta, using the
+/// Gray et al. rejection-free inverse method with precomputed constants.
+/// Used to generate the paper's "high skew in fields likely to appear in
+/// selections" (paper section 4.2).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace sqp

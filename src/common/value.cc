@@ -1,0 +1,86 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+namespace sqp {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::NumericValue() const {
+  if (type() == TypeId::kInt64) return static_cast<double>(AsInt64());
+  assert(type() == TypeId::kDouble && "NumericValue on string");
+  return AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() == TypeId::kString || other.type() == TypeId::kString) {
+    assert(type() == TypeId::kString && other.type() == TypeId::kString &&
+           "comparing string with numeric");
+    return AsString().compare(other.AsString());
+  }
+  if (type() == TypeId::kInt64 && other.type() == TypeId::kInt64) {
+    int64_t a = AsInt64(), b = other.AsInt64();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = NumericValue(), b = other.NumericValue();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::to_string(AsInt64());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", AsDouble());
+      return buf;
+    }
+    case TypeId::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case TypeId::kDouble: {
+      // Hash doubles through their numeric value so 3 and 3.0 (which
+      // compare equal) hash equal too.
+      double d = AsDouble();
+      if (d == static_cast<int64_t>(d)) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case TypeId::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+size_t Value::StorageSize() const {
+  switch (type()) {
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kString:
+      return 4 + AsString().size();
+  }
+  return 8;
+}
+
+}  // namespace sqp

@@ -1,0 +1,62 @@
+// Runtime value model: the engine's tuples are vectors of Value.
+//
+// Only three physical types are needed by the TPC-H subset workload the
+// paper evaluates on: 64-bit integers (keys, dates-as-int), doubles
+// (prices, balances), and short strings (segments, manufacturers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace sqp {
+
+enum class TypeId : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+const char* TypeName(TypeId type);
+
+/// A single column value. Comparisons between numeric types coerce to
+/// double; comparing a string with a numeric is a logic error.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  TypeId type() const { return static_cast<TypeId>(v_.index()); }
+  bool is_numeric() const { return type() != TypeId::kString; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view of an int64 or double value (asserts on strings).
+  double NumericValue() const;
+
+  /// Three-way comparison; totally ordered within numeric and string
+  /// domains. Asserts when comparing string with numeric.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  std::string ToString() const;
+
+  /// Stable hash for hash joins and duplicate detection.
+  size_t Hash() const;
+
+  /// Approximate in-memory/on-page footprint in bytes, used by the
+  /// storage layer to translate tuples into page counts.
+  size_t StorageSize() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace sqp

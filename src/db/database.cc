@@ -1,0 +1,214 @@
+#include "db/database.h"
+
+#include "common/logging.h"
+#include "exec/aggregate.h"
+#include "exec/materializer.h"
+#include "exec/sort.h"
+#include "sql/binder.h"
+
+namespace sqp {
+
+Database::Database(DatabaseOptions options)
+    : options_(options), meter_(options.cost) {
+  disk_ = std::make_unique<DiskManager>(&meter_);
+  pool_ = std::make_unique<BufferPool>(disk_.get(),
+                                       options_.buffer_pool_pages);
+  catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
+  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
+}
+
+Status Database::CreateTable(const std::string& name, const Schema& schema) {
+  auto table = catalog_->CreateTable(name, schema);
+  return table.ok() ? Status::OK() : table.status();
+}
+
+Status Database::BulkLoad(const std::string& name,
+                          const std::vector<Tuple>& rows) {
+  TableInfo* info = catalog_->GetTable(name);
+  if (info == nullptr) return Status::NotFound("table " + name);
+  TableStats stats;
+  stats.Begin(info->schema);
+  for (const Tuple& row : rows) {
+    if (row.size() != info->schema.size()) {
+      return Status::InvalidArgument("row arity mismatch for " + name);
+    }
+    stats.Observe(row);
+    auto rid = info->heap->Append(row);
+    if (!rid.ok()) return rid.status();
+  }
+  stats.Finish(info->heap->page_count());
+  info->stats = std::move(stats);
+  for (page_id_t page_id : info->heap->pages()) {
+    pool_->FlushPage(page_id);
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  auto index = catalog_->CreateIndex(table, column);
+  return index.ok() ? Status::OK() : index.status();
+}
+
+Status Database::CreateHistogram(const std::string& table,
+                                 const std::string& column) {
+  return catalog_->CreateHistogram(table, column);
+}
+
+Status Database::DropTable(const std::string& name) {
+  views_.Unregister(name);
+  return catalog_->DropTable(name);
+}
+
+namespace {
+/// Drain `exec` into a QueryResult, timing against `meter`.
+Result<QueryResult> RunToResult(Executor* exec, CostMeter& meter,
+                                const ExecuteOptions& options,
+                                std::string plan_explain,
+                                std::vector<std::string> views_used) {
+  CostScope scope(meter);
+  QueryResult result;
+  result.plan_explain = std::move(plan_explain);
+  result.views_used = std::move(views_used);
+  result.schema = exec->output_schema();
+
+  SQP_RETURN_IF_ERROR(exec->Init());
+  for (;;) {
+    auto row = exec->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    result.row_count++;
+    if (options.keep_rows) result.rows.push_back(std::move(**row));
+  }
+  result.seconds = scope.ElapsedSeconds();
+  result.blocks = scope.ElapsedBlocks();
+  return result;
+}
+}  // namespace
+
+Result<QueryResult> Database::Execute(const QueryGraph& query,
+                                      const ExecuteOptions& options) {
+  auto plan = planner_->Plan(query, &views_, options.view_mode);
+  if (!plan.ok()) return plan.status();
+  auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
+  if (!exec.ok()) return exec.status();
+  auto result = RunToResult(exec->get(), meter_, options, plan->Explain(),
+                            plan->views_used);
+  if (result.ok()) {
+    SQP_LOG_DEBUG << "Execute " << query.ToSql() << " -> "
+                  << result->row_count << " rows in " << result->seconds
+                  << "s";
+  }
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSql(const std::string& sql,
+                                         const ExecuteOptions& options) {
+  auto bound = ParseAndBindFull(sql, *catalog_);
+  if (!bound.ok()) return bound.status();
+  if (!bound->has_decorations()) return Execute(bound->graph, options);
+
+  auto plan = planner_->Plan(bound->graph, &views_, options.view_mode);
+  if (!plan.ok()) return plan.status();
+  auto built = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<Executor> exec = std::move(*built);
+
+  // Aggregation / grouping on top of the SPJ core.
+  if (!bound->aggregates.empty() || !bound->group_by.empty()) {
+    const Schema& in = exec->output_schema();
+    std::vector<size_t> group_idx;
+    for (const auto& name : bound->group_by) {
+      auto idx = in.ColumnIndex(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("GROUP BY column " + name);
+      }
+      group_idx.push_back(*idx);
+    }
+    std::vector<AggSpec> specs;
+    for (const auto& agg : bound->aggregates) {
+      AggSpec spec;
+      spec.func = agg.func;
+      spec.output_name = agg.output_name;
+      if (agg.star) {
+        spec.column_index = AggSpec::kStar;
+      } else {
+        auto idx = in.ColumnIndex(agg.column);
+        if (!idx.has_value()) {
+          return Status::NotFound("aggregate column " + agg.column);
+        }
+        spec.column_index = *idx;
+      }
+      specs.push_back(std::move(spec));
+    }
+    exec = std::make_unique<HashAggregateExecutor>(
+        std::move(exec), std::move(group_idx), std::move(specs), &meter_);
+  }
+
+  if (!bound->order_by.empty()) {
+    const Schema& in = exec->output_schema();
+    std::vector<SortKey> keys;
+    for (const auto& order : bound->order_by) {
+      auto idx = in.ColumnIndex(order.column);
+      if (!idx.has_value()) {
+        return Status::NotFound("ORDER BY column " + order.column);
+      }
+      keys.push_back(SortKey{*idx, order.descending});
+    }
+    exec = std::make_unique<SortExecutor>(std::move(exec), std::move(keys),
+                                          &meter_);
+  }
+
+  if (bound->limit.has_value()) {
+    exec = std::make_unique<LimitExecutor>(std::move(exec), *bound->limit);
+  }
+
+  return RunToResult(exec.get(), meter_, options, plan->Explain(),
+                     plan->views_used);
+}
+
+Result<double> Database::EstimateCost(const QueryGraph& query,
+                                      ViewMode mode) const {
+  return planner_->EstimateCost(query, &views_, mode);
+}
+
+Result<MaterializeResult> Database::Materialize(
+    const QueryGraph& query, const std::string& table_name,
+    bool register_view) {
+  // SELECT * semantics: the stored view keeps every column.
+  QueryGraph definition = query;
+  definition.SetProjections({});
+  auto plan = planner_->Plan(definition, &views_, ViewMode::kCostBased);
+  if (!plan.ok()) return plan.status();
+  auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
+  if (!exec.ok()) return exec.status();
+
+  CostScope scope(meter_);
+  auto table = MaterializeInto(catalog_.get(), pool_.get(), &meter_,
+                               exec->get(), table_name,
+                               /*is_materialized=*/true);
+  if (!table.ok()) return table.status();
+
+  if (register_view) {
+    views_.Register(ViewDefinition{table_name, definition});
+  }
+  MaterializeResult result;
+  result.table_name = table_name;
+  result.row_count = (*table)->stats.row_count();
+  result.seconds = scope.ElapsedSeconds();
+  SQP_LOG_DEBUG << "Materialize " << definition.ToSql() << " -> "
+                << table_name << " (" << result.row_count << " rows, "
+                << result.seconds << "s)";
+  return result;
+}
+
+void Database::RegisterView(const QueryGraph& definition,
+                            const std::string& table_name) {
+  QueryGraph def = definition;
+  def.SetProjections({});
+  views_.Register(ViewDefinition{table_name, std::move(def)});
+}
+
+void Database::ColdStart() { pool_->Reset(); }
+
+}  // namespace sqp

@@ -1,0 +1,130 @@
+// Database facade: the "DBMS" box of the paper's Figure 3.
+//
+// Owns storage, catalog, views, and planner; exposes DDL, bulk load,
+// query execution, and materialization. All operations charge simulated
+// time on the shared CostMeter; per-operation durations are reported in
+// the result structs. The speculation subsystem talks to the database
+// exclusively through this interface, mirroring the paper's middleware
+// architecture (speculator outside the server).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/cost_meter.h"
+#include "common/status.h"
+#include "optimizer/planner.h"
+#include "optimizer/query_graph.h"
+#include "optimizer/view_matcher.h"
+
+namespace sqp {
+
+struct DatabaseOptions {
+  /// Buffer pool frames (4096 × 8 KiB = 32 MiB, the paper's single-user
+  /// setting; the multi-user experiment uses 96 MiB = 12288).
+  size_t buffer_pool_pages = 4096;
+  CostConfig cost;
+};
+
+struct QueryResult {
+  uint64_t row_count = 0;
+  /// Simulated wall time of this execution.
+  double seconds = 0;
+  uint64_t blocks = 0;
+  std::string plan_explain;
+  std::vector<std::string> views_used;
+  /// Populated only when ExecuteOptions::keep_rows is set.
+  std::vector<Tuple> rows;
+  Schema schema;
+};
+
+struct ExecuteOptions {
+  bool keep_rows = false;
+  ViewMode view_mode = ViewMode::kCostBased;
+};
+
+struct MaterializeResult {
+  std::string table_name;
+  uint64_t row_count = 0;
+  double seconds = 0;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ------------------------------------------------------------- DDL
+  Status CreateTable(const std::string& name, const Schema& schema);
+
+  /// Append rows to a table, recompute its stats, flush to disk.
+  Status BulkLoad(const std::string& name, const std::vector<Tuple>& rows);
+
+  Status CreateIndex(const std::string& table, const std::string& column);
+  Status CreateHistogram(const std::string& table, const std::string& column);
+
+  /// Drop a table (and, if it is a materialized view, its registration).
+  Status DropTable(const std::string& name);
+
+  // ----------------------------------------------------------- Query
+  /// Plan and run `query`; returns timing plus (optionally) rows.
+  Result<QueryResult> Execute(const QueryGraph& query,
+                              const ExecuteOptions& options = {});
+
+  /// Parse, bind and run a SQL statement, including aggregate /
+  /// GROUP BY / ORDER BY / LIMIT decorations executed on top of the
+  /// (speculatively rewritable) SPJ core.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 const ExecuteOptions& options = {});
+
+  /// Optimizer cost estimate without executing.
+  Result<double> EstimateCost(const QueryGraph& query,
+                              ViewMode mode = ViewMode::kCostBased) const;
+
+  /// Materialize `query` into a stored table. With `register_view` the
+  /// result is immediately usable for rewriting; the speculation engine
+  /// passes false and registers on (simulated) completion, so in-flight
+  /// manipulations are invisible to concurrent queries. The
+  /// materialization itself may use existing views (the paper's
+  /// enumeration reuses completed materializations, §3.5).
+  Result<MaterializeResult> Materialize(const QueryGraph& query,
+                                        const std::string& table_name,
+                                        bool register_view = true);
+
+  /// Register a previously materialized (unregistered) result.
+  void RegisterView(const QueryGraph& definition,
+                    const std::string& table_name);
+
+  /// Empty the buffer pool: the next operation starts cold (§4.2).
+  void ColdStart();
+
+  // ------------------------------------------------------- Accessors
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  ViewRegistry& views() { return views_; }
+  const ViewRegistry& views() const { return views_; }
+  const Planner& planner() const { return *planner_; }
+  CostMeter& meter() { return meter_; }
+  const DatabaseOptions& options() const { return options_; }
+  BufferPool& buffer_pool() { return *pool_; }
+
+  /// Total simulated seconds of work this database has performed.
+  double TotalSimSeconds() const { return meter_.ElapsedSeconds(); }
+
+ private:
+  DatabaseOptions options_;
+  CostMeter meter_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  ViewRegistry views_;
+  std::unique_ptr<Planner> planner_;
+  uint64_t next_matview_id_ = 0;
+};
+
+}  // namespace sqp

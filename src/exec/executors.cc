@@ -1,0 +1,291 @@
+#include "exec/executors.h"
+
+#include <cassert>
+
+namespace sqp {
+
+// ---------------------------------------------------------------- SeqScan
+
+SeqScanExecutor::SeqScanExecutor(const TableInfo* table, BufferPool* pool,
+                                 CostMeter* meter,
+                                 std::vector<BoundSelection> predicates)
+    : table_(table),
+      pool_(pool),
+      meter_(meter),
+      predicates_(std::move(predicates)) {}
+
+Status SeqScanExecutor::Init() {
+  iter_.emplace(table_->heap->Scan());
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> SeqScanExecutor::Next() {
+  for (;;) {
+    auto row = iter_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) return std::optional<Tuple>();
+    meter_->ChargeTuples();
+    if (EvalConjunction(predicates_, **row)) return std::move(*row);
+  }
+}
+
+// -------------------------------------------------------------- IndexScan
+
+IndexScanExecutor::IndexScanExecutor(const TableInfo* table,
+                                     const BPlusTree* index, KeyRange range,
+                                     BufferPool* pool, CostMeter* meter,
+                                     std::vector<BoundSelection> residual)
+    : table_(table),
+      index_(index),
+      range_(std::move(range)),
+      pool_(pool),
+      meter_(meter),
+      residual_(std::move(residual)) {}
+
+Status IndexScanExecutor::Init() {
+  IndexScanStats stats;
+  rids_ = index_->RangeScan(range_, &stats);
+  // The memory-resident tree stands in for an on-disk B+-tree: charge
+  // one block per level descended plus one per leaf touched.
+  meter_->ChargeBlockRead(stats.height + stats.leaves_touched);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> IndexScanExecutor::Next() {
+  while (pos_ < rids_.size()) {
+    auto row = table_->heap->Fetch(rids_[pos_++]);
+    if (!row.ok()) return row.status();
+    meter_->ChargeTuples();
+    if (EvalConjunction(residual_, *row)) {
+      return std::optional<Tuple>(std::move(*row));
+    }
+  }
+  return std::optional<Tuple>();
+}
+
+// ----------------------------------------------------------------- Filter
+
+FilterExecutor::FilterExecutor(std::unique_ptr<Executor> child,
+                               std::vector<BoundSelection> predicates,
+                               CostMeter* meter)
+    : child_(std::move(child)),
+      predicates_(std::move(predicates)),
+      meter_(meter) {}
+
+Status FilterExecutor::Init() { return child_->Init(); }
+
+Result<std::optional<Tuple>> FilterExecutor::Next() {
+  for (;;) {
+    auto row = child_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) return std::optional<Tuple>();
+    meter_->ChargeTuples();
+    if (EvalConjunction(predicates_, **row)) return std::move(*row);
+  }
+}
+
+// ---------------------------------------------------------------- Project
+
+ProjectExecutor::ProjectExecutor(std::unique_ptr<Executor> child,
+                                 std::vector<size_t> column_indices,
+                                 CostMeter* meter)
+    : child_(std::move(child)),
+      indices_(std::move(column_indices)),
+      meter_(meter) {
+  std::vector<Column> cols;
+  cols.reserve(indices_.size());
+  for (size_t idx : indices_) {
+    cols.push_back(child_->output_schema().column(idx));
+  }
+  schema_ = Schema(std::move(cols));
+}
+
+Status ProjectExecutor::Init() { return child_->Init(); }
+
+Result<std::optional<Tuple>> ProjectExecutor::Next() {
+  auto row = child_->Next();
+  if (!row.ok()) return row.status();
+  if (!row->has_value()) return std::optional<Tuple>();
+  meter_->ChargeTuples();
+  Tuple out;
+  out.reserve(indices_.size());
+  for (size_t idx : indices_) out.push_back(std::move((**row)[idx]));
+  return std::optional<Tuple>(std::move(out));
+}
+
+// --------------------------------------------------------------- HashJoin
+
+HashJoinExecutor::HashJoinExecutor(std::unique_ptr<Executor> build,
+                                   std::unique_ptr<Executor> probe,
+                                   size_t build_key, size_t probe_key,
+                                   CostMeter* meter)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_key_(build_key),
+      probe_key_(probe_key),
+      meter_(meter) {
+  schema_ = build_->output_schema().Concat(probe_->output_schema());
+}
+
+Status HashJoinExecutor::Init() {
+  SQP_RETURN_IF_ERROR(build_->Init());
+  SQP_RETURN_IF_ERROR(probe_->Init());
+  size_t build_bytes = 0;
+  for (;;) {
+    auto row = build_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    meter_->ChargeTuples();
+    build_bytes += SerializedTupleSize(**row);
+    size_t h = (**row)[build_key_].Hash();
+    table_[h].push_back(std::move(**row));
+  }
+  // Grace spill: build side over budget means both inputs take an extra
+  // partition-write + re-read pass. The build side is charged here; the
+  // probe side is charged page by page as it streams (in Next).
+  spilled_ = build_bytes >
+             meter_->config().hash_join_memory_pages * kPageSize;
+  if (spilled_) {
+    uint64_t build_pages =
+        static_cast<uint64_t>(build_bytes / kPageSize) + 1;
+    meter_->ChargeBlockWrite(build_pages);
+    meter_->ChargeBlockRead(build_pages);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> HashJoinExecutor::Next() {
+  for (;;) {
+    // Emit pending matches for the current probe tuple.
+    if (probe_tuple_.has_value() && matches_ != nullptr) {
+      while (match_pos_ < matches_->size()) {
+        const Tuple& build_row = (*matches_)[match_pos_++];
+        if (build_row[build_key_].Compare((*probe_tuple_)[probe_key_]) != 0) {
+          continue;  // hash collision
+        }
+        meter_->ChargeTuples();
+        Tuple out = build_row;
+        out.insert(out.end(), probe_tuple_->begin(), probe_tuple_->end());
+        return std::optional<Tuple>(std::move(out));
+      }
+    }
+    auto row = probe_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) return std::optional<Tuple>();
+    meter_->ChargeTuples();
+    if (spilled_) {
+      probe_spill_bytes_ += SerializedTupleSize(**row);
+      while (probe_spill_bytes_ >= kPageSize) {
+        meter_->ChargeBlockWrite();
+        meter_->ChargeBlockRead();
+        probe_spill_bytes_ -= kPageSize;
+      }
+    }
+    probe_tuple_ = std::move(*row);
+    auto it = table_.find((*probe_tuple_)[probe_key_].Hash());
+    matches_ = it == table_.end() ? nullptr : &it->second;
+    match_pos_ = 0;
+  }
+}
+
+// --------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinExecutor::NestedLoopJoinExecutor(
+    std::unique_ptr<Executor> outer, std::unique_ptr<Executor> inner,
+    std::vector<JoinCondition> conditions, CostMeter* meter)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      conditions_(std::move(conditions)),
+      meter_(meter) {
+  schema_ = outer_->output_schema().Concat(inner_->output_schema());
+}
+
+Status NestedLoopJoinExecutor::Init() {
+  SQP_RETURN_IF_ERROR(outer_->Init());
+  SQP_RETURN_IF_ERROR(inner_->Init());
+  for (;;) {
+    auto row = inner_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    meter_->ChargeTuples();
+    inner_rows_.push_back(std::move(**row));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> NestedLoopJoinExecutor::Next() {
+  for (;;) {
+    if (!outer_tuple_.has_value()) {
+      auto row = outer_->Next();
+      if (!row.ok()) return row.status();
+      if (!row->has_value()) return std::optional<Tuple>();
+      meter_->ChargeTuples();
+      outer_tuple_ = std::move(*row);
+      inner_pos_ = 0;
+    }
+    while (inner_pos_ < inner_rows_.size()) {
+      const Tuple& inner_row = inner_rows_[inner_pos_++];
+      meter_->ChargeTuples();
+      bool match = true;
+      for (const auto& c : conditions_) {
+        int cmp = (*outer_tuple_)[c.left_index].Compare(
+            inner_row[c.right_index - outer_tuple_->size()]);
+        if (!EvalCompare(cmp, c.op)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        Tuple out = *outer_tuple_;
+        out.insert(out.end(), inner_row.begin(), inner_row.end());
+        return std::optional<Tuple>(std::move(out));
+      }
+    }
+    outer_tuple_.reset();
+  }
+}
+
+// ----------------------------------------------------------- ColumnFilter
+
+ColumnFilterExecutor::ColumnFilterExecutor(std::unique_ptr<Executor> child,
+                                           std::vector<Condition> conditions,
+                                           CostMeter* meter)
+    : child_(std::move(child)),
+      conditions_(std::move(conditions)),
+      meter_(meter) {}
+
+Status ColumnFilterExecutor::Init() { return child_->Init(); }
+
+Result<std::optional<Tuple>> ColumnFilterExecutor::Next() {
+  for (;;) {
+    auto row = child_->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) return std::optional<Tuple>();
+    meter_->ChargeTuples();
+    bool pass = true;
+    for (const auto& c : conditions_) {
+      int cmp = (**row)[c.left_index].Compare((**row)[c.right_index]);
+      if (!EvalCompare(cmp, c.op)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return std::move(*row);
+  }
+}
+
+// ------------------------------------------------------------------ Drain
+
+Result<std::vector<Tuple>> DrainExecutor(Executor* exec) {
+  SQP_RETURN_IF_ERROR(exec->Init());
+  std::vector<Tuple> out;
+  for (;;) {
+    auto row = exec->Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) return out;
+    out.push_back(std::move(**row));
+  }
+}
+
+}  // namespace sqp

@@ -1,0 +1,210 @@
+// Volcano-style executors.
+//
+// Every executor charges CPU work per tuple it processes through the
+// shared CostMeter; page traffic charges I/O inside the buffer pool.
+// Together these produce the simulated execution times the experiments
+// bucket queries by.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/cost_meter.h"
+#include "common/status.h"
+#include "exec/expression.h"
+#include "index/bplus_tree.h"
+
+namespace sqp {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Prepare for iteration. Must be called exactly once before Next().
+  virtual Status Init() = 0;
+
+  /// Produce the next tuple, or nullopt at end of stream.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+};
+
+/// Full scan of a heap file, with optional pushed-down predicates.
+class SeqScanExecutor : public Executor {
+ public:
+  SeqScanExecutor(const TableInfo* table, BufferPool* pool, CostMeter* meter,
+                  std::vector<BoundSelection> predicates = {});
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override { return table_->schema; }
+
+ private:
+  const TableInfo* table_;
+  BufferPool* pool_;
+  CostMeter* meter_;
+  std::vector<BoundSelection> predicates_;
+  std::optional<HeapFile::Iterator> iter_;
+};
+
+/// Index range scan + heap fetches, with residual predicates.
+/// Charges the B+-tree's height + leaf touches as simulated I/O (the
+/// tree is memory-resident; see index/bplus_tree.h).
+class IndexScanExecutor : public Executor {
+ public:
+  IndexScanExecutor(const TableInfo* table, const BPlusTree* index,
+                    KeyRange range, BufferPool* pool, CostMeter* meter,
+                    std::vector<BoundSelection> residual = {});
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override { return table_->schema; }
+
+ private:
+  const TableInfo* table_;
+  const BPlusTree* index_;
+  KeyRange range_;
+  BufferPool* pool_;
+  CostMeter* meter_;
+  std::vector<BoundSelection> residual_;
+  std::vector<Rid> rids_;
+  size_t pos_ = 0;
+};
+
+/// Filter on top of any child.
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(std::unique_ptr<Executor> child,
+                 std::vector<BoundSelection> predicates, CostMeter* meter);
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<BoundSelection> predicates_;
+  CostMeter* meter_;
+};
+
+/// Column projection.
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(std::unique_ptr<Executor> child,
+                  std::vector<size_t> column_indices, CostMeter* meter);
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<size_t> indices_;
+  CostMeter* meter_;
+  Schema schema_;
+};
+
+/// Hash equijoin; builds on the left child, probes with the right.
+/// Output schema = left ++ right.
+///
+/// Memory-bounded (Grace) behaviour: when the build side outgrows the
+/// configured hash_join_memory_pages, the join charges one extra
+/// write+read pass over both inputs (the partitioning spill), as a
+/// 2003-era system with a small hash area would.
+class HashJoinExecutor : public Executor {
+ public:
+  HashJoinExecutor(std::unique_ptr<Executor> build,
+                   std::unique_ptr<Executor> probe, size_t build_key,
+                   size_t probe_key, CostMeter* meter);
+
+  bool spilled() const { return spilled_; }
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> build_;
+  std::unique_ptr<Executor> probe_;
+  size_t build_key_;
+  size_t probe_key_;
+  CostMeter* meter_;
+  Schema schema_;
+
+  std::unordered_map<size_t, std::vector<Tuple>> table_;  // hash -> rows
+  std::optional<Tuple> probe_tuple_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool spilled_ = false;
+  size_t probe_spill_bytes_ = 0;
+};
+
+/// Nested-loop join for arbitrary (or absent) join predicates; the inner
+/// child is materialized in memory once. Used for cross products and
+/// non-equijoin conditions.
+class NestedLoopJoinExecutor : public Executor {
+ public:
+  /// `condition` may be empty (cross product). Column indices refer to
+  /// the concatenated output schema.
+  struct JoinCondition {
+    size_t left_index;
+    size_t right_index;
+    CompareOp op = CompareOp::kEq;
+  };
+
+  NestedLoopJoinExecutor(std::unique_ptr<Executor> outer,
+                         std::unique_ptr<Executor> inner,
+                         std::vector<JoinCondition> conditions,
+                         CostMeter* meter);
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> outer_;
+  std::unique_ptr<Executor> inner_;
+  std::vector<JoinCondition> conditions_;
+  CostMeter* meter_;
+  Schema schema_;
+
+  std::vector<Tuple> inner_rows_;
+  std::optional<Tuple> outer_tuple_;
+  size_t inner_pos_ = 0;
+};
+
+/// Filter on column-column conditions within one tuple (used for the
+/// residual edges of multi-edge join connections, e.g. the composite
+/// lineitem–partsupp join).
+class ColumnFilterExecutor : public Executor {
+ public:
+  struct Condition {
+    size_t left_index;
+    size_t right_index;
+    CompareOp op = CompareOp::kEq;
+  };
+
+  ColumnFilterExecutor(std::unique_ptr<Executor> child,
+                       std::vector<Condition> conditions, CostMeter* meter);
+
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<Condition> conditions_;
+  CostMeter* meter_;
+};
+
+/// Drain an executor into a vector (test/example convenience).
+Result<std::vector<Tuple>> DrainExecutor(Executor* exec);
+
+}  // namespace sqp

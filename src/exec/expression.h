@@ -1,0 +1,42 @@
+// Bound predicate expressions evaluated against tuples.
+//
+// The engine's queries are conjunctive, so an expression is simply a
+// conjunction of bound comparisons (column index vs constant). Join
+// conditions are bound column-column equalities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/compare_op.h"
+#include "common/status.h"
+#include "optimizer/query_graph.h"
+#include "storage/tuple.h"
+
+namespace sqp {
+
+/// `tuple[column_index] op constant`.
+struct BoundSelection {
+  size_t column_index = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+
+  bool Eval(const Tuple& tuple) const {
+    return EvalCompare(tuple[column_index].Compare(constant), op);
+  }
+};
+
+/// Conjunction; empty list is TRUE.
+bool EvalConjunction(const std::vector<BoundSelection>& preds,
+                     const Tuple& tuple);
+
+/// Bind `pred` against `schema` (resolving its column name to an index).
+Result<BoundSelection> BindSelection(const SelectionPred& pred,
+                                     const Schema& schema);
+
+/// Bind a list of predicates against one schema.
+Result<std::vector<BoundSelection>> BindSelections(
+    const std::vector<SelectionPred>& preds, const Schema& schema);
+
+}  // namespace sqp

@@ -1,0 +1,47 @@
+#include "exec/materializer.h"
+
+namespace sqp {
+
+Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
+                                   CostMeter* meter, Executor* source,
+                                   const std::string& table_name,
+                                   bool is_materialized) {
+  (void)meter;  // write I/O charges through the buffer pool flush below
+  auto table = catalog->CreateTable(table_name, source->output_schema(),
+                                    is_materialized);
+  if (!table.ok()) return table.status();
+  TableInfo* info = *table;
+
+  Status init = source->Init();
+  if (!init.ok()) {
+    (void)catalog->DropTable(table_name);
+    return init;
+  }
+
+  TableStats stats;
+  stats.Begin(info->schema);
+  for (;;) {
+    auto row = source->Next();
+    if (!row.ok()) {
+      (void)catalog->DropTable(table_name);
+      return row.status();
+    }
+    if (!row->has_value()) break;
+    stats.Observe(**row);
+    auto rid = info->heap->Append(**row);
+    if (!rid.ok()) {
+      (void)catalog->DropTable(table_name);
+      return rid.status();
+    }
+  }
+  stats.Finish(info->heap->page_count());
+  info->stats = std::move(stats);
+
+  // Persist the result: every page of the new table goes to disk.
+  for (page_id_t page_id : info->heap->pages()) {
+    pool->FlushPage(page_id);
+  }
+  return info;
+}
+
+}  // namespace sqp

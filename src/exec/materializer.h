@@ -1,0 +1,24 @@
+// Materialization: drain an executor into a new stored table.
+//
+// This is the physical action behind the paper's query-materialization /
+// query-rewriting manipulations and behind CREATE TABLE AS. The new
+// table's pages are flushed at the end, charging the write I/O that makes
+// large materializations expensive (and hence risky to speculate on).
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/cost_meter.h"
+#include "exec/executors.h"
+
+namespace sqp {
+
+/// Create `table_name` with the executor's output schema and fill it.
+/// Computes stats inline and flushes the result to "disk".
+Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
+                                   CostMeter* meter, Executor* source,
+                                   const std::string& table_name,
+                                   bool is_materialized = true);
+
+}  // namespace sqp

@@ -1,0 +1,141 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sqp {
+
+double Improvement(const std::vector<QueryRecord>& normal,
+                   const std::vector<QueryRecord>& speculative) {
+  assert(normal.size() == speculative.size());
+  double sum_normal = 0, sum_spec = 0;
+  for (size_t i = 0; i < normal.size(); i++) {
+    sum_normal += normal[i].seconds;
+    sum_spec += speculative[i].seconds;
+  }
+  if (sum_normal <= 0) return 0;
+  return 1.0 - sum_spec / sum_normal;
+}
+
+double ImprovementInRange(const std::vector<QueryRecord>& normal,
+                          const std::vector<QueryRecord>& speculative,
+                          double lo, double hi) {
+  assert(normal.size() == speculative.size());
+  double sum_normal = 0, sum_spec = 0;
+  for (size_t i = 0; i < normal.size(); i++) {
+    if (normal[i].seconds < lo || normal[i].seconds >= hi) continue;
+    sum_normal += normal[i].seconds;
+    sum_spec += speculative[i].seconds;
+  }
+  if (sum_normal <= 0) return 0;
+  return 1.0 - sum_spec / sum_normal;
+}
+
+std::vector<Bucket> BucketImprovements(
+    const std::vector<QueryRecord>& normal,
+    const std::vector<QueryRecord>& speculative, const BucketOptions& opts) {
+  assert(normal.size() == speculative.size());
+  assert(opts.width > 0);
+  size_t num_buckets = static_cast<size_t>(
+      std::ceil(std::max(0.0, opts.hi - opts.lo) / opts.width));
+  std::vector<Bucket> buckets(num_buckets);
+  std::vector<double> sum_normal(num_buckets, 0), sum_spec(num_buckets, 0);
+
+  for (size_t b = 0; b < num_buckets; b++) {
+    buckets[b].lo = opts.lo + b * opts.width;
+    buckets[b].hi = buckets[b].lo + opts.width;
+    buckets[b].max_improvement = -1e9;
+    buckets[b].min_improvement = 1e9;
+  }
+
+  for (size_t i = 0; i < normal.size(); i++) {
+    double t = normal[i].seconds;
+    if (t < opts.lo || t >= opts.hi) continue;
+    size_t b = static_cast<size_t>((t - opts.lo) / opts.width);
+    if (b >= num_buckets) continue;
+    Bucket& bucket = buckets[b];
+    bucket.count++;
+    sum_normal[b] += t;
+    sum_spec[b] += speculative[i].seconds;
+    if (t > 0) {
+      double per_query = 1.0 - speculative[i].seconds / t;
+      bucket.max_improvement = std::max(bucket.max_improvement, per_query);
+      bucket.min_improvement = std::min(bucket.min_improvement, per_query);
+    }
+  }
+
+  std::vector<Bucket> out;
+  for (size_t b = 0; b < num_buckets; b++) {
+    Bucket& bucket = buckets[b];
+    if (bucket.count < opts.min_count) continue;
+    bucket.improvement =
+        sum_normal[b] > 0 ? 1.0 - sum_spec[b] / sum_normal[b] : 0;
+    bucket.avg_normal_seconds =
+        bucket.count > 0 ? sum_normal[b] / bucket.count : 0;
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+BucketOptions AutoBuckets(const std::vector<QueryRecord>& normal,
+                          size_t target_buckets, size_t min_count) {
+  BucketOptions opts;
+  opts.min_count = min_count;
+  if (normal.empty()) {
+    opts.hi = 1;
+    return opts;
+  }
+  std::vector<double> times;
+  times.reserve(normal.size());
+  for (const auto& q : normal) times.push_back(q.seconds);
+  std::sort(times.begin(), times.end());
+  auto pct = [&](double p) {
+    size_t idx = static_cast<size_t>(p * (times.size() - 1));
+    return times[idx];
+  };
+  opts.lo = pct(0.05);
+  opts.hi = pct(0.90);
+  if (opts.hi <= opts.lo) opts.hi = opts.lo + 1;
+  double raw_width = (opts.hi - opts.lo) / std::max<size_t>(1, target_buckets);
+  // Snap to a friendly width.
+  double mag = std::pow(10.0, std::floor(std::log10(raw_width)));
+  double width = mag;
+  for (double mult : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (mag * mult >= raw_width) {
+      width = mag * mult;
+      break;
+    }
+  }
+  opts.width = width;
+  opts.lo = std::floor(opts.lo / width) * width;
+  opts.hi = std::ceil(opts.hi / width) * width;
+  return opts;
+}
+
+std::string FormatBuckets(const std::vector<Bucket>& buckets,
+                          bool include_extremes) {
+  std::ostringstream os;
+  char line[160];
+  if (include_extremes) {
+    os << "  bucket(s)        n   improvement%   max%    min%\n";
+  } else {
+    os << "  bucket(s)        n   improvement%\n";
+  }
+  for (const auto& b : buckets) {
+    if (include_extremes) {
+      std::snprintf(line, sizeof(line),
+                    "  [%6.2f,%6.2f) %4zu   %8.1f   %7.1f %7.1f\n", b.lo,
+                    b.hi, b.count, 100 * b.improvement,
+                    100 * b.max_improvement, 100 * b.min_improvement);
+    } else {
+      std::snprintf(line, sizeof(line), "  [%6.2f,%6.2f) %4zu   %8.1f\n",
+                    b.lo, b.hi, b.count, 100 * b.improvement);
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace sqp

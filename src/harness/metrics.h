@@ -1,0 +1,75 @@
+// Experiment metrics (paper §4.1 / §6).
+//
+// The paper's metric: improvement = 1 − Σ time_spec / Σ time_normal over
+// a query set of interest, presented as bar charts of improvement per
+// execution-time bucket (bucketed by the query's time under *normal*
+// processing, each bucket holding ≥5 queries for robustness).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+
+/// One executed query in a replay.
+struct QueryRecord {
+  size_t index = 0;  // position within the trace
+  uint64_t user_id = 0;
+  QueryGraph query;
+  double seconds = 0;  // measured (simulated) execution time
+  uint64_t row_count = 0;
+  std::vector<std::string> views_used;
+  double go_sim_time = 0;
+  /// Physical plan rendering (for diagnostics).
+  std::string plan_explain;
+};
+
+/// Paper metric over matched query sets.
+double Improvement(const std::vector<QueryRecord>& normal,
+                   const std::vector<QueryRecord>& speculative);
+
+/// Paper metric restricted to queries whose *normal* time falls in
+/// [lo, hi) — the paper computes its headline averages over the
+/// presented time interval only ("these intervals contain the majority
+/// of queries and are used for the entire presentation", §6).
+double ImprovementInRange(const std::vector<QueryRecord>& normal,
+                          const std::vector<QueryRecord>& speculative,
+                          double lo, double hi);
+
+struct Bucket {
+  double lo = 0, hi = 0;  // normal-execution-time range [lo, hi)
+  size_t count = 0;
+  double improvement = 0;      // 1 - sum(spec)/sum(normal)
+  double max_improvement = 0;  // best per-query improvement
+  double min_improvement = 0;  // worst per-query (max penalty, negative)
+  double avg_normal_seconds = 0;
+};
+
+struct BucketOptions {
+  /// Bucket edges [lo, lo+width, ...]; queries outside [lo, hi) are
+  /// dropped (the paper's "initial time ranges that include the great
+  /// majority of queries").
+  double lo = 0;
+  double hi = 0;
+  double width = 1;
+  /// Buckets with fewer queries are suppressed (paper: ≥5).
+  size_t min_count = 5;
+};
+
+/// Bucket matched (normal, speculative) pairs by normal time.
+std::vector<Bucket> BucketImprovements(
+    const std::vector<QueryRecord>& normal,
+    const std::vector<QueryRecord>& speculative, const BucketOptions& opts);
+
+/// Pick a bucket range covering the bulk of the distribution:
+/// [~p5, ~p90] of normal times split into `target_buckets` buckets.
+BucketOptions AutoBuckets(const std::vector<QueryRecord>& normal,
+                          size_t target_buckets = 10, size_t min_count = 5);
+
+/// Render buckets as an aligned text table (one row per bucket).
+std::string FormatBuckets(const std::vector<Bucket>& buckets,
+                          bool include_extremes);
+
+}  // namespace sqp

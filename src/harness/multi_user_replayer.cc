@@ -1,0 +1,135 @@
+#include "harness/multi_user_replayer.h"
+
+#include <cassert>
+#include <limits>
+
+namespace sqp {
+
+std::vector<QueryRecord> MultiUserReplayResult::Flatten() const {
+  std::vector<QueryRecord> out;
+  for (const auto& user : per_user) {
+    out.insert(out.end(), user.begin(), user.end());
+  }
+  return out;
+}
+
+Result<MultiUserReplayResult> MultiUserReplayer::Replay(
+    const std::vector<Trace>& traces) {
+  if (options_.cold_start) db_->ColdStart();
+
+  SimServer server;
+  const size_t n = traces.size();
+
+  struct UserState {
+    std::unique_ptr<SpeculationEngine> engine;
+    size_t next_event = 0;
+    double exec_offset = 0;  // accumulated query delays
+    bool waiting = false;    // query in flight
+    SimServer::JobId job = 0;
+    double go_time = 0;
+    QueryRecord pending;
+    size_t query_index = 0;
+  };
+  std::vector<UserState> users(n);
+  for (size_t u = 0; u < n; u++) {
+    SpeculationEngineOptions opts = options_.engine;
+    opts.enabled = options_.speculation;
+    opts.table_prefix = "spec_u" + std::to_string(u) + "_mv_";
+    // See the assert below: waiting at GO would break event ordering.
+    opts.go_policy = GoPolicy::kCancelIncomplete;
+    users[u].engine =
+        std::make_unique<SpeculationEngine>(db_, &server, std::move(opts));
+  }
+
+  MultiUserReplayResult result;
+  result.per_user.resize(n);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (;;) {
+    // Earliest pending user event among non-waiting users.
+    double t_event = kInf;
+    size_t who = n;
+    for (size_t u = 0; u < n; u++) {
+      UserState& user = users[u];
+      if (user.waiting || user.next_event >= traces[u].events.size()) {
+        continue;
+      }
+      double t =
+          traces[u].events[user.next_event].timestamp + user.exec_offset;
+      if (t < t_event) {
+        t_event = t;
+        who = u;
+      }
+    }
+    double t_completion = server.NextCompletionTime();
+    bool any_waiting = false;
+    for (const auto& user : users) any_waiting |= user.waiting;
+
+    if (t_event == kInf && !any_waiting) break;  // all sessions done
+
+    if (t_completion <= t_event) {
+      // A job finishes first: advance and settle completed queries.
+      assert(t_completion < kInf);
+      server.AdvanceTo(t_completion);
+      for (size_t u = 0; u < n; u++) {
+        UserState& user = users[u];
+        if (!user.waiting || !server.IsComplete(user.job)) continue;
+        double done = server.CompletionTime(user.job);
+        double duration = done - user.go_time;
+        user.exec_offset += duration;
+        user.pending.seconds = duration;
+        result.per_user[u].push_back(std::move(user.pending));
+        user.waiting = false;
+        SQP_RETURN_IF_ERROR(user.engine->OnQueryResult(done));
+      }
+      continue;
+    }
+
+    // Process the next user event.
+    assert(who < n);
+    UserState& user = users[who];
+    const TraceEvent& event = traces[who].events[user.next_event++];
+    double sim_time = event.timestamp + user.exec_offset;
+    server.AdvanceTo(sim_time);
+
+    if (event.type != TraceEventType::kGo) {
+      SQP_RETURN_IF_ERROR(user.engine->OnUserEvent(event, sim_time));
+      continue;
+    }
+
+    QueryGraph final_query = user.engine->partial();
+    auto submit_time = user.engine->OnGo(sim_time);
+    if (!submit_time.ok()) return submit_time.status();
+    // The §7 wait policy is a single-user feature: honouring it here
+    // would advance the shared clock past other users' pending events.
+    assert(*submit_time <= sim_time + 1e-9 &&
+           "kWaitIfWorthwhile is not supported in multi-user replays");
+
+    ExecuteOptions exec;
+    exec.view_mode = options_.speculation ? user.engine->final_view_mode()
+                                          : options_.normal_view_mode;
+    auto query_result = db_->Execute(final_query, exec);
+    if (!query_result.ok()) return query_result.status();
+
+    user.job = server.Submit(query_result->seconds);
+    user.go_time = sim_time;
+    user.waiting = true;
+    user.pending = QueryRecord{};
+    user.pending.index = user.query_index++;
+    user.pending.user_id = traces[who].user_id;
+    user.pending.query = std::move(final_query);
+    user.pending.row_count = query_result->row_count;
+    user.pending.views_used = query_result->views_used;
+    user.pending.go_sim_time = sim_time;
+    user.pending.plan_explain = query_result->plan_explain;
+  }
+
+  for (size_t u = 0; u < n; u++) {
+    SQP_RETURN_IF_ERROR(users[u].engine->Shutdown());
+    result.engine_stats.push_back(users[u].engine->stats());
+  }
+  result.session_end_time = server.now();
+  return result;
+}
+
+}  // namespace sqp

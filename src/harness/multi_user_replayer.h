@@ -1,0 +1,51 @@
+// Multi-user replayer (paper §6.3): several traces replayed
+// simultaneously against one database and one processor-sharing server,
+// so queries and speculative manipulations of different users slow each
+// other down. Each user gets an independent speculation engine (the
+// paper's cost model deliberately ignores other users).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "harness/metrics.h"
+#include "sim/sim_server.h"
+#include "speculation/engine.h"
+#include "trace/trace.h"
+
+namespace sqp {
+
+struct MultiUserReplayOptions {
+  bool speculation = true;
+  /// Per-user engines clone these options (with distinct table
+  /// prefixes). The paper's multi-user runs restrict the manipulation
+  /// space to selection materializations only.
+  SpeculationEngineOptions engine;
+  ViewMode normal_view_mode = ViewMode::kCostBased;
+  bool cold_start = true;
+};
+
+struct MultiUserReplayResult {
+  /// Per-user query records, index-aligned with the input traces.
+  std::vector<std::vector<QueryRecord>> per_user;
+  std::vector<EngineStats> engine_stats;
+  double session_end_time = 0;
+
+  /// All query records flattened (order: user-major).
+  std::vector<QueryRecord> Flatten() const;
+};
+
+class MultiUserReplayer {
+ public:
+  MultiUserReplayer(Database* db, MultiUserReplayOptions options)
+      : db_(db), options_(std::move(options)) {}
+
+  Result<MultiUserReplayResult> Replay(const std::vector<Trace>& traces);
+
+ private:
+  Database* db_;
+  MultiUserReplayOptions options_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,80 @@
+#include "harness/replayer.h"
+
+namespace sqp {
+
+Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
+  if (options_.cold_start) db_->ColdStart();
+
+  SimServer server;
+  SpeculationEngineOptions engine_options = options_.engine;
+  engine_options.enabled = options_.speculation;
+  SpeculationEngine engine(db_, &server, engine_options);
+  // Normal replays still need the partial query tracked (for parity of
+  // bookkeeping) but issue no manipulations.
+  if (options_.speculation && options_.pretrain_traces != nullptr) {
+    engine.PretrainLearner(*options_.pretrain_traces);
+  }
+
+  ReplayResult result;
+  double exec_offset = 0;  // accumulated query execution delays
+  size_t query_index = 0;
+
+  for (const auto& event : trace.events) {
+    double sim_time = event.timestamp + exec_offset;
+    server.AdvanceTo(sim_time);
+
+    if (event.type != TraceEventType::kGo) {
+      SQP_RETURN_IF_ERROR(engine.OnUserEvent(event, sim_time));
+      continue;
+    }
+
+    // GO: finish speculation bookkeeping first. Under the paper's
+    // convention this cancels any incomplete manipulation; under the §7
+    // wait policy it may tell us to delay the query until a
+    // near-complete materialization lands.
+    QueryGraph final_query = engine.partial();
+    auto submit_time = engine.OnGo(sim_time);
+    if (!submit_time.ok()) return submit_time.status();
+    if (*submit_time > sim_time) {
+      server.AdvanceTo(*submit_time);
+      SQP_RETURN_IF_ERROR(engine.ResolveWait(*submit_time));
+    }
+
+    ExecuteOptions exec;
+    exec.view_mode =
+        options_.speculation ? engine.final_view_mode() : options_.normal_view_mode;
+    auto query_result = db_->Execute(final_query, exec);
+    if (!query_result.ok()) return query_result.status();
+
+    // The query runs alone on the server (manipulations were cancelled),
+    // but route it through the simulator for uniformity with the
+    // multi-user replayer.
+    SimServer::JobId job = server.Submit(query_result->seconds);
+    double done = server.RunUntilComplete(job);
+    // User-perceived response time: any §7 wait is part of it.
+    double duration = done - sim_time;
+    exec_offset += duration;
+    // Results are on screen; speculation may use the examination pause.
+    SQP_RETURN_IF_ERROR(engine.OnQueryResult(done));
+
+    QueryRecord record;
+    record.index = query_index++;
+    record.user_id = trace.user_id;
+    record.query = std::move(final_query);
+    record.seconds = duration;
+    record.row_count = query_result->row_count;
+    record.views_used = query_result->views_used;
+    record.go_sim_time = sim_time;
+    record.plan_explain = query_result->plan_explain;
+    result.total_exec_seconds += duration;
+    result.queries.push_back(std::move(record));
+  }
+
+  // Leave the database as we found it.
+  SQP_RETURN_IF_ERROR(engine.Shutdown());
+  result.engine_stats = engine.stats();
+  result.session_end_time = server.now();
+  return result;
+}
+
+}  // namespace sqp

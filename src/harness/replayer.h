@@ -1,0 +1,56 @@
+// Single-user trace replayer (paper §4.1).
+//
+// Each trace is replayed twice — once under normal processing, once
+// under speculative processing — against the same loaded database, with
+// a cold buffer pool at the start of each replay. Event timestamps in
+// the trace are think-time offsets; the replayer maps them onto the
+// simulated clock by inserting each query's execution delay after its
+// GO, so speculation gets exactly the think time the user exhibited.
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+#include "harness/metrics.h"
+#include "sim/sim_server.h"
+#include "speculation/engine.h"
+#include "trace/trace.h"
+
+namespace sqp {
+
+struct ReplayOptions {
+  bool speculation = true;
+  SpeculationEngineOptions engine;
+  /// View mode for query execution under *normal* processing (kCostBased
+  /// lets normal runs exploit pre-materialized views — Figure 6's
+  /// "Views" configuration; with an empty registry it is a no-op).
+  ViewMode normal_view_mode = ViewMode::kCostBased;
+  /// Reset the buffer pool before the replay (paper methodology).
+  bool cold_start = true;
+  /// Historical traces to pretrain the Learner on before the replay
+  /// (the paper's Learner "observes users over time"; experiments
+  /// pretrain on the other users' sessions, leave-one-out).
+  const std::vector<Trace>* pretrain_traces = nullptr;
+};
+
+struct ReplayResult {
+  std::vector<QueryRecord> queries;
+  EngineStats engine_stats;  // zero-valued for normal replays
+  double total_exec_seconds = 0;
+  double session_end_time = 0;
+};
+
+class TraceReplayer {
+ public:
+  TraceReplayer(Database* db, ReplayOptions options)
+      : db_(db), options_(std::move(options)) {}
+
+  /// Replay one trace; leaves no speculative views behind.
+  Result<ReplayResult> Replay(const Trace& trace);
+
+ private:
+  Database* db_;
+  ReplayOptions options_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,82 @@
+// In-memory B+-tree keyed by Value with Rid payloads (duplicates allowed).
+//
+// Nodes are memory-resident; the executor converts a scan's leaf-node
+// touches and tree height into simulated I/O (see IndexScanExecutor).
+// This approximates an on-disk index without a second on-disk format.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/page.h"
+
+namespace sqp {
+
+/// Inclusive/exclusive endpoints of a one-dimensional key range.
+/// Unset endpoints mean unbounded.
+struct KeyRange {
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  bool Contains(const Value& v) const;
+
+  static KeyRange All() { return KeyRange{}; }
+  static KeyRange Exactly(Value v) {
+    return KeyRange{v, true, std::move(v), true};
+  }
+};
+
+/// Result of a range scan, including the physical touch counts the cost
+/// model needs.
+struct IndexScanStats {
+  size_t leaves_touched = 0;
+  size_t height = 0;
+};
+
+class BPlusTree {
+ public:
+  explicit BPlusTree(size_t fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  void Insert(const Value& key, const Rid& rid);
+
+  /// Collect rids whose key falls in `range`, in key order.
+  /// `stats` (optional) receives physical touch counts.
+  std::vector<Rid> RangeScan(const KeyRange& range,
+                             IndexScanStats* stats = nullptr) const;
+
+  /// Estimate leaf pages touched by a scan returning `matches` entries,
+  /// without running it.
+  size_t EstimateLeavesTouched(size_t matches) const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  size_t leaf_count() const { return leaf_count_; }
+  size_t fanout() const { return fanout_; }
+
+  /// Validate B+-tree structural invariants (ordering, fill, linkage);
+  /// used by property tests. Returns false and stops at first violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertRec(Node* node, const Value& key, const Rid& rid);
+  const Node* FindLeaf(const Value& key) const;
+
+  size_t fanout_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  size_t leaf_count_ = 1;
+};
+
+}  // namespace sqp

@@ -1,0 +1,126 @@
+#include "optimizer/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/selectivity.h"
+
+namespace sqp {
+
+double CardinalityEstimator::TableRows(const std::string& table) const {
+  const TableInfo* info = catalog_->GetTable(table);
+  return info == nullptr ? 0.0 : static_cast<double>(info->stats.row_count());
+}
+
+double CardinalityEstimator::TablePages(const std::string& table) const {
+  const TableInfo* info = catalog_->GetTable(table);
+  return info == nullptr ? 0.0
+                         : static_cast<double>(info->stats.page_count());
+}
+
+double CardinalityEstimator::SelectionSelectivity(
+    const std::string& table, const SelectionPred& pred) const {
+  const TableInfo* info = catalog_->GetTable(table);
+  if (info == nullptr) return 1.0;
+  auto col_idx = info->schema.ColumnIndex(pred.column);
+  if (!col_idx.has_value()) return 1.0;
+  const Histogram* hist = catalog_->GetHistogram(table, pred.column);
+  if (hist == nullptr && table != pred.table) {
+    // `table` is a materialized view (no histograms of its own): the
+    // predicate still names its base relation/column, whose histogram
+    // approximates the value distribution inside the view under
+    // independence. Far better than the uniform fallback on skewed
+    // data — residual misestimates on views were the dominant source
+    // of pathological forced-rewrite plans.
+    hist = catalog_->GetHistogram(pred.table, pred.column);
+  }
+  return EstimateSelectionSelectivity(info->stats.column(*col_idx), hist,
+                                      pred.op, pred.constant);
+}
+
+double CardinalityEstimator::JoinSelectivity(const JoinPred& join) const {
+  size_t d_left = 1, d_right = 1;
+  const TableInfo* left = catalog_->GetTable(join.left_table);
+  if (left != nullptr) {
+    auto idx = left->schema.ColumnIndex(join.left_column);
+    if (idx.has_value()) d_left = left->stats.column(*idx).distinct_count;
+  }
+  const TableInfo* right = catalog_->GetTable(join.right_table);
+  if (right != nullptr) {
+    auto idx = right->schema.ColumnIndex(join.right_column);
+    if (idx.has_value()) d_right = right->stats.column(*idx).distinct_count;
+  }
+  return EstimateJoinSelectivity(d_left, d_right);
+}
+
+double CardinalityEstimator::CompositeJoinSelectivity(
+    const std::vector<JoinPred>& edges) const {
+  if (edges.empty()) return 1.0;
+  if (edges.size() == 1) return JoinSelectivity(edges.front());
+  // All edges connect the same canonical pair; accumulate per-side
+  // distinct products, capped by the side's row count.
+  JoinPred first = edges.front();
+  first.Canonicalize();
+  double left_product = 1, right_product = 1;
+  for (JoinPred edge : edges) {
+    edge.Canonicalize();
+    const TableInfo* left = catalog_->GetTable(edge.left_table);
+    const TableInfo* right = catalog_->GetTable(edge.right_table);
+    size_t d_left = 1, d_right = 1;
+    if (left != nullptr) {
+      auto idx = left->schema.ColumnIndex(edge.left_column);
+      if (idx.has_value()) {
+        d_left = std::max<size_t>(1, left->stats.column(*idx).distinct_count);
+      }
+    }
+    if (right != nullptr) {
+      auto idx = right->schema.ColumnIndex(edge.right_column);
+      if (idx.has_value()) {
+        d_right =
+            std::max<size_t>(1, right->stats.column(*idx).distinct_count);
+      }
+    }
+    left_product *= static_cast<double>(d_left);
+    right_product *= static_cast<double>(d_right);
+  }
+  double left_cap =
+      std::min(left_product, std::max(1.0, TableRows(first.left_table)));
+  double right_cap =
+      std::min(right_product, std::max(1.0, TableRows(first.right_table)));
+  return 1.0 / std::max(1.0, std::min(left_cap, right_cap));
+}
+
+double CardinalityEstimator::ScanOutputRows(
+    const std::string& table,
+    const std::vector<SelectionPred>& preds) const {
+  double rows = TableRows(table);
+  for (const auto& pred : preds) {
+    rows *= SelectionSelectivity(table, pred);
+  }
+  return rows;
+}
+
+double CardinalityEstimator::PagesForRows(double rows,
+                                          const Schema& schema) const {
+  double per_page = std::max(
+      1.0, std::floor(static_cast<double>(kPageSize - 8) /
+                      (schema.EstimatedTupleWidth() + 4)));
+  return std::ceil(std::max(0.0, rows) / per_page);
+}
+
+double CardinalityEstimator::SeqScanCost(const std::string& table) const {
+  return TablePages(table) * config_.io_seconds_per_block +
+         TableRows(table) * config_.cpu_seconds_per_tuple;
+}
+
+double CardinalityEstimator::IndexScanCost(const std::string& table,
+                                           double est_rows) const {
+  // Descend (~3 levels) + leaves + one heap page per matching row capped
+  // by the table's page count (unclustered index, random access).
+  double leaves = std::ceil(est_rows / 32.0);
+  double heap_pages = std::min(est_rows, TablePages(table));
+  return (3.0 + leaves + heap_pages) * config_.io_seconds_per_block +
+         est_rows * config_.cpu_seconds_per_tuple;
+}
+
+}  // namespace sqp

@@ -1,0 +1,65 @@
+// Cardinality and cost estimation.
+//
+// Estimates drive (a) the database optimizer's access-path and join-order
+// choices and (b) the speculation subsystem's Cost⊆ evaluation. Costs are
+// expressed in simulated seconds using the same CostConfig rates the
+// executors charge, so estimated and measured costs are commensurable.
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/cost_meter.h"
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const Catalog* catalog, CostConfig config)
+      : catalog_(catalog), config_(config) {}
+
+  /// Base-table row / page counts (0 for unknown tables).
+  double TableRows(const std::string& table) const;
+  double TablePages(const std::string& table) const;
+
+  /// Selectivity of one selection predicate against its table, using a
+  /// histogram when one exists and uniform assumptions otherwise.
+  double SelectionSelectivity(const std::string& table,
+                              const SelectionPred& pred) const;
+
+  /// Selectivity of an equijoin edge, from column distinct counts.
+  double JoinSelectivity(const JoinPred& join) const;
+
+  /// Combined selectivity of several equijoin edges between the *same*
+  /// relation pair (a composite join, e.g. lineitem–partsupp on
+  /// (partkey, suppkey)). Multiplying the single-edge selectivities
+  /// assumes independence and collapses catastrophically on correlated
+  /// key columns; instead we bound each side's composite distinct count
+  /// by min(rows, Π column distincts) and divide by the smaller side's
+  /// bound (conservative: correlated columns share structure, so the
+  /// tighter side approximates the true composite NDV).
+  double CompositeJoinSelectivity(const std::vector<JoinPred>& edges) const;
+
+  /// Rows surviving a scan of `table` under `preds` (independence).
+  double ScanOutputRows(const std::string& table,
+                        const std::vector<SelectionPred>& preds) const;
+
+  /// Pages needed to store `rows` rows of `schema`.
+  double PagesForRows(double rows, const Schema& schema) const;
+
+  /// Simulated-seconds cost of a full sequential scan of `table`.
+  double SeqScanCost(const std::string& table) const;
+
+  /// Simulated-seconds cost of an index scan matching `est_rows` rows.
+  double IndexScanCost(const std::string& table, double est_rows) const;
+
+  const CostConfig& config() const { return config_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  CostConfig config_;
+};
+
+}  // namespace sqp

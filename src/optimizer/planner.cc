@@ -1,0 +1,536 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sqp {
+
+namespace {
+
+KeyRange RangeFromPred(const SelectionPred& pred) {
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return KeyRange::Exactly(pred.constant);
+    case CompareOp::kLt:
+      return KeyRange{std::nullopt, true, pred.constant, false};
+    case CompareOp::kLe:
+      return KeyRange{std::nullopt, true, pred.constant, true};
+    case CompareOp::kGt:
+      return KeyRange{pred.constant, false, std::nullopt, true};
+    case CompareOp::kGe:
+      return KeyRange{pred.constant, true, std::nullopt, true};
+    case CompareOp::kNe:
+      break;
+  }
+  assert(false && "kNe is not indexable");
+  return KeyRange::All();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Explain
+
+std::string PlanNode::Explain(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case Kind::kSeqScan:
+      os << "SeqScan(" << table;
+      break;
+    case Kind::kIndexScan:
+      os << "IndexScan(" << table << " via " << index_column;
+      break;
+    case Kind::kHashJoin:
+      os << "HashJoin(";
+      break;
+    case Kind::kNestedLoopJoin:
+      os << "NestedLoopJoin(";
+      break;
+  }
+  if (kind == Kind::kSeqScan || kind == Kind::kIndexScan) {
+    for (const auto& p : predicates) os << ", " << p.ToString();
+    if (index_pred.has_value()) os << ", [" << index_pred->ToString() << "]";
+  } else {
+    bool first = true;
+    for (const auto& [l, r] : join_columns) {
+      if (!first) os << " AND ";
+      os << l << "=" << r;
+      first = false;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ") rows=%.0f cost=%.4fs", est_rows,
+                est_cost);
+  os << buf << "\n";
+  if (left) os << left->Explain(indent + 1);
+  if (right) os << right->Explain(indent + 1);
+  return os.str();
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::ostringstream os;
+  os << "Plan";
+  if (!views_used.empty()) {
+    os << " [views:";
+    for (const auto& v : views_used) os << " " << v;
+    os << "]";
+  }
+  os << "\n";
+  if (root) os << root->Explain(1);
+  return os.str();
+}
+
+// --------------------------------------------------------------- PlanScan
+
+Result<std::unique_ptr<PlanNode>> Planner::PlanScan(
+    const RewriteUnit& unit) const {
+  const TableInfo* info = catalog_->GetTable(unit.stored_table);
+  if (info == nullptr) {
+    return Status::NotFound("table " + unit.stored_table);
+  }
+  double base_rows = estimator_.TableRows(unit.stored_table);
+  double out_rows = base_rows;
+  for (const auto& pred : unit.selections) {
+    out_rows *= estimator_.SelectionSelectivity(unit.stored_table, pred);
+  }
+
+  auto node = std::make_unique<PlanNode>();
+  node->table = unit.stored_table;
+  node->schema = info->schema;
+  node->est_rows = out_rows;
+
+  // Default: sequential scan with all predicates pushed down.
+  node->kind = PlanNode::Kind::kSeqScan;
+  node->predicates = unit.selections;
+  node->est_cost = estimator_.SeqScanCost(unit.stored_table);
+
+  // Index-scan alternatives: one per indexed, indexable predicate.
+  for (const auto& pred : unit.selections) {
+    if (pred.op == CompareOp::kNe) continue;
+    if (!catalog_->HasIndex(unit.stored_table, pred.column)) continue;
+    double idx_rows =
+        base_rows * estimator_.SelectionSelectivity(unit.stored_table, pred);
+    double cost = estimator_.IndexScanCost(unit.stored_table, idx_rows);
+    if (cost < node->est_cost) {
+      node->kind = PlanNode::Kind::kIndexScan;
+      node->index_column = pred.column;
+      node->index_pred = pred;
+      node->predicates.clear();
+      for (const auto& other : unit.selections) {
+        if (other.Key() != pred.Key()) node->predicates.push_back(other);
+      }
+      node->est_cost = cost;
+    }
+  }
+  return node;
+}
+
+// ----------------------------------------------------------- Join order DP
+
+Result<PhysicalPlan> Planner::PlanRewritten(
+    const RewrittenQuery& rewritten,
+    const std::vector<std::string>& projections) const {
+  const size_t n = rewritten.units.size();
+  if (n == 0) return Status::InvalidArgument("empty query");
+  if (n > 16) return Status::NotSupported("more than 16 scan units");
+
+  // Per-unit scan plans.
+  std::vector<std::unique_ptr<PlanNode>> scans;
+  scans.reserve(n);
+  for (const auto& unit : rewritten.units) {
+    auto scan = PlanScan(unit);
+    if (!scan.ok()) return scan.status();
+    scans.push_back(std::move(*scan));
+  }
+
+  auto unit_of_relation = [&](const std::string& rel) -> int {
+    for (size_t i = 0; i < n; i++) {
+      const auto& cov = rewritten.units[i].covered_relations;
+      if (std::find(cov.begin(), cov.end(), rel) != cov.end()) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  // Join edges between units.
+  struct UnitEdge {
+    size_t a, b;  // unit indices, a < b
+    JoinPred pred;
+  };
+  std::vector<UnitEdge> edges;
+  for (const auto& j : rewritten.joins) {
+    int ua = unit_of_relation(j.left_table);
+    int ub = unit_of_relation(j.right_table);
+    if (ua < 0 || ub < 0 || ua == ub) continue;
+    UnitEdge e;
+    e.a = std::min(ua, ub);
+    e.b = std::max(ua, ub);
+    e.pred = j;
+    edges.push_back(std::move(e));
+  }
+
+  const double cpu = config_.cpu_seconds_per_tuple;
+  const double io = config_.io_seconds_per_block;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Tuple widths, for the Grace-hash-join spill estimate.
+  std::vector<double> unit_width(n);
+  for (size_t u = 0; u < n; u++) {
+    unit_width[u] = static_cast<double>(scans[u]->schema.EstimatedTupleWidth());
+  }
+  auto subset_width = [&](uint32_t subset) {
+    double w = 0;
+    for (size_t u = 0; u < n; u++) {
+      if ((subset >> u) & 1) w += unit_width[u];
+    }
+    return w;
+  };
+  auto pages_of = [&](double rows, double width) {
+    return std::ceil(std::max(0.0, rows) * width /
+                     static_cast<double>(kPageSize));
+  };
+
+  struct DpState {
+    double cost = std::numeric_limits<double>::infinity();
+    double rows = 0;
+    int added_unit = -1;
+    uint32_t prev_subset = 0;
+    bool cross = false;
+  };
+  std::vector<DpState> dp(size_t{1} << n);
+
+  for (size_t u = 0; u < n; u++) {
+    DpState& s = dp[size_t{1} << u];
+    s.cost = scans[u]->est_cost;
+    s.rows = std::max(0.0, scans[u]->est_rows);
+    s.added_unit = static_cast<int>(u);
+  }
+
+  // Edges connecting unit u to subset s.
+  auto connecting = [&](uint32_t subset, size_t u) {
+    std::vector<const UnitEdge*> out;
+    for (const auto& e : edges) {
+      if ((e.a == u && (subset >> e.b) & 1) ||
+          (e.b == u && (subset >> e.a) & 1)) {
+        out.push_back(&e);
+      }
+    }
+    return out;
+  };
+
+  // Combined selectivity of a set of connecting edges: edges between
+  // the same relation pair form a composite join (correlation-aware);
+  // distinct pairs multiply.
+  auto connection_selectivity =
+      [&](const std::vector<const UnitEdge*>& conn) {
+        std::map<std::string, std::vector<JoinPred>> by_pair;
+        for (const auto* e : conn) {
+          JoinPred c = e->pred;
+          c.Canonicalize();
+          by_pair[c.left_table + "|" + c.right_table].push_back(c);
+        }
+        double sel = 1.0;
+        for (const auto& [pair, group] : by_pair) {
+          sel *= estimator_.CompositeJoinSelectivity(group);
+        }
+        return sel;
+      };
+
+  for (int pass = 0; pass < 2; pass++) {
+    bool allow_cross = pass == 1;
+    if (allow_cross && dp.back().cost < kInf) break;  // connected plan found
+    for (uint32_t subset = 1; subset < dp.size(); subset++) {
+      if (dp[subset].cost >= kInf) continue;
+      for (size_t u = 0; u < n; u++) {
+        if ((subset >> u) & 1) continue;
+        auto conn = connecting(subset, u);
+        if (conn.empty() && !allow_cross) continue;
+        uint32_t next = subset | (uint32_t{1} << u);
+        double sel = connection_selectivity(conn);
+        double out_rows = dp[subset].rows * dp[size_t{1} << u].rows * sel;
+        double cost;
+        if (!conn.empty()) {
+          // Hash join: build accumulated side, probe unit side.
+          cost = dp[subset].cost + scans[u]->est_cost +
+                 cpu * (dp[subset].rows + dp[size_t{1} << u].rows + out_rows);
+          // Grace spill when the build side exceeds the hash area.
+          double build_pages = pages_of(dp[subset].rows,
+                                        subset_width(subset));
+          if (build_pages >
+              static_cast<double>(config_.hash_join_memory_pages)) {
+            double probe_pages =
+                pages_of(dp[size_t{1} << u].rows, unit_width[u]);
+            cost += 2.0 * io * (build_pages + probe_pages);
+          }
+        } else {
+          // Cross product via nested loops.
+          cost = dp[subset].cost + scans[u]->est_cost +
+                 cpu * (dp[subset].rows * dp[size_t{1} << u].rows + out_rows);
+        }
+        if (cost < dp[next].cost) {
+          dp[next] = DpState{cost, out_rows, static_cast<int>(u), subset,
+                             conn.empty()};
+        }
+      }
+    }
+  }
+
+  uint32_t full = static_cast<uint32_t>(dp.size() - 1);
+  if (dp[full].cost >= kInf) {
+    return Status::Internal("join ordering failed to cover all units");
+  }
+
+  // Reconstruct the unit order.
+  std::vector<int> order;
+  uint32_t cur = full;
+  while (cur != 0) {
+    order.push_back(dp[cur].added_unit);
+    cur = dp[cur].prev_subset;
+  }
+  std::reverse(order.begin(), order.end());
+
+  // Build the left-deep tree.
+  std::set<std::string> covered;  // relations in the accumulated side
+  auto covers = [&](const std::string& rel) {
+    return covered.count(rel) > 0;
+  };
+  std::unique_ptr<PlanNode> root = std::move(scans[order[0]]);
+  for (const auto& rel : rewritten.units[order[0]].covered_relations) {
+    covered.insert(rel);
+  }
+  uint32_t subset = uint32_t{1} << order[0];
+  for (size_t i = 1; i < order.size(); i++) {
+    size_t u = order[i];
+    auto conn = connecting(subset, u);
+    auto join = std::make_unique<PlanNode>();
+    join->schema = root->schema.Concat(scans[u]->schema);
+    for (const auto* e : conn) {
+      const JoinPred& j = e->pred;
+      if (covers(j.left_table)) {
+        join->join_columns.emplace_back(j.left_column, j.right_column);
+      } else {
+        join->join_columns.emplace_back(j.right_column, j.left_column);
+      }
+    }
+    join->kind = conn.empty() ? PlanNode::Kind::kNestedLoopJoin
+                              : PlanNode::Kind::kHashJoin;
+    uint32_t next = subset | (uint32_t{1} << u);
+    join->est_rows = dp[next].rows;
+    join->est_cost = dp[next].cost;
+    join->left = std::move(root);
+    join->right = std::move(scans[u]);
+    root = std::move(join);
+    for (const auto& rel : rewritten.units[u].covered_relations) {
+      covered.insert(rel);
+    }
+    subset = next;
+  }
+
+  PhysicalPlan plan;
+  plan.est_cost = root->est_cost;
+  plan.est_rows = root->est_rows;
+  plan.root = std::move(root);
+  plan.projections = projections;
+  plan.views_used = rewritten.view_tables_used;
+  return plan;
+}
+
+// ------------------------------------------------------------------- Plan
+
+namespace {
+/// Greedy disjoint cover over a preference-ordered candidate list.
+std::vector<const ViewDefinition*> GreedyCover(
+    const std::vector<const ViewDefinition*>& candidates) {
+  std::vector<const ViewDefinition*> chosen;
+  std::set<std::string> covered;
+  for (const ViewDefinition* view : candidates) {
+    bool overlaps = false;
+    for (const auto& rel : view->definition.relations()) {
+      if (covered.count(rel) > 0) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    chosen.push_back(view);
+    for (const auto& rel : view->definition.relations()) covered.insert(rel);
+  }
+  return chosen;
+}
+}  // namespace
+
+Result<PhysicalPlan> Planner::Plan(const QueryGraph& query,
+                                   const ViewRegistry* views,
+                                   ViewMode mode) const {
+  // Baseline rewrite: every relation is its own unit.
+  std::vector<const ViewDefinition*> no_views;
+  RewrittenQuery baseline = RewriteWithViews(query, no_views);
+  auto base_plan = PlanRewritten(baseline, query.projections());
+
+  if (views == nullptr || mode == ViewMode::kNone || views->size() == 0) {
+    return base_plan;
+  }
+
+  std::vector<const ViewDefinition*> applicable =
+      ApplicableViews(*views, query);
+  if (applicable.empty()) return base_plan;
+
+  // Two candidate covers: widest coverage first (fewest joins left) and
+  // cheapest-to-scan first (a tiny selective materialization can beat a
+  // wide pre-joined view even though it covers fewer relations).
+  std::vector<std::vector<const ViewDefinition*>> covers;
+  covers.push_back(GreedyCover(applicable));
+  std::vector<const ViewDefinition*> by_cost = applicable;
+  std::stable_sort(by_cost.begin(), by_cost.end(),
+                   [&](const ViewDefinition* a, const ViewDefinition* b) {
+                     return estimator_.TablePages(a->table_name) <
+                            estimator_.TablePages(b->table_name);
+                   });
+  covers.push_back(GreedyCover(by_cost));
+
+  std::optional<PhysicalPlan> best_view_plan;
+  for (const auto& cover : covers) {
+    if (cover.empty()) continue;
+    RewrittenQuery rewritten = RewriteWithViews(query, cover);
+    auto plan = PlanRewritten(rewritten, query.projections());
+    if (!plan.ok()) continue;
+    if (!best_view_plan.has_value() ||
+        plan->est_cost < best_view_plan->est_cost) {
+      best_view_plan = std::move(*plan);
+    }
+  }
+  if (!best_view_plan.has_value()) return base_plan;
+
+  if (mode == ViewMode::kForced) {
+    // Forced rewriting with a bounded blast radius: when even the
+    // optimizer's own estimate says the rewritten plan is several times
+    // worse than the base plan (e.g. a fused view blocks the only good
+    // join order), fall back. Mild penalties — the paper's Figure 5 min
+    // bars — still occur from estimation error within the factor.
+    constexpr double kForcedFallbackFactor = 3.0;
+    if (base_plan.ok() &&
+        best_view_plan->est_cost >
+            base_plan->est_cost * kForcedFallbackFactor) {
+      return base_plan;
+    }
+    return std::move(*best_view_plan);
+  }
+  // Cost-based: pick the cheaper of base and the best view plan.
+  if (!base_plan.ok()) return std::move(*best_view_plan);
+  return best_view_plan->est_cost <= base_plan->est_cost
+             ? std::move(*best_view_plan)
+             : std::move(base_plan);
+}
+
+Result<double> Planner::EstimateCost(const QueryGraph& query,
+                                     const ViewRegistry* views,
+                                     ViewMode mode) const {
+  auto plan = Plan(query, views, mode);
+  if (!plan.ok()) return plan.status();
+  return plan->est_cost;
+}
+
+// ------------------------------------------------------------------ Build
+
+Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
+                                                     Catalog* catalog,
+                                                     BufferPool* pool,
+                                                     CostMeter* meter) const {
+  switch (node->kind) {
+    case PlanNode::Kind::kSeqScan: {
+      TableInfo* info = catalog->GetTable(node->table);
+      if (info == nullptr) return Status::NotFound("table " + node->table);
+      auto preds = BindSelections(node->predicates, info->schema);
+      if (!preds.ok()) return preds.status();
+      return std::unique_ptr<Executor>(
+          new SeqScanExecutor(info, pool, meter, std::move(*preds)));
+    }
+    case PlanNode::Kind::kIndexScan: {
+      TableInfo* info = catalog->GetTable(node->table);
+      if (info == nullptr) return Status::NotFound("table " + node->table);
+      BPlusTree* index = catalog->GetIndex(node->table, node->index_column);
+      if (index == nullptr) {
+        return Status::Internal("planned index missing: " + node->table +
+                                "." + node->index_column);
+      }
+      auto preds = BindSelections(node->predicates, info->schema);
+      if (!preds.ok()) return preds.status();
+      assert(node->index_pred.has_value());
+      return std::unique_ptr<Executor>(new IndexScanExecutor(
+          info, index, RangeFromPred(*node->index_pred), pool, meter,
+          std::move(*preds)));
+    }
+    case PlanNode::Kind::kHashJoin:
+    case PlanNode::Kind::kNestedLoopJoin: {
+      auto left = BuildNode(node->left.get(), catalog, pool, meter);
+      if (!left.ok()) return left.status();
+      auto right = BuildNode(node->right.get(), catalog, pool, meter);
+      if (!right.ok()) return right.status();
+      const Schema& lschema = (*left)->output_schema();
+      const Schema& rschema = (*right)->output_schema();
+
+      if (node->kind == PlanNode::Kind::kNestedLoopJoin) {
+        return std::unique_ptr<Executor>(new NestedLoopJoinExecutor(
+            std::move(*left), std::move(*right), {}, meter));
+      }
+      assert(!node->join_columns.empty());
+      auto [lcol0, rcol0] = node->join_columns.front();
+      auto lidx = lschema.ColumnIndex(lcol0);
+      auto ridx = rschema.ColumnIndex(rcol0);
+      if (!lidx.has_value() || !ridx.has_value()) {
+        return Status::Internal("join column not found: " + lcol0 + "/" +
+                                rcol0);
+      }
+      std::unique_ptr<Executor> join(new HashJoinExecutor(
+          std::move(*left), std::move(*right), *lidx, *ridx, meter));
+      if (node->join_columns.size() > 1) {
+        std::vector<ColumnFilterExecutor::Condition> conds;
+        for (size_t i = 1; i < node->join_columns.size(); i++) {
+          auto [lcol, rcol] = node->join_columns[i];
+          auto li = lschema.ColumnIndex(lcol);
+          auto ri = rschema.ColumnIndex(rcol);
+          if (!li.has_value() || !ri.has_value()) {
+            return Status::Internal("join column not found: " + lcol + "/" +
+                                    rcol);
+          }
+          conds.push_back(ColumnFilterExecutor::Condition{
+              *li, lschema.size() + *ri, CompareOp::kEq});
+        }
+        join = std::unique_ptr<Executor>(
+            new ColumnFilterExecutor(std::move(join), std::move(conds), meter));
+      }
+      return join;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<std::unique_ptr<Executor>> Planner::Build(const PhysicalPlan& plan,
+                                                 Catalog* catalog,
+                                                 BufferPool* pool,
+                                                 CostMeter* meter) const {
+  auto exec = BuildNode(plan.root.get(), catalog, pool, meter);
+  if (!exec.ok()) return exec.status();
+  if (plan.projections.empty()) return exec;
+  const Schema& schema = (*exec)->output_schema();
+  std::vector<size_t> indices;
+  indices.reserve(plan.projections.size());
+  for (const auto& name : plan.projections) {
+    auto idx = schema.ColumnIndex(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("projection column " + name);
+    }
+    indices.push_back(*idx);
+  }
+  return std::unique_ptr<Executor>(
+      new ProjectExecutor(std::move(*exec), std::move(indices), meter));
+}
+
+}  // namespace sqp

@@ -1,0 +1,110 @@
+// Cost-based physical planner.
+//
+// Planning pipeline:
+//   1. View matching (optional / forced): substitute applicable
+//      materialized views for the base relations they cover.
+//   2. Access-path selection per scan unit: sequential scan vs B+-tree
+//      index scan on the most selective indexed predicate.
+//   3. Join ordering: dynamic programming over connected unit subsets
+//      (left-deep, hash joins for equi edges), with a cross-product
+//      fallback for disconnected graphs.
+//
+// ViewMode mirrors the paper's two manipulation flavours (§3.2):
+//   kCostBased = "query materialization" (the optimizer may use a view),
+//   kForced    = "query rewriting"       (a matching view must be used).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executors.h"
+#include "optimizer/cost.h"
+#include "optimizer/query_graph.h"
+#include "optimizer/view_matcher.h"
+
+namespace sqp {
+
+enum class ViewMode { kNone, kCostBased, kForced };
+
+struct PlanNode {
+  enum class Kind { kSeqScan, kIndexScan, kHashJoin, kNestedLoopJoin };
+  Kind kind = Kind::kSeqScan;
+
+  // --- scans ---
+  std::string table;  // stored table (base relation or view table)
+  std::vector<SelectionPred> predicates;  // residual, applied at the scan
+  std::string index_column;               // kIndexScan
+  std::optional<SelectionPred> index_pred;  // pred served by the index
+
+  // --- joins ---
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  /// Equijoin column-name pairs (left side name, right side name). The
+  /// first pair drives the hash join; the rest become residual
+  /// column-column filters. Empty => cross product (kNestedLoopJoin).
+  std::vector<std::pair<std::string, std::string>> join_columns;
+
+  // --- estimates ---
+  double est_rows = 0;
+  double est_cost = 0;  // simulated seconds, inclusive of children
+  Schema schema;
+
+  std::string Explain(int indent = 0) const;
+};
+
+struct PhysicalPlan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<std::string> projections;  // empty = all columns
+  std::vector<std::string> views_used;
+  double est_cost = 0;
+  double est_rows = 0;
+
+  std::string Explain() const;
+};
+
+class Planner {
+ public:
+  Planner(const Catalog* catalog, CostConfig config)
+      : catalog_(catalog), estimator_(catalog, config), config_(config) {}
+
+  /// Plan `query`. `views` may be null (no rewriting). With kForced,
+  /// every applicable view (greedy, largest first, disjoint) is used;
+  /// with kCostBased the rewritten and unrewritten plans are costed and
+  /// the cheaper wins.
+  Result<PhysicalPlan> Plan(const QueryGraph& query,
+                            const ViewRegistry* views = nullptr,
+                            ViewMode mode = ViewMode::kNone) const;
+
+  /// Estimated cost (simulated seconds) of the best plan; convenience
+  /// for the speculation cost model.
+  Result<double> EstimateCost(const QueryGraph& query,
+                              const ViewRegistry* views = nullptr,
+                              ViewMode mode = ViewMode::kNone) const;
+
+  /// Turn a plan into an executor tree.
+  Result<std::unique_ptr<Executor>> Build(const PhysicalPlan& plan,
+                                          Catalog* catalog, BufferPool* pool,
+                                          CostMeter* meter) const;
+
+  const CardinalityEstimator& estimator() const { return estimator_; }
+
+ private:
+  Result<PhysicalPlan> PlanRewritten(const RewrittenQuery& rewritten,
+                                     const std::vector<std::string>& projections) const;
+  /// Best scan plan for one unit.
+  Result<std::unique_ptr<PlanNode>> PlanScan(const RewriteUnit& unit) const;
+
+  Result<std::unique_ptr<Executor>> BuildNode(const PlanNode* node,
+                                              Catalog* catalog,
+                                              BufferPool* pool,
+                                              CostMeter* meter) const;
+
+  const Catalog* catalog_;
+  CardinalityEstimator estimator_;
+  CostConfig config_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,129 @@
+#include "optimizer/view_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sqp {
+
+void ViewRegistry::Register(ViewDefinition view) {
+  views_[view.table_name] = std::move(view);
+}
+
+void ViewRegistry::Unregister(const std::string& table_name) {
+  views_.erase(table_name);
+}
+
+bool ViewRegistry::Contains(const std::string& table_name) const {
+  return views_.count(table_name) > 0;
+}
+
+const ViewDefinition* ViewRegistry::Get(const std::string& table_name) const {
+  auto it = views_.find(table_name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const ViewDefinition* ViewRegistry::FindExact(const QueryGraph& graph) const {
+  for (const auto& [name, view] : views_) {
+    if (view.definition == graph) return &view;
+  }
+  return nullptr;
+}
+
+std::vector<const ViewDefinition*> ViewRegistry::All() const {
+  std::vector<const ViewDefinition*> out;
+  out.reserve(views_.size());
+  for (const auto& [name, view] : views_) out.push_back(&view);
+  return out;
+}
+
+bool ViewApplicable(const ViewDefinition& view, const QueryGraph& query) {
+  const QueryGraph& def = view.definition;
+  if (def.empty()) return false;
+  if (!query.ContainsSubgraph(def)) return false;
+  // The view must have absorbed every query join internal to its cover;
+  // otherwise the view (a cross-section of those relations) would need a
+  // col=col residual filter we do not re-apply.
+  for (const auto& j : query.joins()) {
+    if (def.HasRelation(j.left_table) && def.HasRelation(j.right_table) &&
+        !def.HasJoin(j.Key())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RewrittenQuery RewriteWithViews(
+    const QueryGraph& query,
+    const std::vector<const ViewDefinition*>& use_views) {
+  RewrittenQuery out;
+  std::set<std::string> covered;
+  for (const ViewDefinition* view : use_views) {
+    assert(ViewApplicable(*view, query));
+    RewriteUnit unit;
+    unit.stored_table = view->table_name;
+    unit.is_view = true;
+    for (const auto& rel : view->definition.relations()) {
+      assert(covered.count(rel) == 0 && "overlapping views");
+      covered.insert(rel);
+      unit.covered_relations.push_back(rel);
+      // Residual selections: on this relation in the query but not
+      // absorbed by the view.
+      for (const auto& sel : query.SelectionsOn(rel)) {
+        if (!view->definition.HasSelection(sel.Key())) {
+          unit.selections.push_back(sel);
+        }
+      }
+    }
+    out.units.push_back(std::move(unit));
+    out.view_tables_used.push_back(view->table_name);
+  }
+  // Uncovered base relations become single-relation units.
+  for (const auto& rel : query.relations()) {
+    if (covered.count(rel) > 0) continue;
+    RewriteUnit unit;
+    unit.stored_table = rel;
+    unit.covered_relations.push_back(rel);
+    unit.selections = query.SelectionsOn(rel);
+    out.units.push_back(std::move(unit));
+  }
+  // Joins whose endpoints land in different units survive; joins
+  // internal to a view were absorbed.
+  auto unit_of = [&](const std::string& rel) -> size_t {
+    for (size_t i = 0; i < out.units.size(); i++) {
+      const auto& cov = out.units[i].covered_relations;
+      if (std::find(cov.begin(), cov.end(), rel) != cov.end()) return i;
+    }
+    assert(false && "relation not covered by any unit");
+    return 0;
+  };
+  for (const auto& j : query.joins()) {
+    if (unit_of(j.left_table) != unit_of(j.right_table)) {
+      out.joins.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<const ViewDefinition*> ApplicableViews(const ViewRegistry& views,
+                                                   const QueryGraph& query) {
+  std::vector<const ViewDefinition*> out;
+  for (const ViewDefinition* view : views.All()) {
+    if (ViewApplicable(*view, query)) out.push_back(view);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ViewDefinition* a, const ViewDefinition* b) {
+              size_t cover_a = a->definition.relations().size();
+              size_t cover_b = b->definition.relations().size();
+              if (cover_a != cover_b) return cover_a > cover_b;
+              if (a->definition.num_atomic_parts() !=
+                  b->definition.num_atomic_parts()) {
+                return a->definition.num_atomic_parts() >
+                       b->definition.num_atomic_parts();
+              }
+              return a->table_name < b->table_name;
+            });
+  return out;
+}
+
+}  // namespace sqp

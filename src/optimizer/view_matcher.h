@@ -1,0 +1,78 @@
+// Materialized-view registry and view matching / query rewriting.
+//
+// A materialized view is a stored table plus the query graph it
+// materializes (always SELECT * over its sub-graph, as in the paper: the
+// example young_employee keeps all attributes, and §6.2 materializes
+// joins "keeping all their attributes"). Because column names are
+// globally unique and views keep every column, replacing a set of base
+// relations by a view is purely structural.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+
+struct ViewDefinition {
+  std::string table_name;  // the stored result table
+  QueryGraph definition;   // the materialized sub-query
+};
+
+class ViewRegistry {
+ public:
+  void Register(ViewDefinition view);
+  void Unregister(const std::string& table_name);
+  bool Contains(const std::string& table_name) const;
+  const ViewDefinition* Get(const std::string& table_name) const;
+
+  /// A view whose definition graph equals `graph`, if registered.
+  const ViewDefinition* FindExact(const QueryGraph& graph) const;
+
+  std::vector<const ViewDefinition*> All() const;
+  size_t size() const { return views_.size(); }
+
+ private:
+  std::map<std::string, ViewDefinition> views_;
+};
+
+/// One relation-or-view occurrence in a rewritten query.
+struct RewriteUnit {
+  /// Stored table to scan (a base relation or a view's result table).
+  std::string stored_table;
+  /// Base relations this unit covers (itself, for a base relation).
+  std::vector<std::string> covered_relations;
+  /// Selections to apply on this unit's scan (for a view: the query's
+  /// selections on covered relations that the view did not absorb).
+  std::vector<SelectionPred> selections;
+  bool is_view = false;
+};
+
+/// A query after view substitution: scan units plus the join edges that
+/// cross unit boundaries. Unit order is arbitrary; the planner orders.
+struct RewrittenQuery {
+  std::vector<RewriteUnit> units;
+  std::vector<JoinPred> joins;
+  std::vector<std::string> view_tables_used;
+};
+
+/// Can `view` replace its relations inside `query`?
+/// Conditions: view.definition ⊆ query, and the view absorbed *every*
+/// query join internal to the relations it covers.
+bool ViewApplicable(const ViewDefinition& view, const QueryGraph& query);
+
+/// Rewrite `query` over the given views. Each view in `use_views` must be
+/// applicable and the set must cover pairwise-disjoint relations; base
+/// relations not covered stay as their own units.
+RewrittenQuery RewriteWithViews(
+    const QueryGraph& query,
+    const std::vector<const ViewDefinition*>& use_views);
+
+/// All applicable views from the registry, largest cover first.
+std::vector<const ViewDefinition*> ApplicableViews(const ViewRegistry& views,
+                                                   const QueryGraph& query);
+
+}  // namespace sqp

@@ -1,0 +1,82 @@
+#include "sim/sim_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace sqp {
+
+SimServer::JobId SimServer::Submit(double work) {
+  assert(work >= 0);
+  JobId id = next_id_++;
+  if (work <= 0) {
+    completed_[id] = now_;
+  } else {
+    active_[id] = work;
+  }
+  return id;
+}
+
+void SimServer::Cancel(JobId id) { active_.erase(id); }
+
+double SimServer::CompletionTime(JobId id) const {
+  auto it = completed_.find(id);
+  assert(it != completed_.end() && "CompletionTime of incomplete job");
+  return it->second;
+}
+
+double SimServer::NextCompletionTime() const {
+  if (active_.empty()) return kNever;
+  double min_rem = kNever;
+  for (const auto& [id, rem] : active_) {
+    if (rem < min_rem) min_rem = rem;
+  }
+  return now_ + min_rem * static_cast<double>(active_.size());
+}
+
+void SimServer::AdvanceTo(double t) {
+  assert(t >= now_ - 1e-9);
+  // Phase 1: process every completion that happens at or before `t`,
+  // including ties (several jobs reaching zero in the same instant) and
+  // completions landing exactly at the current time.
+  while (!active_.empty()) {
+    double next_done = NextCompletionTime();
+    if (next_done > t + 1e-12) break;
+    double dt = std::max(0.0, next_done - now_);
+    double progress = dt / static_cast<double>(active_.size());
+    delivered_ += dt;
+    now_ = std::max(now_, next_done);
+    std::vector<JobId> done;
+    for (auto& [id, rem] : active_) {
+      rem -= progress;
+      if (rem <= 1e-9) done.push_back(id);
+    }
+    assert(!done.empty());
+    for (JobId id : done) {
+      active_.erase(id);
+      completed_[id] = now_;
+    }
+  }
+  // Phase 2: burn the remaining interval without completions.
+  if (t > now_) {
+    if (!active_.empty()) {
+      double dt = t - now_;
+      delivered_ += dt;
+      double progress = dt / static_cast<double>(active_.size());
+      for (auto& [id, rem] : active_) rem -= progress;
+    }
+    now_ = t;
+  }
+}
+
+double SimServer::RunUntilComplete(JobId id) {
+  assert(IsActive(id) || IsComplete(id));
+  while (IsActive(id)) {
+    double next = NextCompletionTime();
+    assert(next < kNever);
+    AdvanceTo(next);
+  }
+  return CompletionTime(id);
+}
+
+}  // namespace sqp

@@ -1,0 +1,75 @@
+// Discrete-event, processor-sharing server model.
+//
+// Replays need a notion of concurrent work: asynchronous speculative
+// manipulations run while the user thinks, and in the multi-user
+// experiment (paper §6.3) three users' queries and manipulations compete
+// for the same server. We model the server as a processor-sharing queue:
+// k active jobs each progress at rate 1/k. A job's `work` is the
+// simulated seconds it would take alone (measured by executing it against
+// the database); contention stretches its completion time.
+//
+// Side effects of a job (tables created, buffer-pool state) are applied
+// eagerly when the job is created; the simulator only schedules *when*
+// the job counts as complete. Cancelled materializations must have their
+// side effects rolled back by the caller (the speculation engine drops
+// the half-built table).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace sqp {
+
+class SimServer {
+ public:
+  using JobId = uint64_t;
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  /// Submit a job needing `work` seconds at full capacity; starts now.
+  JobId Submit(double work);
+
+  /// Remove an active job (no effect on completed/unknown ids).
+  void Cancel(JobId id);
+
+  bool IsActive(JobId id) const { return active_.count(id) > 0; }
+  bool IsComplete(JobId id) const { return completed_.count(id) > 0; }
+
+  /// Remaining work (full-capacity seconds) of an active job — the
+  /// "remaining time to completion" feedback of paper §7. 0 when the
+  /// job is complete or unknown.
+  double RemainingWork(JobId id) const {
+    auto it = active_.find(id);
+    return it == active_.end() ? 0.0 : it->second;
+  }
+
+  /// Completion time of a completed job.
+  double CompletionTime(JobId id) const;
+
+  /// Advance simulated time to `t` (>= now), progressing active jobs
+  /// under equal sharing and completing those that finish by `t`.
+  void AdvanceTo(double t);
+
+  /// Run until `id` completes and return the completion time. Other
+  /// active jobs progress concurrently.
+  double RunUntilComplete(JobId id);
+
+  /// Earliest completion time among active jobs, or kNever.
+  double NextCompletionTime() const;
+
+  double now() const { return now_; }
+  size_t active_jobs() const { return active_.size(); }
+
+  /// Total simulated seconds of service delivered (for utilization).
+  double delivered_work() const { return delivered_; }
+
+ private:
+  double now_ = 0;
+  JobId next_id_ = 1;
+  std::map<JobId, double> active_;  // id -> remaining work
+  std::map<JobId, double> completed_;  // id -> completion time
+  double delivered_ = 0;
+};
+
+}  // namespace sqp

@@ -1,0 +1,146 @@
+#include "speculation/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqp {
+
+namespace {
+/// Width schema of a materialization result: all columns of the
+/// participating relations (SELECT * semantics).
+Schema ResultSchema(const Catalog& catalog, const QueryGraph& qm) {
+  Schema schema;
+  for (const auto& rel : qm.relations()) {
+    const TableInfo* info = catalog.GetTable(rel);
+    if (info != nullptr) schema = schema.Concat(info->schema);
+  }
+  return schema;
+}
+}  // namespace
+
+ManipulationEvaluation SpeculationCostModel::EvaluateMaterialization(
+    const Manipulation& m, double elapsed) const {
+  ManipulationEvaluation eval;
+  const QueryGraph& qm = m.target_query;
+
+  auto plan = db_->planner().Plan(qm, &db_->views(), ViewMode::kCostBased);
+  if (!plan.ok()) return eval;  // unplannable: score 0, never chosen
+
+  const CardinalityEstimator& est = db_->planner().estimator();
+  const CostConfig& rates = est.config();
+
+  // cost(q_m, m∅): compute q_m from the database as it stands.
+  eval.cost_without = plan->est_cost;
+
+  // cost(q_m, m): scan the materialized result.
+  Schema schema = ResultSchema(db_->catalog(), qm);
+  double result_pages = est.PagesForRows(plan->est_rows, schema);
+  eval.cost_with = result_pages * rates.io_seconds_per_block +
+                   std::max(0.0, plan->est_rows) * rates.cpu_seconds_per_tuple;
+
+  // Executing the manipulation costs the computation plus writing the
+  // result out.
+  eval.estimated_duration =
+      eval.cost_without + result_pages * rates.io_seconds_per_block;
+
+  eval.containment_probability =
+      learner_->survival().ContainmentProbability(qm);
+  eval.expected_uses =
+      learner_->retention().ExpectedUses(qm, options_.lookahead);
+  eval.completion_probability =
+      options_.use_completion_probability
+          ? learner_->think_time().ProbCompleteInTime(
+                elapsed, eval.estimated_duration)
+          : 1.0;
+
+  eval.score = eval.containment_probability * eval.completion_probability *
+               eval.expected_uses * (eval.cost_with - eval.cost_without);
+  return eval;
+}
+
+ManipulationEvaluation SpeculationCostModel::EvaluateHistogram(
+    const Manipulation& m, double elapsed) const {
+  ManipulationEvaluation eval;
+  const CardinalityEstimator& est = db_->planner().estimator();
+
+  // Heuristic benefit: an accurate histogram improves the plans of
+  // queries selecting on this column by a small fraction of the table's
+  // scan cost. The build itself is one table scan.
+  double scan = est.SeqScanCost(m.table);
+  eval.cost_without = scan;
+  eval.cost_with = scan * (1.0 - options_.histogram_benefit_fraction);
+  eval.estimated_duration = scan;
+
+  ObservedPart part;
+  part.is_join = false;
+  part.selection.table = m.table;
+  part.selection.column = m.column;
+  eval.containment_probability =
+      learner_->survival().SurvivalProbability(part);
+  QueryGraph pseudo;
+  pseudo.AddSelection(part.selection);
+  eval.expected_uses =
+      learner_->retention().ExpectedUses(pseudo, options_.lookahead);
+  eval.completion_probability =
+      options_.use_completion_probability
+          ? learner_->think_time().ProbCompleteInTime(
+                elapsed, eval.estimated_duration)
+          : 1.0;
+  eval.score = eval.containment_probability * eval.completion_probability *
+               eval.expected_uses * (eval.cost_with - eval.cost_without);
+  return eval;
+}
+
+ManipulationEvaluation SpeculationCostModel::EvaluateIndex(
+    const Manipulation& m, double elapsed) const {
+  ManipulationEvaluation eval;
+  const CardinalityEstimator& est = db_->planner().estimator();
+  const CostConfig& rates = est.config();
+
+  double rows = est.TableRows(m.table);
+  double scan = est.SeqScanCost(m.table);
+  // Benefit proxy: a typical selective predicate (10%) served by the
+  // new index instead of a full scan.
+  double index_cost = est.IndexScanCost(m.table, rows * 0.1);
+  eval.cost_without = scan;
+  eval.cost_with = std::min(scan, index_cost);
+  // Build: scan the table plus insertion work.
+  eval.estimated_duration = scan + rows * rates.cpu_seconds_per_tuple;
+
+  ObservedPart part;
+  part.is_join = false;
+  part.selection.table = m.table;
+  part.selection.column = m.column;
+  eval.containment_probability =
+      learner_->survival().SurvivalProbability(part);
+  QueryGraph pseudo;
+  pseudo.AddSelection(part.selection);
+  eval.expected_uses =
+      learner_->retention().ExpectedUses(pseudo, options_.lookahead);
+  eval.completion_probability =
+      options_.use_completion_probability
+          ? learner_->think_time().ProbCompleteInTime(
+                elapsed, eval.estimated_duration)
+          : 1.0;
+  eval.score = eval.containment_probability * eval.completion_probability *
+               eval.expected_uses * (eval.cost_with - eval.cost_without);
+  return eval;
+}
+
+ManipulationEvaluation SpeculationCostModel::Evaluate(
+    const Manipulation& m, double elapsed_formulation_seconds) const {
+  switch (m.type) {
+    case ManipulationType::kNull:
+      return ManipulationEvaluation{};  // Cost⊆(m∅) = 0
+    case ManipulationType::kHistogramCreation:
+      return EvaluateHistogram(m, elapsed_formulation_seconds);
+    case ManipulationType::kIndexCreation:
+      return EvaluateIndex(m, elapsed_formulation_seconds);
+    case ManipulationType::kMaterializeQuery:
+    case ManipulationType::kRewriteQuery:
+      return EvaluateMaterialization(m, elapsed_formulation_seconds);
+  }
+  return ManipulationEvaluation{};
+}
+
+}  // namespace sqp

@@ -1,0 +1,80 @@
+// The speculation Cost Model (paper §3.3).
+//
+// The intractable objective Cost(m) = Σ_{q∈Q} f(q)·cost(q,m) reduces,
+// under P1 (containment dependence) and P2 (linearity), to the local
+//
+//   Cost⊆(m) = f⊆(q_m) · (cost(q_m, m) − cost(q_m, m∅))      (Thm 3.1)
+//
+// where cost(q_m, m) is the cost of answering q_m from its materialized
+// result and cost(q_m, m∅) the cost of computing it from the current
+// database. Negative values favour the manipulation; m∅ scores 0.
+//
+// Two extensions from the paper are folded in multiplicatively:
+//   * completion probability — a manipulation only helps if it finishes
+//     before GO (the Speculator cancels it otherwise), so the benefit is
+//     weighted by P(think time remaining > manipulation duration) from
+//     the ThinkTimeLearner;
+//   * multi-query lookahead — results persist across queries under the
+//     garbage-collection heuristic, so the benefit is multiplied by the
+//     expected number of future queries still containing q_m (§3.3's
+//     sequence extension, via the RetentionLearner).
+#pragma once
+
+#include "db/database.h"
+#include "speculation/learner.h"
+#include "speculation/manipulation.h"
+
+namespace sqp {
+
+struct CostModelOptions {
+  /// Horizon n of the multi-query extension; 1 = single-query Cost⊆.
+  int lookahead = 4;
+  /// Weight benefits by the probability the manipulation completes
+  /// before GO.
+  bool use_completion_probability = true;
+  /// Estimated fraction of a selection query's cost saved by an accurate
+  /// histogram (better plan choice). A blunt heuristic — the true effect
+  /// routes through the optimizer — kept small, as the paper found these
+  /// manipulations weakest.
+  double histogram_benefit_fraction = 0.03;
+};
+
+/// A manipulation's evaluation, with the pieces that went into it.
+struct ManipulationEvaluation {
+  double score = 0;  // Cost⊆ (negative = beneficial)
+  double containment_probability = 1;
+  double completion_probability = 1;
+  double expected_uses = 1;
+  double cost_without = 0;  // cost(q_m, m∅)
+  double cost_with = 0;     // cost(q_m, m)
+  double estimated_duration = 0;  // manipulation execution estimate
+};
+
+class SpeculationCostModel {
+ public:
+  SpeculationCostModel(const Database* db, const Learner* learner,
+                       CostModelOptions options = {})
+      : db_(db), learner_(learner), options_(options) {}
+
+  /// Evaluate Cost⊆(m) in the current database state.
+  /// `elapsed_formulation_seconds`: think time already spent on the
+  /// current formulation (conditions the completion probability).
+  ManipulationEvaluation Evaluate(const Manipulation& m,
+                                  double elapsed_formulation_seconds) const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  ManipulationEvaluation EvaluateMaterialization(
+      const Manipulation& m, double elapsed_formulation_seconds) const;
+  ManipulationEvaluation EvaluateHistogram(const Manipulation& m,
+                                           double elapsed) const;
+  ManipulationEvaluation EvaluateIndex(const Manipulation& m,
+                                       double elapsed) const;
+
+  const Database* db_;
+  const Learner* learner_;
+  CostModelOptions options_;
+};
+
+}  // namespace sqp

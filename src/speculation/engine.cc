@@ -1,0 +1,336 @@
+#include "speculation/engine.h"
+
+#include <cassert>
+#include <set>
+
+#include "common/logging.h"
+
+namespace sqp {
+
+SpeculationEngine::SpeculationEngine(Database* db, SimServer* server,
+                                     SpeculationEngineOptions options)
+    : db_(db),
+      server_(server),
+      options_(std::move(options)),
+      cost_model_(db, &learner_, options_.cost_model),
+      speculator_(db, &cost_model_, options_.speculator) {}
+
+void SpeculationEngine::SyncOutstanding(double sim_time) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (!server_->IsComplete(it->job) ||
+        server_->CompletionTime(it->job) > sim_time + 1e-9) {
+      ++it;
+      continue;
+    }
+    const Manipulation& m = it->manipulation;
+    bool abandoned = false;
+    if (m.is_materialization()) {
+      // Benefit re-check with ground truth: the result is built, so its
+      // true scan cost is known. If scanning it would cost more than
+      // recomputing the sub-query, abandon it rather than let forced
+      // rewriting regress the final query.
+      const TableInfo* info = db_->catalog().GetTable(it->table_name);
+      const CostConfig& rates = db_->meter().config();
+      double true_scan_cost =
+          info == nullptr
+              ? 0
+              : info->stats.page_count() * rates.io_seconds_per_block +
+                    info->stats.row_count() * rates.cpu_seconds_per_tuple;
+      if (true_scan_cost >= it->issue_cost_without) {
+        SQP_LOG_DEBUG << "spec: abandoned " << m.Describe()
+                      << " (true scan cost " << true_scan_cost
+                      << "s >= recompute " << it->issue_cost_without << "s)";
+        (void)db_->DropTable(it->table_name);
+        stats_.abandoned_at_completion++;
+        abandoned = true;
+      } else {
+        // The result becomes visible to the optimizer now.
+        db_->RegisterView(m.target_query, it->table_name);
+        owned_views_[it->table_name] = m.target_query;
+      }
+    } else if (m.type == ManipulationType::kHistogramCreation) {
+      owned_histograms_.emplace_back(m.table, m.column);
+    } else if (m.type == ManipulationType::kIndexCreation) {
+      owned_indexes_.emplace_back(m.table, m.column);
+    }
+    if (!abandoned) {
+      stats_.manipulations_completed++;
+      stats_.completed_durations.push_back(it->work);
+      SQP_LOG_DEBUG << "spec: completed " << m.Describe();
+    }
+    it = outstanding_.erase(it);
+  }
+}
+
+bool SpeculationEngine::StillRelevant(const Outstanding& out) const {
+  const Manipulation& m = out.manipulation;
+  const QueryGraph& partial = tracker_.current();
+  if (m.is_materialization()) {
+    return partial.ContainsSubgraph(m.target_query);
+  }
+  // Histogram/index creations stay relevant while some selection on the
+  // target column remains.
+  for (const auto& sel : partial.SelectionsOn(m.table)) {
+    if (sel.column == m.column) return true;
+  }
+  return false;
+}
+
+void SpeculationEngine::CancelOne(Outstanding& out, bool at_go) {
+  const Manipulation& m = out.manipulation;
+  server_->Cancel(out.job);
+  // Roll back the eagerly-applied side effects.
+  switch (m.type) {
+    case ManipulationType::kMaterializeQuery:
+    case ManipulationType::kRewriteQuery:
+      (void)db_->DropTable(out.table_name);
+      break;
+    case ManipulationType::kHistogramCreation:
+      (void)db_->catalog().DropHistogram(m.table, m.column);
+      break;
+    case ManipulationType::kIndexCreation:
+      (void)db_->catalog().DropIndex(m.table, m.column);
+      break;
+    case ManipulationType::kNull:
+      break;
+  }
+  if (at_go) {
+    stats_.cancelled_at_go++;
+  } else {
+    stats_.cancelled_by_edit++;
+  }
+  SQP_LOG_DEBUG << "spec: cancelled " << m.Describe()
+                << (at_go ? " (at GO)" : " (edit)");
+}
+
+void SpeculationEngine::CancelOutstanding(bool at_go) {
+  for (auto& out : outstanding_) CancelOne(out, at_go);
+  outstanding_.clear();
+}
+
+void SpeculationEngine::GarbageCollect() {
+  const QueryGraph& partial = tracker_.current();
+  for (auto it = owned_views_.begin(); it != owned_views_.end();) {
+    if (!partial.ContainsSubgraph(it->second)) {
+      SQP_LOG_DEBUG << "spec: GC " << it->first;
+      (void)db_->DropTable(it->first);  // also unregisters the view
+      it = owned_views_.erase(it);
+      stats_.views_garbage_collected++;
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status SpeculationEngine::ExecuteManipulation(
+    const Manipulation& m, const ManipulationEvaluation& eval,
+    double sim_time) {
+  Outstanding out;
+  out.manipulation = m;
+  out.issue_time = sim_time;
+  out.issue_cost_without = eval.cost_without;
+
+  switch (m.type) {
+    case ManipulationType::kMaterializeQuery:
+    case ManipulationType::kRewriteQuery: {
+      out.table_name =
+          options_.table_prefix + std::to_string(next_table_id_++);
+      auto result = db_->Materialize(m.target_query, out.table_name,
+                                     /*register_view=*/false);
+      if (!result.ok()) return result.status();
+      out.work = result->seconds;
+      break;
+    }
+    case ManipulationType::kHistogramCreation: {
+      CostScope scope(db_->meter());
+      SQP_RETURN_IF_ERROR(db_->CreateHistogram(m.table, m.column));
+      out.work = scope.ElapsedSeconds();
+      break;
+    }
+    case ManipulationType::kIndexCreation: {
+      CostScope scope(db_->meter());
+      SQP_RETURN_IF_ERROR(db_->CreateIndex(m.table, m.column));
+      out.work = scope.ElapsedSeconds();
+      break;
+    }
+    case ManipulationType::kNull:
+      return Status::OK();
+  }
+
+  out.job = server_->Submit(out.work);
+  stats_.manipulations_issued++;
+  stats_.total_manipulation_work += out.work;
+  SQP_LOG_DEBUG << "spec: issued " << m.Describe() << " (work " << out.work
+                << "s)";
+  outstanding_.push_back(std::move(out));
+  return Status::OK();
+}
+
+Status SpeculationEngine::MaybeIssue(double sim_time) {
+  if (!options_.enabled) return Status::OK();
+  double start = tracker_.formulation_start();
+  double elapsed = start >= 0 ? sim_time - start : 0;
+  while (outstanding_.size() < options_.max_outstanding) {
+    if (options_.only_issue_when_idle && server_->active_jobs() > 0) {
+      return Status::OK();  // §7: stay out of a busy server's way
+    }
+    std::set<std::string> in_flight;
+    for (const auto& out : outstanding_) {
+      in_flight.insert(out.manipulation.Key());
+    }
+    SpeculationDecision decision =
+        speculator_.Decide(tracker_.current(), elapsed, &in_flight);
+    if (!decision.chosen.has_value()) return Status::OK();
+    SQP_RETURN_IF_ERROR(
+        ExecuteManipulation(*decision.chosen, decision.evaluation, sim_time));
+  }
+  return Status::OK();
+}
+
+Status SpeculationEngine::OnUserEvent(const TraceEvent& event,
+                                      double sim_time) {
+  SyncOutstanding(sim_time);
+  tracker_.NoteEventTime(sim_time);
+  tracker_.ApplyEvent(event);
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (!StillRelevant(*it)) {
+      CancelOne(*it, /*at_go=*/false);
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  GarbageCollect();
+  return MaybeIssue(sim_time);
+}
+
+Result<double> SpeculationEngine::OnGo(double sim_time) {
+  SyncOutstanding(sim_time);
+
+  double submit_time = sim_time;
+  if (options_.go_policy == GoPolicy::kWaitIfWorthwhile) {
+    // §7 remaining-time feedback: among in-flight materializations
+    // contained in the final query, find the one closest to completion
+    // and check whether waiting for it beats running without it.
+    // Estimate the final query's cost both ways (temporarily
+    // registering the view).
+    size_t best = outstanding_.size();
+    double best_remaining = 0;
+    for (size_t i = 0; i < outstanding_.size(); i++) {
+      const Outstanding& out = outstanding_[i];
+      if (!out.manipulation.is_materialization()) continue;
+      if (!tracker_.current().ContainsSubgraph(
+              out.manipulation.target_query)) {
+        continue;
+      }
+      double remaining = server_->RemainingWork(out.job) *
+                         static_cast<double>(server_->active_jobs());
+      if (best == outstanding_.size() || remaining < best_remaining) {
+        best = i;
+        best_remaining = remaining;
+      }
+    }
+    if (best < outstanding_.size()) {
+      auto cost_without =
+          db_->EstimateCost(tracker_.current(), ViewMode::kCostBased);
+      db_->RegisterView(outstanding_[best].manipulation.target_query,
+                        outstanding_[best].table_name);
+      auto cost_with =
+          db_->EstimateCost(tracker_.current(), ViewMode::kForced);
+      db_->views().Unregister(outstanding_[best].table_name);
+      if (cost_without.ok() && cost_with.ok() &&
+          best_remaining + *cost_with < *cost_without) {
+        submit_time = sim_time + best_remaining;
+        stats_.waits_at_go++;
+        stats_.total_wait_seconds += best_remaining;
+        SQP_LOG_DEBUG << "spec: waiting " << best_remaining
+                      << "s at GO for "
+                      << outstanding_[best].manipulation.Describe();
+        // Cancel everything else; the waited-for manipulation stays.
+        Outstanding waited = std::move(outstanding_[best]);
+        for (size_t i = 0; i < outstanding_.size(); i++) {
+          if (i != best) CancelOne(outstanding_[i], /*at_go=*/true);
+        }
+        outstanding_.clear();
+        outstanding_.push_back(std::move(waited));
+      }
+    }
+  }
+  if (submit_time <= sim_time) {
+    // Conservative convention: whatever is still running is cancelled.
+    CancelOutstanding(/*at_go=*/true);
+  }
+
+  const QueryGraph& final_query = tracker_.current();
+  double start = tracker_.formulation_start();
+  double duration = start >= 0 ? sim_time - start : 0;
+  learner_.ObserveGo(tracker_.seen_parts(), final_query,
+                     previous_final_.has_value() ? &*previous_final_
+                                                 : nullptr,
+                     duration);
+  previous_final_ = final_query;
+  tracker_.OnGo();
+  return submit_time;
+}
+
+Status SpeculationEngine::ResolveWait(double wait_until) {
+  SyncOutstanding(wait_until);
+  // If the manipulation somehow still isn't done (the wait estimate was
+  // optimistic under shifting load), fall back to the conservative rule.
+  CancelOutstanding(/*at_go=*/true);
+  return Status::OK();
+}
+
+Status SpeculationEngine::Shutdown() {
+  CancelOutstanding(/*at_go=*/true);
+  for (const auto& [name, def] : owned_views_) {
+    SQP_RETURN_IF_ERROR(db_->DropTable(name));
+  }
+  owned_views_.clear();
+  for (const auto& [table, column] : owned_histograms_) {
+    (void)db_->catalog().DropHistogram(table, column);
+  }
+  owned_histograms_.clear();
+  for (const auto& [table, column] : owned_indexes_) {
+    (void)db_->catalog().DropIndex(table, column);
+  }
+  owned_indexes_.clear();
+  return Status::OK();
+}
+
+Status SpeculationEngine::OnQueryResult(double sim_time) {
+  SyncOutstanding(sim_time);
+  if (!options_.speculate_on_results) return Status::OK();
+  return MaybeIssue(sim_time);
+}
+
+std::vector<std::string> SpeculationEngine::live_views() const {
+  std::vector<std::string> out;
+  out.reserve(owned_views_.size());
+  for (const auto& [name, def] : owned_views_) out.push_back(name);
+  return out;
+}
+
+void SpeculationEngine::PretrainLearner(const std::vector<Trace>& traces) {
+  for (const Trace& trace : traces) {
+    PartialQueryTracker tracker;
+    std::optional<QueryGraph> prev;
+    double formulation_start = -1;
+    for (const auto& event : trace.events) {
+      if (event.type == TraceEventType::kGo) {
+        double duration =
+            formulation_start >= 0 ? event.timestamp - formulation_start : 0;
+        learner_.ObserveGo(tracker.seen_parts(), tracker.current(),
+                           prev.has_value() ? &*prev : nullptr, duration);
+        prev = tracker.current();
+        tracker.OnGo();
+        formulation_start = -1;
+      } else {
+        if (formulation_start < 0) formulation_start = event.timestamp;
+        tracker.ApplyEvent(event);
+      }
+    }
+  }
+}
+
+}  // namespace sqp

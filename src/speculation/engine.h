@@ -1,0 +1,207 @@
+// Speculation engine: the session driver wiring Figure 3 together.
+//
+// Listens to user edits, maintains the partial query, asks the
+// Speculator for the best manipulation, issues it asynchronously on the
+// simulated server, and enforces the paper's three operating
+// conventions (§3.1):
+//   1. manipulations run asynchronously and are cancelled when the
+//      partial query stops implying them — and, conservatively, at GO
+//      (or, under the §7 wait policy, briefly waited for);
+//   2. completed results persist while the current partial query implies
+//      them (garbage-collection heuristic → inter-query reuse);
+//   3. at most one manipulation is outstanding at any time
+//      (max_outstanding relaxes this for the ablation).
+//
+// Execution model: the manipulation's side effects are applied eagerly
+// (the result table is built and its simulated duration measured), but
+// the result is only *registered* for rewriting when the simulated
+// completion time arrives; a cancellation drops the half-built result.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/sim_server.h"
+#include "speculation/learner.h"
+#include "speculation/speculator.h"
+#include "trace/trace.h"
+
+namespace sqp {
+
+/// What to do with a still-running manipulation when GO arrives.
+enum class GoPolicy {
+  /// The paper's conservative convention (§3.1): cancel it.
+  kCancelIncomplete,
+  /// §7's extension: with remaining-time feedback from the server, delay
+  /// the final query until the manipulation completes whenever the wait
+  /// is smaller than the rewriting's estimated saving.
+  kWaitIfWorthwhile,
+};
+
+struct SpeculationEngineOptions {
+  SpeculatorOptions speculator;
+  CostModelOptions cost_model;
+  GoPolicy go_policy = GoPolicy::kCancelIncomplete;
+  /// §7's load-aware issuing: only start a manipulation when the server
+  /// is otherwise idle (useful in multi-user settings).
+  bool only_issue_when_idle = false;
+  /// The paper's third operating convention keeps at most ONE
+  /// manipulation outstanding "so that the overall system load is kept
+  /// low" (§3.1). Raising this pipelines manipulations — they then share
+  /// server capacity and individually take longer (ablated by
+  /// bench_ablation_manipulations).
+  size_t max_outstanding = 1;
+  /// How the final query uses speculative results: kForced = the paper's
+  /// query rewriting (used in their evaluation, §4.2); kCostBased =
+  /// query materialization.
+  ViewMode final_query_view_mode = ViewMode::kForced;
+  bool enabled = true;
+  /// Also speculate when query results return (the canvas still shows
+  /// the previous query, so the Speculator can prepare for the next one
+  /// during the user's result-examination pause). The paper only issues
+  /// on partial-query modifications; this extension exploits the same
+  /// GC rule that keeps results alive between queries. Ablated by
+  /// bench_ablation_manipulations.
+  bool speculate_on_results = true;
+  /// Name prefix for speculative tables (unique per engine).
+  std::string table_prefix = "spec_mv_";
+};
+
+struct EngineStats {
+  size_t manipulations_issued = 0;
+  size_t manipulations_completed = 0;
+  size_t cancelled_by_edit = 0;
+  size_t cancelled_at_go = 0;
+  /// Materializations abandoned at completion because their *actual*
+  /// result (true row/page counts, known once built) turned out more
+  /// expensive to scan than recomputing the sub-query — the guard that
+  /// keeps correlated-cardinality misestimates from forcing penalties.
+  size_t abandoned_at_completion = 0;
+  size_t views_garbage_collected = 0;
+  /// GO events where the engine chose to wait for a near-complete
+  /// manipulation instead of cancelling it (GoPolicy::kWaitIfWorthwhile).
+  size_t waits_at_go = 0;
+  double total_wait_seconds = 0;
+  /// Simulated seconds of manipulation work executed (incl. cancelled).
+  double total_manipulation_work = 0;
+  /// Durations of completed manipulations.
+  std::vector<double> completed_durations;
+
+  size_t cancelled() const { return cancelled_by_edit + cancelled_at_go; }
+};
+
+class SpeculationEngine {
+ public:
+  SpeculationEngine(Database* db, SimServer* server,
+                    SpeculationEngineOptions options = {});
+
+  /// Handle one user edit at simulated time `sim_time` (the caller must
+  /// have advanced the server to `sim_time` already).
+  Status OnUserEvent(const TraceEvent& event, double sim_time);
+
+  /// Handle GO at `sim_time`: sync the outstanding manipulation, apply
+  /// the GO policy (cancel it, or decide to wait for it), and train the
+  /// learner on the completed formulation. The final query is the
+  /// current partial query. Call *before* executing the final query.
+  ///
+  /// Returns the simulated time at which the final query should be
+  /// submitted: `sim_time` normally; later under kWaitIfWorthwhile when
+  /// waiting for the manipulation beats running without it (the caller
+  /// must advance the server there and call OnQueryResult/Sync paths
+  /// via ResolveWait before executing).
+  Result<double> OnGo(double sim_time);
+
+  /// Complete a decided wait: advances bookkeeping to `wait_until`
+  /// (registering the finished manipulation). Call after advancing the
+  /// server to the time OnGo returned.
+  Status ResolveWait(double wait_until);
+
+  /// Called when the final query's results return to the user. The
+  /// canvas still shows that query, so the Speculator may start
+  /// preparing for the next one during the user's result-examination
+  /// pause (inter-query think time).
+  Status OnQueryResult(double sim_time);
+
+  /// Current partial query (equals the final query right after GO).
+  const QueryGraph& partial() const { return tracker_.current(); }
+
+  ViewMode final_view_mode() const {
+    return options_.final_query_view_mode;
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  Learner& learner() { return learner_; }
+  const Learner& learner() const { return learner_; }
+
+  /// Names of completed speculative views currently alive.
+  std::vector<std::string> live_views() const;
+
+  /// End-of-session cleanup: cancel any outstanding manipulation and
+  /// drop every speculative view, histogram, and index this engine
+  /// created, leaving the database as the replay found it.
+  Status Shutdown();
+
+  /// Pre-train the learner on historical traces (the paper's Learner
+  /// "observes users over time").
+  void PretrainLearner(const std::vector<Trace>& traces);
+
+ private:
+  struct Outstanding {
+    Manipulation manipulation;
+    SimServer::JobId job = 0;
+    std::string table_name;  // materializations only
+    double issue_time = 0;
+    double work = 0;
+    /// cost(q_m, m∅) as estimated at issue time, for the completion-time
+    /// benefit re-check.
+    double issue_cost_without = 0;
+  };
+
+  /// Promote outstanding manipulations whose simulated completion time
+  /// has arrived.
+  void SyncOutstanding(double sim_time);
+
+  /// Is this outstanding manipulation still implied by the partial
+  /// query?
+  bool StillRelevant(const Outstanding& out) const;
+
+  /// Cancel one outstanding entry (rolls back side effects).
+  void CancelOne(Outstanding& out, bool at_go);
+
+  /// Cancel every outstanding manipulation.
+  void CancelOutstanding(bool at_go);
+
+  /// Drop completed speculative views no longer implied by the partial.
+  void GarbageCollect();
+
+  /// Ask the Speculator and issue the chosen manipulation.
+  Status MaybeIssue(double sim_time);
+
+  Status ExecuteManipulation(const Manipulation& m,
+                             const ManipulationEvaluation& eval,
+                             double sim_time);
+
+  Database* db_;
+  SimServer* server_;
+  SpeculationEngineOptions options_;
+  Learner learner_;
+  SpeculationCostModel cost_model_;
+  Speculator speculator_;
+  PartialQueryTracker tracker_;
+  /// In-flight manipulations (size bounded by max_outstanding; the
+  /// paper's convention keeps it at one).
+  std::vector<Outstanding> outstanding_;
+  /// Completed speculative views: table name -> definition.
+  std::map<std::string, QueryGraph> owned_views_;
+  /// Completed speculative histograms / indexes: (table, column).
+  std::vector<std::pair<std::string, std::string>> owned_histograms_;
+  std::vector<std::pair<std::string, std::string>> owned_indexes_;
+  std::optional<QueryGraph> previous_final_;
+  EngineStats stats_;
+  uint64_t next_table_id_ = 0;
+};
+
+}  // namespace sqp

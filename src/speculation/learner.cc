@@ -1,0 +1,139 @@
+#include "speculation/learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqp {
+
+namespace {
+/// Standard normal upper tail Φc(z) = P(Z > z).
+double NormalUpperTail(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+}  // namespace
+
+// --------------------------------------------------------- SurvivalLearner
+
+void SurvivalLearner::ObserveFormulation(
+    const std::map<std::string, ObservedPart>& seen_parts,
+    const QueryGraph& final_query) {
+  for (const auto& [key, part] : seen_parts) {
+    bool survived = part.is_join ? final_query.HasJoin(part.join.Key())
+                                 : final_query.HasSelection(
+                                       part.selection.Key());
+    (part.is_join ? join_prior_ : selection_prior_).Observe(survived);
+    per_feature_[part.FeatureKey()].Observe(survived);
+  }
+  observations_++;
+}
+
+double SurvivalLearner::SurvivalProbability(const ObservedPart& part) const {
+  const BetaCounter& prior = part.is_join ? join_prior_ : selection_prior_;
+  auto it = per_feature_.find(part.FeatureKey());
+  if (it == per_feature_.end()) return prior.Mean();
+  // Shrink the per-feature estimate toward the population prior when the
+  // feature has little evidence.
+  double w = it->second.weight();
+  double lambda = w / (w + 4.0);
+  return lambda * it->second.Mean() + (1 - lambda) * prior.Mean();
+}
+
+double SurvivalLearner::ContainmentProbability(const QueryGraph& qm) const {
+  double p = 1.0;
+  for (const auto& sel : qm.selections()) {
+    ObservedPart part;
+    part.is_join = false;
+    part.selection = sel;
+    p *= SurvivalProbability(part);
+  }
+  for (const auto& join : qm.joins()) {
+    ObservedPart part;
+    part.is_join = true;
+    part.join = join;
+    p *= SurvivalProbability(part);
+  }
+  return p;
+}
+
+// -------------------------------------------------------- RetentionLearner
+
+void RetentionLearner::ObserveTransition(const QueryGraph& prev_final,
+                                         const QueryGraph& next_final) {
+  for (const auto& sel : prev_final.selections()) {
+    selection_retention_.Observe(next_final.HasSelection(sel.Key()));
+  }
+  for (const auto& join : prev_final.joins()) {
+    join_retention_.Observe(next_final.HasJoin(join.Key()));
+  }
+}
+
+double RetentionLearner::RetentionProbability(bool is_join) const {
+  return (is_join ? join_retention_ : selection_retention_).Mean();
+}
+
+double RetentionLearner::ExpectedUses(const QueryGraph& qm,
+                                      int horizon) const {
+  // Per-step survival of the whole sub-query.
+  double step = 1.0;
+  for (size_t i = 0; i < qm.selections().size(); i++) {
+    step *= RetentionProbability(false);
+  }
+  for (size_t i = 0; i < qm.joins().size(); i++) {
+    step *= RetentionProbability(true);
+  }
+  double uses = 0, p = 1.0;
+  for (int k = 0; k < horizon; k++) {
+    uses += p;
+    p *= step;
+  }
+  return uses;
+}
+
+// -------------------------------------------------------- ThinkTimeLearner
+
+void ThinkTimeLearner::ObserveDuration(double seconds) {
+  double x = std::log(std::max(0.5, seconds));
+  // Welford-style decayed update.
+  weight_ += 1.0;
+  double delta = x - mu_;
+  mu_ += delta / weight_;
+  m2_ += delta * (x - mu_);
+  if (weight_ > 256) {  // cap the memory so the model stays adaptive
+    double scale = 256.0 / weight_;
+    weight_ = 256;
+    m2_ *= scale;
+  }
+}
+
+double ThinkTimeLearner::sigma() const {
+  return std::sqrt(std::max(0.04, m2_ / std::max(1.0, weight_)));
+}
+
+double ThinkTimeLearner::ProbCompleteInTime(double elapsed_seconds,
+                                            double duration_seconds) const {
+  double e = std::max(0.0, elapsed_seconds);
+  double d = std::max(1e-6, duration_seconds);
+  double s = sigma();
+  double tail_total = NormalUpperTail((std::log(e + d) - mu_) / s);
+  if (e <= 1e-9) return tail_total;
+  double tail_elapsed = NormalUpperTail((std::log(e) - mu_) / s);
+  if (tail_elapsed < 1e-12) return 0.0;
+  return std::clamp(tail_total / tail_elapsed, 0.0, 1.0);
+}
+
+// ----------------------------------------------------------------- Learner
+
+void Learner::ObserveGo(
+    const std::map<std::string, ObservedPart>& seen_parts,
+    const QueryGraph& final_query, const QueryGraph* previous_final_query,
+    double formulation_duration) {
+  survival_.ObserveFormulation(seen_parts, final_query);
+  if (previous_final_query != nullptr) {
+    retention_.ObserveTransition(*previous_final_query, final_query);
+  }
+  if (formulation_duration > 0) {
+    think_time_.ObserveDuration(formulation_duration);
+  }
+}
+
+}  // namespace sqp

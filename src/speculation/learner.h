@@ -1,0 +1,136 @@
+// The Learner (paper §3.4): online user-profile models feeding the
+// probability terms of the cost model.
+//
+// Three components, each approximating one probability:
+//
+//  * SurvivalLearner — f⊆ within a formulation: the probability that an
+//    atomic part present in the partial query survives into the final
+//    query. Beta-Bernoulli counts with exponential decay, keyed by part
+//    feature ("sel:table.column" / "join:key") with per-kind priors, so
+//    habits specific to a column or join are learned while rare parts
+//    fall back to the population prior.
+//
+//  * RetentionLearner — cross-query retention: the per-kind geometric
+//    probability that a part of one final query appears in the next
+//    (§5 observes means of ~3 consecutive queries for selections, ~10
+//    for joins). Feeds the multi-query (lookahead) benefit term.
+//
+//  * ThinkTimeLearner — a log-normal model of formulation duration,
+//    updated at every GO, giving P(manipulation of duration d completes
+//    before GO | formulation already lasted e seconds).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "optimizer/query_graph.h"
+#include "speculation/partial_query.h"
+
+namespace sqp {
+
+/// Decayed Beta-Bernoulli estimator.
+class BetaCounter {
+ public:
+  BetaCounter(double prior_success = 1, double prior_total = 2)
+      : s_(prior_success), n_(prior_total) {}
+
+  void Observe(bool success, double decay = 0.98) {
+    s_ = s_ * decay + (success ? 1.0 : 0.0);
+    n_ = n_ * decay + 1.0;
+  }
+  double Mean() const { return n_ > 0 ? s_ / n_ : 0.5; }
+  double weight() const { return n_; }
+
+ private:
+  double s_;
+  double n_;
+};
+
+class SurvivalLearner {
+ public:
+  /// Train on one completed formulation: every part observed during
+  /// formulation either survived into `final_query` or did not.
+  void ObserveFormulation(
+      const std::map<std::string, ObservedPart>& seen_parts,
+      const QueryGraph& final_query);
+
+  /// P(part survives to the final query).
+  double SurvivalProbability(const ObservedPart& part) const;
+
+  /// f⊆(q_m): probability the whole sub-query survives (independence
+  /// across its atomic parts).
+  double ContainmentProbability(const QueryGraph& qm) const;
+
+  size_t observed_formulations() const { return observations_; }
+
+ private:
+  // Population priors per kind; the paper's users keep most parts:
+  // start moderately optimistic.
+  BetaCounter selection_prior_{7, 10};  // ~0.7
+  BetaCounter join_prior_{9, 10};       // ~0.9
+  std::map<std::string, BetaCounter> per_feature_;
+  size_t observations_ = 0;
+};
+
+class RetentionLearner {
+ public:
+  /// Train on a consecutive pair of final queries.
+  void ObserveTransition(const QueryGraph& prev_final,
+                         const QueryGraph& next_final);
+
+  /// Per-kind probability a part carries into the next final query.
+  double RetentionProbability(bool is_join) const;
+
+  /// Expected number of future final queries (within `horizon`) that
+  /// still contain q_m, including the imminent one:
+  /// Σ_{k=0}^{horizon-1} Π_parts retention^k.
+  double ExpectedUses(const QueryGraph& qm, int horizon) const;
+
+ private:
+  BetaCounter selection_retention_{2, 3};  // ~0.67 prior (lifetime 3)
+  BetaCounter join_retention_{9, 10};      // ~0.9 prior (lifetime 10)
+};
+
+class ThinkTimeLearner {
+ public:
+  /// Record a completed formulation's duration (seconds).
+  void ObserveDuration(double seconds);
+
+  /// P(remaining formulation time > d | elapsed e so far), under the
+  /// fitted log-normal: Φc((ln(e+d)−μ)/σ) / Φc((ln e−μ)/σ).
+  double ProbCompleteInTime(double elapsed_seconds,
+                            double duration_seconds) const;
+
+  double mu() const { return mu_; }
+  double sigma() const;
+
+ private:
+  // Online mean/variance of log-duration, seeded with the §5 profile.
+  double mu_ = 2.4;
+  double m2_ = 1.87 * 8;  // sigma^2 * weight
+  double weight_ = 8;
+};
+
+/// Facade owning the three learners.
+class Learner {
+ public:
+  SurvivalLearner& survival() { return survival_; }
+  const SurvivalLearner& survival() const { return survival_; }
+  RetentionLearner& retention() { return retention_; }
+  const RetentionLearner& retention() const { return retention_; }
+  ThinkTimeLearner& think_time() { return think_time_; }
+  const ThinkTimeLearner& think_time() const { return think_time_; }
+
+  /// Convenience: train every component at a GO boundary.
+  void ObserveGo(const std::map<std::string, ObservedPart>& seen_parts,
+                 const QueryGraph& final_query,
+                 const QueryGraph* previous_final_query,
+                 double formulation_duration);
+
+ private:
+  SurvivalLearner survival_;
+  RetentionLearner retention_;
+  ThinkTimeLearner think_time_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,53 @@
+#include "speculation/manipulation.h"
+
+namespace sqp {
+
+const char* ManipulationTypeName(ManipulationType type) {
+  switch (type) {
+    case ManipulationType::kNull:
+      return "null";
+    case ManipulationType::kHistogramCreation:
+      return "histogram";
+    case ManipulationType::kIndexCreation:
+      return "index";
+    case ManipulationType::kMaterializeQuery:
+      return "materialize";
+    case ManipulationType::kRewriteQuery:
+      return "rewrite";
+  }
+  return "?";
+}
+
+std::string Manipulation::Key() const {
+  switch (type) {
+    case ManipulationType::kNull:
+      return "null";
+    case ManipulationType::kHistogramCreation:
+    case ManipulationType::kIndexCreation:
+      return std::string(ManipulationTypeName(type)) + ":" + table + "." +
+             column;
+    case ManipulationType::kMaterializeQuery:
+    case ManipulationType::kRewriteQuery:
+      return std::string(ManipulationTypeName(type)) + ":" +
+             target_query.CanonicalKey();
+  }
+  return "?";
+}
+
+std::string Manipulation::Describe() const {
+  switch (type) {
+    case ManipulationType::kNull:
+      return "m0 (no action)";
+    case ManipulationType::kHistogramCreation:
+      return "CREATE HISTOGRAM ON " + table + "(" + column + ")";
+    case ManipulationType::kIndexCreation:
+      return "CREATE INDEX ON " + table + "(" + column + ")";
+    case ManipulationType::kMaterializeQuery:
+      return "MATERIALIZE " + target_query.ToSql();
+    case ManipulationType::kRewriteQuery:
+      return "MATERIALIZE+REWRITE " + target_query.ToSql();
+  }
+  return "?";
+}
+
+}  // namespace sqp

@@ -1,0 +1,50 @@
+// Speculative manipulations (paper §3.2).
+//
+// Five operation types are defined in the paper: data staging, histogram
+// creation, index creation, query materialization, and query rewriting.
+// Data staging requires pinning buffer-pool pages from outside the
+// server, which the paper's middleware architecture cannot do — they
+// exclude it, and so do we (documented for completeness). Materialization
+// and rewriting differ only in whether the optimizer *may* or *must* use
+// the result; the manipulation itself is the same stored table.
+#pragma once
+
+#include <string>
+
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+
+enum class ManipulationType {
+  kNull,              // m∅: do nothing
+  kHistogramCreation,
+  kIndexCreation,
+  kMaterializeQuery,  // optimizer may use the result
+  kRewriteQuery,      // optimizer must use the result
+};
+
+const char* ManipulationTypeName(ManipulationType type);
+
+struct Manipulation {
+  ManipulationType type = ManipulationType::kNull;
+
+  /// The materialized sub-query q_m (materialize / rewrite).
+  QueryGraph target_query;
+
+  /// Target column (histogram / index creation).
+  std::string table;
+  std::string column;
+
+  static Manipulation Null() { return Manipulation{}; }
+
+  bool is_materialization() const {
+    return type == ManipulationType::kMaterializeQuery ||
+           type == ManipulationType::kRewriteQuery;
+  }
+
+  /// Stable identity (for dedup within one enumeration round).
+  std::string Key() const;
+  std::string Describe() const;
+};
+
+}  // namespace sqp

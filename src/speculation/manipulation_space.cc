@@ -1,0 +1,90 @@
+#include "speculation/manipulation_space.h"
+
+#include <map>
+#include <set>
+
+namespace sqp {
+
+std::vector<Manipulation> EnumerateManipulations(
+    const QueryGraph& partial, const ViewRegistry& views,
+    const Catalog& catalog, const ManipulationSpaceOptions& options) {
+  std::vector<Manipulation> out;
+  std::set<std::string> seen;
+  ManipulationType mat_type = options.force_rewrite
+                                  ? ManipulationType::kRewriteQuery
+                                  : ManipulationType::kMaterializeQuery;
+
+  auto add = [&](Manipulation m) {
+    std::string key = m.Key();
+    if (seen.count(key) > 0) return;
+    seen.insert(std::move(key));
+    out.push_back(std::move(m));
+  };
+
+  // Selection-edge materializations.
+  if (options.selection_materializations) {
+    for (const auto& sel : partial.selections()) {
+      QueryGraph qm;
+      qm.AddSelection(sel);
+      if (views.FindExact(qm) != nullptr) continue;  // already available
+      Manipulation m;
+      m.type = mat_type;
+      m.target_query = std::move(qm);
+      add(std::move(m));
+    }
+  }
+
+  // Two-way join materializations: group join edges by relation pair so
+  // the composite lineitem–partsupp pair becomes one manipulation.
+  if (options.join_materializations) {
+    std::map<std::pair<std::string, std::string>, std::vector<JoinPred>>
+        pairs;
+    for (const auto& join : partial.joins()) {
+      JoinPred c = join;
+      c.Canonicalize();
+      pairs[{c.left_table, c.right_table}].push_back(c);
+    }
+    for (const auto& [pair_key, edges] : pairs) {
+      QueryGraph qm;
+      for (const auto& edge : edges) qm.AddJoin(edge);
+      // "enhanced with all selection edges attached to the join edge".
+      for (const auto& sel : partial.SelectionsOn(pair_key.first)) {
+        qm.AddSelection(sel);
+      }
+      for (const auto& sel : partial.SelectionsOn(pair_key.second)) {
+        qm.AddSelection(sel);
+      }
+      if (views.FindExact(qm) != nullptr) continue;
+      Manipulation m;
+      m.type = mat_type;
+      m.target_query = std::move(qm);
+      add(std::move(m));
+    }
+  }
+
+  // Histogram / index creations on the partial query's selection columns.
+  if (options.histogram_creations || options.index_creations) {
+    for (const auto& sel : partial.selections()) {
+      if (options.histogram_creations &&
+          catalog.GetHistogram(sel.table, sel.column) == nullptr) {
+        Manipulation m;
+        m.type = ManipulationType::kHistogramCreation;
+        m.table = sel.table;
+        m.column = sel.column;
+        add(std::move(m));
+      }
+      if (options.index_creations &&
+          !catalog.HasIndex(sel.table, sel.column)) {
+        Manipulation m;
+        m.type = ManipulationType::kIndexCreation;
+        m.table = sel.table;
+        m.column = sel.column;
+        add(std::move(m));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace sqp

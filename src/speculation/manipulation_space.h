@@ -1,0 +1,47 @@
+// Manipulation-space enumeration (paper §3.5).
+//
+// The Speculator considers materializations of sub-graphs of the current
+// partial query only — specifically:
+//   * each individual selection edge (a single-relation selection query);
+//   * each join edge enhanced with all selection edges attached to its
+//     two relation vertices (a two-way join query).
+// Arbitrary sub-queries are not enumerated (too many, rarely useful).
+// Variants that reuse already-completed materializations (the paper's
+// T1 ← σθ(T) example) arise automatically: the Database plans each
+// materialization query cost-based over the current view registry.
+//
+// Policy switches select which operation types to enumerate — used by
+// the ablation experiment (E8) and by the multi-user configuration,
+// which restricts speculation to selection materializations (§6.3).
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/view_matcher.h"
+#include "speculation/manipulation.h"
+
+namespace sqp {
+
+struct ManipulationSpaceOptions {
+  /// Materialize single selection edges.
+  bool selection_materializations = true;
+  /// Materialize two-way joins with attached selections.
+  bool join_materializations = true;
+  /// Enumerate histogram-creation manipulations on selection columns.
+  bool histogram_creations = false;
+  /// Enumerate index-creation manipulations on selection columns.
+  bool index_creations = false;
+  /// Emit kRewriteQuery (forced) instead of kMaterializeQuery.
+  /// The paper's implementation uses rewriting throughout (§4.2).
+  bool force_rewrite = true;
+};
+
+/// Enumerate candidate manipulations for `partial`. Materializations
+/// whose exact result already exists in `views` are skipped; histogram /
+/// index creations that already exist in `catalog` are skipped.
+std::vector<Manipulation> EnumerateManipulations(
+    const QueryGraph& partial, const ViewRegistry& views,
+    const Catalog& catalog, const ManipulationSpaceOptions& options);
+
+}  // namespace sqp

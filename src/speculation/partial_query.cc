@@ -1,0 +1,53 @@
+#include "speculation/partial_query.h"
+
+namespace sqp {
+
+std::string ObservedPart::FeatureKey() const {
+  if (is_join) return "join:" + join.Key();
+  // Selections are learned per (table, column): the constant changes
+  // between queries but the user's habit of filtering that column is
+  // what survives.
+  return "sel:" + selection.table + "." + selection.column;
+}
+
+void PartialQueryTracker::ApplyEvent(const TraceEvent& event) {
+  Trace::Apply(event, &graph_);
+  switch (event.type) {
+    case TraceEventType::kAddSelection: {
+      ObservedPart part;
+      part.is_join = false;
+      part.selection = event.selection;
+      seen_[event.selection.Key()] = std::move(part);
+      break;
+    }
+    case TraceEventType::kAddJoin: {
+      ObservedPart part;
+      part.is_join = true;
+      part.join = event.join;
+      seen_[event.join.Key()] = std::move(part);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PartialQueryTracker::OnGo() {
+  seen_.clear();
+  // Parts remaining on the canvas participate in the next formulation.
+  for (const auto& sel : graph_.selections()) {
+    ObservedPart part;
+    part.is_join = false;
+    part.selection = sel;
+    seen_[sel.Key()] = std::move(part);
+  }
+  for (const auto& join : graph_.joins()) {
+    ObservedPart part;
+    part.is_join = true;
+    part.join = join;
+    seen_[join.Key()] = std::move(part);
+  }
+  formulation_start_ = -1;
+}
+
+}  // namespace sqp

@@ -1,0 +1,57 @@
+// Partial-query tracking.
+//
+// The speculation subsystem monitors the user's on-screen edits; this
+// tracker maintains the current partial query graph plus the formulation
+// bookkeeping the Learner trains on: which atomic parts appeared at any
+// point during the current formulation (so that at GO we can observe,
+// per part, whether it survived into the final query).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "optimizer/query_graph.h"
+#include "trace/trace.h"
+
+namespace sqp {
+
+/// An atomic part observed during formulation.
+struct ObservedPart {
+  bool is_join = false;
+  SelectionPred selection;
+  JoinPred join;
+
+  std::string FeatureKey() const;
+};
+
+class PartialQueryTracker {
+ public:
+  /// Apply a user edit; records added parts in the seen-set.
+  void ApplyEvent(const TraceEvent& event);
+
+  /// The current partial query.
+  const QueryGraph& current() const { return graph_; }
+
+  /// Parts seen (added) at any time during the current formulation.
+  const std::map<std::string, ObservedPart>& seen_parts() const {
+    return seen_;
+  }
+
+  /// Start a new formulation (called after GO): parts still on the
+  /// canvas seed the next formulation's seen-set, since they are part of
+  /// the next partial query from its first moment.
+  void OnGo();
+
+  /// Sim time of the first edit in the current formulation (<0: none).
+  double formulation_start() const { return formulation_start_; }
+  void NoteEventTime(double t) {
+    if (formulation_start_ < 0) formulation_start_ = t;
+  }
+
+ private:
+  QueryGraph graph_;
+  std::map<std::string, ObservedPart> seen_;
+  double formulation_start_ = -1;
+};
+
+}  // namespace sqp

@@ -1,0 +1,29 @@
+#include "speculation/speculator.h"
+
+namespace sqp {
+
+SpeculationDecision Speculator::Decide(
+    const QueryGraph& partial, double elapsed_formulation_seconds,
+    const std::set<std::string>* exclude_keys) const {
+  SpeculationDecision decision;
+  std::vector<Manipulation> candidates = EnumerateManipulations(
+      partial, db_->views(), db_->catalog(), options_.space);
+
+  double best = -options_.min_benefit_seconds;  // must beat m∅ by margin
+  for (Manipulation& m : candidates) {
+    if (exclude_keys != nullptr && exclude_keys->count(m.Key()) > 0) {
+      continue;
+    }
+    ManipulationEvaluation eval =
+        cost_model_->Evaluate(m, elapsed_formulation_seconds);
+    if (eval.score < best) {
+      best = eval.score;
+      decision.chosen = m;
+      decision.evaluation = eval;
+    }
+    decision.considered.emplace_back(std::move(m), eval);
+  }
+  return decision;
+}
+
+}  // namespace sqp

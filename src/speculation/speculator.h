@@ -1,0 +1,51 @@
+// The Speculator (paper §3.5): enumerate the manipulation space and
+// choose the manipulation minimizing Cost⊆.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "speculation/cost_model.h"
+#include "speculation/manipulation_space.h"
+
+namespace sqp {
+
+struct SpeculatorOptions {
+  ManipulationSpaceOptions space;
+  /// A manipulation is issued only if its Cost⊆ beats m∅'s (0) by this
+  /// margin (simulated seconds), filtering noise-level wins.
+  double min_benefit_seconds = 0.05;
+};
+
+struct SpeculationDecision {
+  /// The chosen manipulation; nullopt = m∅ (do nothing).
+  std::optional<Manipulation> chosen;
+  ManipulationEvaluation evaluation;
+  /// Every candidate considered, for introspection/tests.
+  std::vector<std::pair<Manipulation, ManipulationEvaluation>> considered;
+};
+
+class Speculator {
+ public:
+  Speculator(const Database* db, const SpeculationCostModel* cost_model,
+             SpeculatorOptions options = {})
+      : db_(db), cost_model_(cost_model), options_(options) {}
+
+  /// Pick the best manipulation for the current partial query.
+  /// `exclude_keys` (optional) removes candidates already in flight —
+  /// used when more than one manipulation may be outstanding.
+  SpeculationDecision Decide(
+      const QueryGraph& partial, double elapsed_formulation_seconds,
+      const std::set<std::string>* exclude_keys = nullptr) const;
+
+  const SpeculatorOptions& options() const { return options_; }
+
+ private:
+  const Database* db_;
+  const SpeculationCostModel* cost_model_;
+  SpeculatorOptions options_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,159 @@
+#include "sql/binder.h"
+
+namespace sqp {
+
+namespace {
+
+/// Resolve a column reference to the FROM table that owns it.
+Result<std::string> ResolveTable(const AstColumnRef& ref,
+                                 const std::vector<std::string>& tables,
+                                 const Catalog& catalog) {
+  if (!ref.table.empty()) {
+    bool listed = false;
+    for (const auto& t : tables) {
+      if (t == ref.table) {
+        listed = true;
+        break;
+      }
+    }
+    if (!listed) {
+      return Status::InvalidArgument("table " + ref.table +
+                                     " not in FROM clause");
+    }
+    const TableInfo* info = catalog.GetTable(ref.table);
+    if (info == nullptr) return Status::NotFound("table " + ref.table);
+    if (!info->schema.HasColumn(ref.column)) {
+      return Status::NotFound("column " + ref.column + " in " + ref.table);
+    }
+    return ref.table;
+  }
+  std::string owner;
+  for (const auto& t : tables) {
+    const TableInfo* info = catalog.GetTable(t);
+    if (info == nullptr) return Status::NotFound("table " + t);
+    if (info->schema.HasColumn(ref.column)) {
+      if (!owner.empty()) {
+        return Status::InvalidArgument("ambiguous column " + ref.column);
+      }
+      owner = t;
+    }
+  }
+  if (owner.empty()) return Status::NotFound("column " + ref.column);
+  return owner;
+}
+
+}  // namespace
+
+Result<QueryGraph> BindSelect(const AstSelect& ast, const Catalog& catalog) {
+  QueryGraph graph;
+  for (const auto& table : ast.tables) {
+    if (catalog.GetTable(table) == nullptr) {
+      return Status::NotFound("table " + table);
+    }
+    graph.AddRelation(table);
+  }
+  for (const auto& cond : ast.conditions) {
+    auto left_table = ResolveTable(cond.left, ast.tables, catalog);
+    if (!left_table.ok()) return left_table.status();
+    if (cond.is_join) {
+      auto right_table = ResolveTable(cond.right_column, ast.tables, catalog);
+      if (!right_table.ok()) return right_table.status();
+      if (*left_table == *right_table) {
+        return Status::NotSupported("self-join conditions");
+      }
+      JoinPred join;
+      join.left_table = *left_table;
+      join.left_column = cond.left.column;
+      join.right_table = *right_table;
+      join.right_column = cond.right_column.column;
+      graph.AddJoin(std::move(join));
+    } else {
+      SelectionPred sel;
+      sel.table = *left_table;
+      sel.column = cond.left.column;
+      sel.op = cond.op;
+      sel.constant = cond.literal;
+      graph.AddSelection(std::move(sel));
+    }
+  }
+  if (!ast.select_star) {
+    std::vector<std::string> projections;
+    for (const auto& ref : ast.projections) {
+      auto table = ResolveTable(ref, ast.tables, catalog);
+      if (!table.ok()) return table.status();
+      projections.push_back(ref.column);
+    }
+    graph.SetProjections(std::move(projections));
+  }
+  return graph;
+}
+
+Result<QueryGraph> ParseAndBind(const std::string& sql,
+                                const Catalog& catalog) {
+  auto ast = ParseSelect(sql);
+  if (!ast.ok()) return ast.status();
+  return BindSelect(*ast, catalog);
+}
+
+Result<BoundQuery> BindFullSelect(const AstSelect& ast,
+                                  const Catalog& catalog) {
+  BoundQuery bound;
+  auto graph = BindSelect(ast, catalog);
+  if (!graph.ok()) return graph.status();
+  bound.graph = std::move(*graph);
+
+  for (const auto& col : ast.group_by) {
+    auto table = ResolveTable(col, ast.tables, catalog);
+    if (!table.ok()) return table.status();
+    bound.group_by.push_back(col.column);
+  }
+
+  for (const auto& agg : ast.aggregates) {
+    BoundAggregate b;
+    b.func = agg.func;
+    b.star = agg.star;
+    if (!agg.star) {
+      auto table = ResolveTable(agg.column, ast.tables, catalog);
+      if (!table.ok()) return table.status();
+      b.column = agg.column.column;
+    }
+    b.output_name = std::string(AggFuncName(agg.func)) + "(" +
+                    (agg.star ? "*" : b.column) + ")";
+    bound.aggregates.push_back(std::move(b));
+  }
+
+  if (!bound.aggregates.empty()) {
+    // SQL rule: plain select-list columns must be grouping columns.
+    for (const auto& proj : ast.projections) {
+      bool grouped = false;
+      for (const auto& g : bound.group_by) {
+        if (g == proj.column) grouped = true;
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + proj.column +
+            " must appear in GROUP BY when aggregating");
+      }
+    }
+    // The SPJ core feeds the aggregate with all columns.
+    bound.graph.SetProjections({});
+  }
+
+  for (const auto& order : ast.order_by) {
+    // Names referencing base columns are validated now; aggregate
+    // outputs are validated at execution time against the top schema.
+    bound.order_by.push_back(BoundOrderBy{order.column.column,
+                                          order.descending});
+  }
+  bound.limit = ast.limit;
+  return bound;
+}
+
+Result<BoundQuery> ParseAndBindFull(const std::string& sql,
+                                    const Catalog& catalog) {
+  auto ast = ParseSelect(sql);
+  if (!ast.ok()) return ast.status();
+  return BindFullSelect(*ast, catalog);
+}
+
+}  // namespace sqp

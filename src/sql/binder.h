@@ -1,0 +1,65 @@
+// Binder: resolve a parsed AST against a catalog into a QueryGraph.
+//
+// Column resolution uses the workload's globally-unique column names:
+// an unqualified column is looked up across the statement's FROM tables;
+// ambiguity (possible with materialized join views) is an error unless
+// qualified.
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/query_graph.h"
+#include "sql/parser.h"
+
+namespace sqp {
+
+/// Bind `ast` against `catalog`; every FROM table must exist, every
+/// column must resolve to exactly one FROM table. Considers the SPJ
+/// core only (select list, FROM, WHERE); aggregate/group/order/limit
+/// decorations are bound by BindFullSelect.
+Result<QueryGraph> BindSelect(const AstSelect& ast, const Catalog& catalog);
+
+/// Parse + bind the SPJ core in one step.
+Result<QueryGraph> ParseAndBind(const std::string& sql,
+                                const Catalog& catalog);
+
+// ------------------------------------------------- full-query binding
+
+struct BoundAggregate {
+  AggFunc func = AggFunc::kCount;
+  bool star = false;
+  std::string column;       // input column (when !star)
+  std::string output_name;  // e.g. "count(*)", "sum(l_quantity)"
+};
+
+struct BoundOrderBy {
+  std::string column;  // resolved against the final output schema
+  bool descending = false;
+};
+
+/// A bound query: the SPJ core (the object speculation reasons about)
+/// plus the decorations executed on top of its result.
+struct BoundQuery {
+  QueryGraph graph;
+  std::vector<BoundAggregate> aggregates;
+  std::vector<std::string> group_by;
+  std::vector<BoundOrderBy> order_by;
+  std::optional<uint64_t> limit;
+
+  bool has_decorations() const {
+    return !aggregates.empty() || !group_by.empty() || !order_by.empty() ||
+           limit.has_value();
+  }
+};
+
+/// Bind the whole statement, validating SQL's aggregate rules (plain
+/// select-list columns must appear in GROUP BY when aggregating).
+Result<BoundQuery> BindFullSelect(const AstSelect& ast,
+                                  const Catalog& catalog);
+
+Result<BoundQuery> ParseAndBindFull(const std::string& sql,
+                                    const Catalog& catalog);
+
+}  // namespace sqp

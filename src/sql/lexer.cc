@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace sqp {
+
+bool Token::IsKeyword(const char* keyword) const {
+  if (type != TokenType::kIdent) return false;
+  size_t i = 0;
+  for (; keyword[i] != '\0' && i < text.size(); i++) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return keyword[i] == '\0' && i == text.size();
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        i++;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') i++;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        i++;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') i++;
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start - 1));
+      }
+      tok.type = TokenType::kString;
+      tok.text = sql.substr(start, i - start);
+      i++;  // closing quote
+    } else {
+      switch (c) {
+        case ',':
+          tok.type = TokenType::kComma;
+          i++;
+          break;
+        case '.':
+          tok.type = TokenType::kDot;
+          i++;
+          break;
+        case '*':
+          tok.type = TokenType::kStar;
+          i++;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          i++;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          i++;
+          break;
+        case '=':
+          tok.type = TokenType::kEq;
+          i++;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            return Status::InvalidArgument("stray '!' at " +
+                                           std::to_string(i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kLt;
+            i++;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kGe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kGt;
+            i++;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(std::string("unexpected char '") +
+                                         c + "' at " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sqp

@@ -1,0 +1,41 @@
+// SQL tokenizer for the conjunctive-query dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+
+enum class TokenType {
+  kIdent,
+  kNumber,   // integer or decimal literal
+  kString,   // 'quoted'
+  kComma,
+  kDot,
+  kStar,
+  kEq,       // =
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // raw text (identifier, number, or string body)
+  size_t position = 0;
+
+  /// Case-insensitive keyword check for identifiers.
+  bool IsKeyword(const char* keyword) const;
+};
+
+/// Tokenize `sql`; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sqp

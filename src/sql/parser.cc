@@ -1,0 +1,233 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace sqp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstSelect> Parse() {
+    AstSelect select;
+    SQP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      select.select_star = true;
+    } else {
+      for (;;) {
+        SQP_RETURN_IF_ERROR(ParseSelectItem(&select));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+    }
+    SQP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    for (;;) {
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected table name");
+      }
+      select.tables.push_back(Peek().text);
+      Advance();
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      for (;;) {
+        auto cond = ParseCondition();
+        if (!cond.ok()) return cond.status();
+        select.conditions.push_back(*cond);
+        if (!Peek().IsKeyword("AND")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      SQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        auto col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        select.group_by.push_back(*col);
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      SQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        AstOrderBy order;
+        auto col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        order.column = *col;
+        if (Peek().IsKeyword("DESC")) {
+          order.descending = true;
+          Advance();
+        } else if (Peek().IsKeyword("ASC")) {
+          Advance();
+        }
+        select.order_by.push_back(std::move(order));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kNumber ||
+          Peek().text.find('.') != std::string::npos ||
+          Peek().text.front() == '-') {
+        return Error("expected non-negative integer after LIMIT");
+      }
+      select.limit = std::stoull(Peek().text);
+      Advance();
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return select;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { pos_++; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(Peek().position));
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectItem(AstSelect* select) {
+    // Aggregate: FUNC '(' (* | colref) ')'.
+    static const std::pair<const char*, AggFunc> kFuncs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+        {"AVG", AggFunc::kAvg},     {"MIN", AggFunc::kMin},
+        {"MAX", AggFunc::kMax},
+    };
+    for (const auto& [name, func] : kFuncs) {
+      if (Peek().IsKeyword(name) && tokens_[pos_ + 1].type ==
+                                        TokenType::kLParen) {
+        Advance();  // function name
+        Advance();  // '('
+        AstAggregate agg;
+        agg.func = func;
+        if (Peek().type == TokenType::kStar) {
+          if (func != AggFunc::kCount) {
+            return Error("only COUNT accepts *");
+          }
+          agg.star = true;
+          Advance();
+        } else {
+          auto col = ParseColumnRef();
+          if (!col.ok()) return col.status();
+          agg.column = *col;
+        }
+        if (Peek().type != TokenType::kRParen) {
+          return Error("expected ')'");
+        }
+        Advance();
+        select->aggregates.push_back(std::move(agg));
+        return Status::OK();
+      }
+    }
+    auto col = ParseColumnRef();
+    if (!col.ok()) return col.status();
+    select->projections.push_back(*col);
+    return Status::OK();
+  }
+
+  Result<AstColumnRef> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected column reference");
+    }
+    AstColumnRef ref;
+    ref.column = Peek().text;
+    Advance();
+    if (Peek().type == TokenType::kDot) {
+      Advance();
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected column after '.'");
+      }
+      ref.table = ref.column;
+      ref.column = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Result<AstCondition> ParseCondition() {
+    AstCondition cond;
+    auto left = ParseColumnRef();
+    if (!left.ok()) return left.status();
+    cond.left = *left;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        cond.op = CompareOp::kEq;
+        break;
+      case TokenType::kNe:
+        cond.op = CompareOp::kNe;
+        break;
+      case TokenType::kLt:
+        cond.op = CompareOp::kLt;
+        break;
+      case TokenType::kLe:
+        cond.op = CompareOp::kLe;
+        break;
+      case TokenType::kGt:
+        cond.op = CompareOp::kGt;
+        break;
+      case TokenType::kGe:
+        cond.op = CompareOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    const Token& rhs = Peek();
+    if (rhs.type == TokenType::kIdent) {
+      auto right = ParseColumnRef();
+      if (!right.ok()) return right.status();
+      if (cond.op != CompareOp::kEq) {
+        return Error("column-column conditions must be equijoins");
+      }
+      cond.is_join = true;
+      cond.right_column = *right;
+    } else if (rhs.type == TokenType::kNumber) {
+      if (rhs.text.find('.') != std::string::npos) {
+        cond.literal = Value(std::stod(rhs.text));
+      } else {
+        cond.literal = Value(static_cast<int64_t>(std::stoll(rhs.text)));
+      }
+      Advance();
+    } else if (rhs.type == TokenType::kString) {
+      cond.literal = Value(rhs.text);
+      Advance();
+    } else {
+      return Error("expected literal or column on right-hand side");
+    }
+    return cond;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstSelect> ParseSelect(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace sqp

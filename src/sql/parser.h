@@ -1,0 +1,70 @@
+// Recursive-descent parser for conjunctive SELECT statements:
+//
+//   SELECT (* | col [, col]...)
+//   FROM table [, table]...
+//   [WHERE cond [AND cond]...]
+//   [GROUP BY col [, col]...]
+//   [ORDER BY col [ASC|DESC] [, ...]]
+//   [LIMIT n]
+//
+// where cond is `colref op literal` or `colref = colref` (a join), and
+// select-list items may be plain columns, `*`, or aggregates
+// (COUNT(*), COUNT/SUM/AVG/MIN/MAX(col)). The parser produces an
+// unbound AST; the binder resolves it against a catalog: the SPJ core
+// becomes a QueryGraph (the object speculation operates on) and the
+// aggregate/order/limit decorations execute on top of it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/agg_func.h"
+#include "common/compare_op.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqp {
+
+struct AstColumnRef {
+  std::string table;  // may be empty (unqualified)
+  std::string column;
+};
+
+/// `COUNT(*)`, `SUM(col)`, ... in the select list.
+struct AstAggregate {
+  AggFunc func = AggFunc::kCount;
+  bool star = false;     // COUNT(*)
+  AstColumnRef column;   // when !star
+};
+
+struct AstOrderBy {
+  AstColumnRef column;   // may name an aggregate output, e.g. "count"
+  bool descending = false;
+};
+
+struct AstCondition {
+  AstColumnRef left;
+  CompareOp op = CompareOp::kEq;
+  // Right side: a literal or another column (join).
+  bool is_join = false;
+  AstColumnRef right_column;  // when is_join
+  Value literal;              // when !is_join
+};
+
+struct AstSelect {
+  bool select_star = false;
+  std::vector<AstColumnRef> projections;  // plain select-list columns
+  std::vector<AstAggregate> aggregates;   // aggregate select-list items
+  std::vector<std::string> tables;
+  std::vector<AstCondition> conditions;
+  std::vector<AstColumnRef> group_by;
+  std::vector<AstOrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+/// Parse one SELECT statement.
+Result<AstSelect> ParseSelect(const std::string& sql);
+
+}  // namespace sqp

@@ -1,0 +1,68 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+namespace {
+// Defaults used when the column has no usable stats at all.
+constexpr double kDefaultEq = 0.05;
+constexpr double kDefaultRange = 1.0 / 3.0;
+
+double UniformLt(const ColumnStats& stats, const Value& constant,
+                 bool inclusive) {
+  if (!stats.min.has_value() || !stats.max.has_value() ||
+      !stats.min->is_numeric() || !constant.is_numeric()) {
+    return kDefaultRange;
+  }
+  double lo = stats.min->NumericValue();
+  double hi = stats.max->NumericValue();
+  double c = constant.NumericValue();
+  if (hi <= lo) {
+    // Single-valued column.
+    int cmp = Value(c).Compare(Value(lo));
+    return (cmp > 0 || (cmp == 0 && inclusive)) ? 1.0 : 0.0;
+  }
+  return std::clamp((c - lo) / (hi - lo), 0.0, 1.0);
+}
+
+double UniformEq(const ColumnStats& stats, const Value& constant) {
+  if (stats.min.has_value() && stats.max.has_value() &&
+      constant.is_numeric() && stats.min->is_numeric()) {
+    double c = constant.NumericValue();
+    if (c < stats.min->NumericValue() || c > stats.max->NumericValue()) {
+      return 0.0;
+    }
+  }
+  if (stats.distinct_count > 0) return 1.0 / stats.distinct_count;
+  return kDefaultEq;
+}
+}  // namespace
+
+double EstimateSelectionSelectivity(const ColumnStats& stats,
+                                    const Histogram* hist, CompareOp op,
+                                    const Value& constant) {
+  if (hist != nullptr) return hist->EstimateSelectivity(op, constant);
+  switch (op) {
+    case CompareOp::kEq:
+      return UniformEq(stats, constant);
+    case CompareOp::kNe:
+      return std::clamp(1.0 - UniformEq(stats, constant), 0.0, 1.0);
+    case CompareOp::kLt:
+      return UniformLt(stats, constant, false);
+    case CompareOp::kLe:
+      return UniformLt(stats, constant, true);
+    case CompareOp::kGt:
+      return std::clamp(1.0 - UniformLt(stats, constant, true), 0.0, 1.0);
+    case CompareOp::kGe:
+      return std::clamp(1.0 - UniformLt(stats, constant, false), 0.0, 1.0);
+  }
+  return kDefaultRange;
+}
+
+double EstimateJoinSelectivity(size_t distinct_left, size_t distinct_right) {
+  size_t d = std::max<size_t>({distinct_left, distinct_right, 1});
+  return 1.0 / static_cast<double>(d);
+}
+
+}  // namespace sqp

@@ -1,0 +1,24 @@
+// Selectivity estimation: System-R style formulas that upgrade to
+// histogram-based estimates when a histogram is available.
+#pragma once
+
+#include "common/compare_op.h"
+#include "common/value.h"
+#include "stats/histogram.h"
+#include "stats/table_stats.h"
+
+namespace sqp {
+
+/// Fraction of rows satisfying `col op constant`. When `hist` is null,
+/// falls back to uniform interpolation over [min, max] (numeric) or
+/// 1/distinct (equality), mirroring a 2003-era optimizer without
+/// histograms — the estimate a histogram-creation manipulation improves.
+double EstimateSelectionSelectivity(const ColumnStats& stats,
+                                    const Histogram* hist, CompareOp op,
+                                    const Value& constant);
+
+/// Selectivity of an equijoin between columns with the given distinct
+/// counts: 1 / max(d_left, d_right).
+double EstimateJoinSelectivity(size_t distinct_left, size_t distinct_right);
+
+}  // namespace sqp

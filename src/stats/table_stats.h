@@ -1,0 +1,57 @@
+// Basic per-table statistics, always maintained by the catalog.
+//
+// These are the "cheap" statistics every table has (row/page counts,
+// per-column min/max/distinct). Histograms are created separately — by
+// DDL or by the speculation subsystem's histogram-creation manipulation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+#include "storage/tuple.h"
+
+namespace sqp {
+
+struct ColumnStats {
+  std::optional<Value> min;
+  std::optional<Value> max;
+  size_t distinct_count = 0;
+};
+
+class TableStats {
+ public:
+  TableStats() = default;
+
+  /// Compute stats from a full pass over the rows.
+  static TableStats Compute(const Schema& schema,
+                            const std::vector<Tuple>& rows,
+                            uint64_t page_count);
+
+  /// Incremental variant used during bulk load: feed rows one by one.
+  void Begin(const Schema& schema);
+  void Observe(const Tuple& row);
+  void Finish(uint64_t page_count);
+
+  uint64_t row_count() const { return row_count_; }
+  uint64_t page_count() const { return page_count_; }
+  const ColumnStats& column(size_t i) const { return columns_[i]; }
+  size_t num_columns() const { return columns_.size(); }
+
+ private:
+  uint64_t row_count_ = 0;
+  uint64_t page_count_ = 0;
+  std::vector<ColumnStats> columns_;
+  // Exact distinct tracking during load, capped to bound memory; beyond
+  // the cap the distinct count keeps the cap value (an underestimate,
+  // which is how real engines' sampled NDVs behave on huge columns).
+  std::vector<std::unordered_set<std::string>> distinct_sets_;
+  bool building_ = false;
+
+  static constexpr size_t kDistinctCap = 1 << 16;
+};
+
+}  // namespace sqp

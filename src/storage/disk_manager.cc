@@ -1,0 +1,35 @@
+#include "storage/disk_manager.h"
+
+#include <cassert>
+
+namespace sqp {
+
+page_id_t DiskManager::AllocatePage() {
+  store_.push_back(std::make_unique<Page>());
+  live_.push_back(true);
+  live_pages_++;
+  return store_.size() - 1;
+}
+
+void DiskManager::DeallocatePage(page_id_t page_id) {
+  assert(page_id < store_.size());
+  if (live_[page_id]) {
+    live_[page_id] = false;
+    live_pages_--;
+    store_[page_id].reset();  // release the memory immediately
+  }
+}
+
+void DiskManager::ReadPage(page_id_t page_id, Page* out) {
+  assert(page_id < store_.size() && live_[page_id]);
+  std::memcpy(out->raw(), store_[page_id]->raw(), kPageSize);
+  meter_->ChargeBlockRead();
+}
+
+void DiskManager::WritePage(page_id_t page_id, const Page& in) {
+  assert(page_id < store_.size() && live_[page_id]);
+  std::memcpy(store_[page_id]->raw(), in.raw(), kPageSize);
+  meter_->ChargeBlockWrite();
+}
+
+}  // namespace sqp

@@ -1,0 +1,45 @@
+// Simulated disk.
+//
+// Backing store is main memory; "I/O" charges simulated time through the
+// shared CostMeter. This stands in for the paper's physical disk: the
+// experiments depend only on relative I/O volumes (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "storage/page.h"
+
+namespace sqp {
+
+class DiskManager {
+ public:
+  explicit DiskManager(CostMeter* meter) : meter_(meter) {}
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocate a fresh zeroed page on disk; returns its id.
+  page_id_t AllocatePage();
+
+  /// Free a page (space returns to the allocator; id is never reused).
+  void DeallocatePage(page_id_t page_id);
+
+  /// Copy page contents disk -> out. Charges one block read.
+  void ReadPage(page_id_t page_id, Page* out);
+
+  /// Copy page contents in -> disk. Charges one block write.
+  void WritePage(page_id_t page_id, const Page& in);
+
+  uint64_t allocated_pages() const { return store_.size(); }
+  uint64_t live_pages() const { return live_pages_; }
+
+ private:
+  CostMeter* meter_;
+  std::vector<std::unique_ptr<Page>> store_;
+  std::vector<bool> live_;
+  uint64_t live_pages_ = 0;
+};
+
+}  // namespace sqp

@@ -1,0 +1,81 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+
+namespace sqp {
+
+Result<Rid> HeapFile::Append(const Tuple& tuple) {
+  scratch_.clear();
+  SerializeTuple(tuple, &scratch_);
+  assert(scratch_.size() < kPageSize - 64 && "tuple larger than a page");
+
+  // Try the last page first; allocate a new one when it is full.
+  if (!pages_.empty()) {
+    page_id_t last = pages_.back();
+    auto page = pool_->FetchPage(last);
+    if (!page.ok()) return page.status();
+    int slot = (*page)->Insert(scratch_.data(),
+                               static_cast<uint16_t>(scratch_.size()));
+    pool_->UnpinPage(last, slot >= 0);
+    if (slot >= 0) {
+      tuple_count_++;
+      return Rid{last, static_cast<uint16_t>(slot)};
+    }
+  }
+  auto fresh = pool_->NewPage();
+  if (!fresh.ok()) return fresh.status();
+  auto [page_id, page] = *fresh;
+  int slot =
+      page->Insert(scratch_.data(), static_cast<uint16_t>(scratch_.size()));
+  pool_->UnpinPage(page_id, true);
+  if (slot < 0) {
+    return Status::Internal("tuple does not fit in an empty page");
+  }
+  pages_.push_back(page_id);
+  tuple_count_++;
+  return Rid{page_id, static_cast<uint16_t>(slot)};
+}
+
+Result<Tuple> HeapFile::Fetch(const Rid& rid) const {
+  auto page = pool_->FetchPage(rid.page_id);
+  if (!page.ok()) return page.status();
+  uint16_t len = 0;
+  const uint8_t* rec = (*page)->Record(rid.slot, &len);
+  Tuple tuple = DeserializeTuple(rec, len);
+  pool_->UnpinPage(rid.page_id, false);
+  return tuple;
+}
+
+void HeapFile::Drop(DiskManager* disk) {
+  for (page_id_t page_id : pages_) {
+    pool_->EvictPage(page_id);
+    disk->DeallocatePage(page_id);
+  }
+  pages_.clear();
+  tuple_count_ = 0;
+}
+
+Result<std::optional<Tuple>> HeapFile::Iterator::Next() {
+  for (;;) {
+    if (page_index_ >= file_->pages_.size()) return std::optional<Tuple>();
+    if (!page_loaded_) {
+      auto page = pool_->FetchPage(file_->pages_[page_index_]);
+      if (!page.ok()) return page.status();
+      guard_ = PageGuard(pool_, file_->pages_[page_index_], *page);
+      page_loaded_ = true;
+      slot_ = 0;
+    }
+    const Page* page = guard_.get();
+    if (slot_ < page->slot_count()) {
+      uint16_t len = 0;
+      const uint8_t* rec = page->Record(slot_, &len);
+      slot_++;
+      return std::optional<Tuple>(DeserializeTuple(rec, len));
+    }
+    guard_.Release();
+    page_loaded_ = false;
+    page_index_++;
+  }
+}
+
+}  // namespace sqp

@@ -1,0 +1,61 @@
+// Heap file: an unordered collection of tuples in slotted pages.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/tuple.h"
+
+namespace sqp {
+
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Append a tuple; returns its Rid.
+  Result<Rid> Append(const Tuple& tuple);
+
+  /// Fetch the tuple at `rid` (e.g. from an index lookup).
+  Result<Tuple> Fetch(const Rid& rid) const;
+
+  /// Release all pages back to the disk manager (table drop).
+  void Drop(DiskManager* disk);
+
+  uint64_t tuple_count() const { return tuple_count_; }
+  uint64_t page_count() const { return pages_.size(); }
+  const std::vector<page_id_t>& pages() const { return pages_; }
+
+  /// Forward scan over every tuple, page at a time through the pool.
+  class Iterator {
+   public:
+    Iterator(const HeapFile* file, BufferPool* pool)
+        : file_(file), pool_(pool) {}
+
+    /// Next tuple, or nullopt at end. Errors surface as Status.
+    Result<std::optional<Tuple>> Next();
+
+   private:
+    const HeapFile* file_;
+    BufferPool* pool_;
+    size_t page_index_ = 0;
+    uint16_t slot_ = 0;
+    PageGuard guard_;
+    bool page_loaded_ = false;
+  };
+
+  Iterator Scan() const { return Iterator(this, pool_); }
+
+ private:
+  BufferPool* pool_;
+  std::vector<page_id_t> pages_;
+  uint64_t tuple_count_ = 0;
+  // Serialization scratch reused across appends.
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,96 @@
+// Slotted page layout.
+//
+// Pages are the unit of I/O accounting. A page holds variable-length
+// tuple records behind a slot directory:
+//
+//   [ kSlotCount | kFreeOffset | slot0 | slot1 | ... |  free  | ...data ]
+//   header (4B)                 4B each --->            <--- records
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace sqp {
+
+using page_id_t = uint64_t;
+inline constexpr page_id_t kInvalidPageId = UINT64_MAX;
+
+inline constexpr size_t kPageSize = 8192;
+
+/// Record id: (page, slot) address of a tuple in a heap file.
+struct Rid {
+  page_id_t page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+};
+
+/// A fixed-size page with a slot directory for variable-length records.
+/// Not thread-safe; protected by the buffer pool's latching discipline
+/// (single-threaded simulation here).
+class Page {
+ public:
+  Page() { Init(); }
+
+  /// Reset to an empty page.
+  void Init() {
+    std::memset(data_, 0, kPageSize);
+    set_slot_count(0);
+    set_free_offset(kPageSize);
+  }
+
+  uint16_t slot_count() const { return Read16(0); }
+  uint16_t free_offset() const { return Read16(2); }
+
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const {
+    size_t used_front = kHeaderSize + slot_count() * kSlotSize;
+    if (free_offset() < used_front + kSlotSize) return 0;
+    return free_offset() - used_front - kSlotSize;
+  }
+
+  /// Insert a record; returns slot index or -1 when it does not fit.
+  int Insert(const uint8_t* record, uint16_t len) {
+    if (FreeSpace() < len) return -1;
+    uint16_t slot = slot_count();
+    uint16_t off = free_offset() - len;
+    std::memcpy(data_ + off, record, len);
+    WriteSlot(slot, off, len);
+    set_slot_count(slot + 1);
+    set_free_offset(off);
+    return slot;
+  }
+
+  /// Pointer+length of the record in `slot`. Slot must be < slot_count().
+  const uint8_t* Record(uint16_t slot, uint16_t* len) const {
+    uint16_t off = Read16(kHeaderSize + slot * kSlotSize);
+    *len = Read16(kHeaderSize + slot * kSlotSize + 2);
+    return data_ + off;
+  }
+
+  uint8_t* raw() { return data_; }
+  const uint8_t* raw() const { return data_; }
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t Read16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, 2);
+    return v;
+  }
+  void Write16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
+  void set_slot_count(uint16_t v) { Write16(0, v); }
+  void set_free_offset(uint16_t v) { Write16(2, v); }
+  void WriteSlot(uint16_t slot, uint16_t off, uint16_t len) {
+    Write16(kHeaderSize + slot * kSlotSize, off);
+    Write16(kHeaderSize + slot * kSlotSize + 2, len);
+  }
+
+  uint8_t data_[kPageSize];
+};
+
+}  // namespace sqp

@@ -1,0 +1,24 @@
+// Tuple = row of Values, with a compact on-page serialization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqp {
+
+using Tuple = std::vector<Value>;
+
+/// Serialize `tuple` into `out` (appended). Format per value:
+///   tag byte (TypeId) | payload (8B numeric, or u32 len + bytes).
+void SerializeTuple(const Tuple& tuple, std::vector<uint8_t>* out);
+
+/// Parse one tuple from `data[0..len)`. Asserts on malformed input
+/// (pages are produced only by SerializeTuple).
+Tuple DeserializeTuple(const uint8_t* data, size_t len);
+
+/// Serialized size of a tuple, for page-fit checks.
+size_t SerializedTupleSize(const Tuple& tuple);
+
+}  // namespace sqp

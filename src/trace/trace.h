@@ -1,0 +1,82 @@
+// User-interaction traces.
+//
+// A trace is the record of one user's exploratory session on the visual
+// interface (the paper's SQUID): a timed sequence of atomic edits to the
+// partial query — insert/remove selection or join edges — punctuated by
+// "GO" events that submit the current partial query as a final query.
+//
+// Timestamps are *think-time offsets*: seconds of user activity since
+// session start, excluding time spent waiting for query results. The
+// replayer re-inserts execution delays, so the same trace replays under
+// normal and speculative processing with identical user behaviour
+// (paper §4.1's replay methodology).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+
+enum class TraceEventType {
+  kAddSelection,
+  kRemoveSelection,
+  kAddJoin,
+  kRemoveJoin,
+  kGo,
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  double timestamp = 0;  // think-time seconds since session start
+  TraceEventType type = TraceEventType::kGo;
+  SelectionPred selection;  // kAddSelection / kRemoveSelection
+  JoinPred join;            // kAddJoin / kRemoveJoin
+};
+
+struct Trace {
+  uint64_t user_id = 0;
+  uint64_t seed = 0;
+  std::vector<TraceEvent> events;
+
+  size_t QueryCount() const;
+
+  /// Apply `event` to a partial query graph (the replayer's core step).
+  static void Apply(const TraceEvent& event, QueryGraph* partial);
+
+  /// Reconstruct the sequence of final queries (the graph at each GO).
+  std::vector<QueryGraph> FinalQueries() const;
+
+  /// Per-query formulation durations: think time from the first edit
+  /// after the previous GO (or session start) to the GO (paper §5).
+  std::vector<double> FormulationDurations() const;
+
+  /// Text (de)serialization, one event per line.
+  std::string Serialize() const;
+  static Result<Trace> Deserialize(const std::string& text);
+};
+
+/// Aggregate behaviour statistics over a set of traces (paper §5).
+struct TraceStats {
+  double avg_queries_per_trace = 0;
+  double avg_selections_per_query = 0;
+  double avg_relations_per_query = 0;
+  /// Mean number of consecutive final queries a selection / join edge
+  /// survives once introduced.
+  double avg_selection_lifetime = 0;
+  double avg_join_lifetime = 0;
+  // Formulation-duration distribution (seconds).
+  double min_duration = 0;
+  double avg_duration = 0;
+  double max_duration = 0;
+  double p25_duration = 0;
+  double p50_duration = 0;
+  double p75_duration = 0;
+};
+
+TraceStats ComputeTraceStats(const std::vector<Trace>& traces);
+
+}  // namespace sqp

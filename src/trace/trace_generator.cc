@@ -1,0 +1,73 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sqp {
+
+std::vector<Trace> GenerateTraces(const TraceGeneratorOptions& options) {
+  std::vector<Trace> traces;
+  traces.reserve(options.num_users);
+  Rng seeder(options.seed);
+  for (size_t u = 0; u < options.num_users; u++) {
+    uint64_t user_seed = seeder.NextUint64();
+    Trace trace = GenerateTrace(options.params, u, user_seed);
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+Trace GenerateTrace(const UserModelParams& params, uint64_t user_id,
+                    uint64_t seed) {
+  UserModel model(params, seed);
+  Trace trace = model.GenerateSession(user_id);
+  trace.seed = seed;
+  return trace;
+}
+
+Status SaveTraces(const std::vector<Trace>& traces,
+                  const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  for (const auto& trace : traces) {
+    std::string path =
+        directory + "/user_" + std::to_string(trace.user_id) + ".trace";
+    std::ofstream out(path);
+    if (!out) return Status::Internal("cannot write " + path);
+    out << trace.Serialize();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Trace>> LoadTraces(const std::string& directory) {
+  std::vector<Trace> traces;
+  std::error_code ec;
+  std::filesystem::directory_iterator dir(directory, ec);
+  if (ec) {
+    return Status::NotFound("cannot read directory " + directory + ": " +
+                            ec.message());
+  }
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : dir) {
+    if (entry.path().extension() == ".trace") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) return Status::Internal("cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto trace = Trace::Deserialize(buffer.str());
+    if (!trace.ok()) return trace.status();
+    traces.push_back(std::move(*trace));
+  }
+  return traces;
+}
+
+}  // namespace sqp

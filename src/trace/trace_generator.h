@@ -1,0 +1,31 @@
+// Trace generation: the stand-in for the paper's 15 recorded human
+// subjects (see DESIGN.md §2 for the substitution rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+#include "trace/user_model.h"
+
+namespace sqp {
+
+struct TraceGeneratorOptions {
+  UserModelParams params;
+  size_t num_users = 15;
+  uint64_t seed = 1234;
+};
+
+/// One trace per simulated user; deterministic in the options' seed.
+std::vector<Trace> GenerateTraces(const TraceGeneratorOptions& options);
+
+Trace GenerateTrace(const UserModelParams& params, uint64_t user_id,
+                    uint64_t seed);
+
+/// File I/O, for replaying saved sessions on demand (paper §4.1).
+Status SaveTraces(const std::vector<Trace>& traces,
+                  const std::string& directory);
+Result<std::vector<Trace>> LoadTraces(const std::string& directory);
+
+}  // namespace sqp

@@ -1,0 +1,377 @@
+#include "trace/user_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "workload/tpch.h"
+
+namespace sqp {
+
+namespace {
+
+/// Active join templates of a partial query (templates whose every edge
+/// is present).
+std::vector<const tpch::JoinTemplate*> ActiveTemplates(
+    const QueryGraph& graph) {
+  std::vector<const tpch::JoinTemplate*> out;
+  for (const auto& tmpl : tpch::FkJoinTemplates()) {
+    bool all = true;
+    for (const auto& edge : tmpl.edges) {
+      if (!graph.HasJoin(edge.Key())) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(&tmpl);
+  }
+  return out;
+}
+
+/// Would this template create a "sibling-many" diamond — lineitem and
+/// partsupp both fanning out of the same one-side (part or supplier)
+/// without the composite (partkey, suppkey) equijoin tying them 1:1?
+/// Such a join multiplies |lineitem| by ~|partsupp per key| and is the
+/// kind of runaway cross-section a TPC-H-literate explorer avoids (they
+/// join lineitem to partsupp on the composite key instead).
+bool CreatesFanOutDiamond(const tpch::JoinTemplate& tmpl,
+                          const QueryGraph& graph) {
+  bool touches_partsupp = false, touches_lineitem = false;
+  for (const auto& edge : tmpl.edges) {
+    touches_partsupp |= edge.Touches("partsupp");
+    touches_lineitem |= edge.Touches("lineitem");
+  }
+  if (touches_partsupp && touches_lineitem) return false;  // composite
+  // Only the template that *introduces* the sibling many-relation forms
+  // the diamond; attaching part/supplier to an already composite-joined
+  // lineitem–partsupp pair is 1:1 and fine.
+  if (touches_partsupp && !graph.HasRelation("partsupp") &&
+      graph.HasRelation("lineitem")) {
+    return true;
+  }
+  if (touches_lineitem && !graph.HasRelation("lineitem") &&
+      graph.HasRelation("partsupp")) {
+    return true;
+  }
+  return false;
+}
+
+/// Templates that would connect exactly one new relation to the graph.
+std::vector<const tpch::JoinTemplate*> ExtensionTemplates(
+    const QueryGraph& graph) {
+  std::vector<const tpch::JoinTemplate*> out;
+  for (const auto& tmpl : tpch::FkJoinTemplates()) {
+    if (CreatesFanOutDiamond(tmpl, graph)) continue;
+    std::set<std::string> touched;
+    for (const auto& edge : tmpl.edges) {
+      touched.insert(edge.left_table);
+      touched.insert(edge.right_table);
+    }
+    size_t inside = 0;
+    for (const auto& rel : touched) {
+      if (graph.HasRelation(rel)) inside++;
+    }
+    bool already_active = true;
+    for (const auto& edge : tmpl.edges) {
+      if (!graph.HasJoin(edge.Key())) already_active = false;
+    }
+    if (already_active) continue;
+    // Empty graph: any template starts it. Otherwise require exactly one
+    // endpoint inside (keeps the join graph a tree — no cycles).
+    if (graph.relations().empty() ? true : inside == 1) {
+      out.push_back(&tmpl);
+    }
+  }
+  return out;
+}
+
+/// Leaf templates: active templates whose removal keeps the remaining
+/// active templates connected. For a tree, these touch a degree-1
+/// relation.
+std::vector<const tpch::JoinTemplate*> LeafTemplates(
+    const QueryGraph& graph) {
+  auto active = ActiveTemplates(graph);
+  std::vector<const tpch::JoinTemplate*> out;
+  for (const auto* tmpl : active) {
+    // Relations touched by this template only.
+    std::set<std::string> touched;
+    for (const auto& edge : tmpl->edges) {
+      touched.insert(edge.left_table);
+      touched.insert(edge.right_table);
+    }
+    size_t exclusive = 0;
+    for (const auto& rel : touched) {
+      bool in_other = false;
+      for (const auto* other : active) {
+        if (other == tmpl) continue;
+        for (const auto& edge : other->edges) {
+          if (edge.Touches(rel)) {
+            in_other = true;
+            break;
+          }
+        }
+        if (in_other) break;
+      }
+      if (!in_other) exclusive++;
+    }
+    if (exclusive >= 1) out.push_back(tmpl);
+  }
+  return out;
+}
+
+TraceEvent MakeJoinEvent(TraceEventType type, const JoinPred& join) {
+  TraceEvent e;
+  e.type = type;
+  e.join = join;
+  return e;
+}
+
+TraceEvent MakeSelEvent(TraceEventType type, const SelectionPred& sel) {
+  TraceEvent e;
+  e.type = type;
+  e.selection = sel;
+  return e;
+}
+
+}  // namespace
+
+UserModel::UserModel(const UserModelParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+size_t UserModel::DrawTargetRelations() {
+  double total = 0;
+  for (double w : params_.relation_weights) total += w;
+  double u = rng_.NextDouble() * total;
+  for (size_t i = 0; i < 5; i++) {
+    u -= params_.relation_weights[i];
+    if (u <= 0) return i + 1;
+  }
+  return 4;
+}
+
+bool UserModel::DrawSelection(const QueryGraph& partial, SelectionPred* out) {
+  const auto& columns = tpch::SelectionColumns();
+  std::vector<const tpch::SelectionColumn*> candidates;
+  for (const auto& col : columns) {
+    if (!partial.HasRelation(col.table)) continue;
+    // One predicate per column at a time.
+    bool taken = false;
+    for (const auto& sel : partial.SelectionsOn(col.table)) {
+      if (sel.column == col.column) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) candidates.push_back(&col);
+  }
+  if (candidates.empty()) return false;
+  const auto* col = candidates[rng_.NextRange(candidates.size())];
+  out->table = col->table;
+  out->column = col->column;
+  if (col->type == TypeId::kString) {
+    out->op = CompareOp::kEq;
+    out->constant =
+        Value(col->string_values[rng_.NextRange(col->string_values.size())]);
+    return true;
+  }
+  // Numeric: the user homes in on an "interesting region" — draw a
+  // target selectivity (log-uniform between ~2% and ~50%) and invert
+  // the generator's CDF to find the matching cut point (§4.1: the data
+  // was skewed so users would discover meaningful answers).
+  double target = 0.02 * std::exp(rng_.NextDouble() * std::log(0.5 / 0.02));
+  double roll = rng_.NextDouble();
+  double cut;
+  if (roll < 0.5) {
+    out->op = rng_.NextBool(0.5) ? CompareOp::kLt : CompareOp::kLe;
+    cut = tpch::ColumnQuantile(*col, target);
+  } else {
+    out->op = rng_.NextBool(0.5) ? CompareOp::kGt : CompareOp::kGe;
+    cut = tpch::ColumnQuantile(*col, 1.0 - target);
+  }
+  if (col->type == TypeId::kInt64) {
+    out->constant = Value(static_cast<int64_t>(std::llround(cut)));
+  } else {
+    out->constant = Value(cut);
+  }
+  return true;
+}
+
+void UserModel::EvolveStructure(QueryGraph* partial,
+                                std::vector<TraceEvent>* edits) {
+  size_t target = DrawTargetRelations();
+
+  // Possibly restructure: drop one leaf join template.
+  if (rng_.NextBool(params_.p_drop_leaf_join)) {
+    auto leaves = LeafTemplates(*partial);
+    if (!leaves.empty()) {
+      const auto* victim = leaves[rng_.NextRange(leaves.size())];
+      // Identify relations that will become orphaned, and shed their
+      // selections first (the interface clears a removed relation).
+      std::set<std::string> touched;
+      for (const auto& edge : victim->edges) {
+        touched.insert(edge.left_table);
+        touched.insert(edge.right_table);
+      }
+      QueryGraph after = *partial;
+      for (const auto& edge : victim->edges) after.RemoveJoin(edge.Key());
+      for (const auto& rel : touched) {
+        if (after.JoinsOn(rel).empty() && after.relations().size() > 1) {
+          for (const auto& sel : partial->SelectionsOn(rel)) {
+            TraceEvent e =
+                MakeSelEvent(TraceEventType::kRemoveSelection, sel);
+            Trace::Apply(e, partial);
+            edits->push_back(std::move(e));
+          }
+        }
+      }
+      for (const auto& edge : victim->edges) {
+        TraceEvent e = MakeJoinEvent(TraceEventType::kRemoveJoin, edge);
+        Trace::Apply(e, partial);
+        edits->push_back(std::move(e));
+      }
+    }
+  }
+
+  // Grow toward the target relation count.
+  size_t guard = 0;
+  while (partial->relations().size() < target && guard++ < 8) {
+    auto extensions = ExtensionTemplates(*partial);
+    if (extensions.empty()) break;
+    const auto* tmpl = extensions[rng_.NextRange(extensions.size())];
+    for (const auto& edge : tmpl->edges) {
+      TraceEvent e = MakeJoinEvent(TraceEventType::kAddJoin, edge);
+      Trace::Apply(e, partial);
+      edits->push_back(std::move(e));
+    }
+  }
+}
+
+void UserModel::EvolveSelections(QueryGraph* partial,
+                                 std::vector<TraceEvent>* edits) {
+  // Retire selections per the survival probability.
+  std::vector<SelectionPred> current = partial->selections();
+  for (const auto& sel : current) {
+    if (!rng_.NextBool(params_.p_keep_selection)) {
+      TraceEvent e = MakeSelEvent(TraceEventType::kRemoveSelection, sel);
+      Trace::Apply(e, partial);
+      edits->push_back(std::move(e));
+    }
+  }
+  // Top up to the target count.
+  size_t target = rng_.NextBool(params_.p_two_selections) ? 2 : 1;
+  size_t guard = 0;
+  while (partial->selections().size() < target && guard++ < 6) {
+    SelectionPred sel;
+    if (!DrawSelection(*partial, &sel)) break;
+    TraceEvent e = MakeSelEvent(TraceEventType::kAddSelection, sel);
+    Trace::Apply(e, partial);
+    edits->push_back(std::move(e));
+  }
+}
+
+void UserModel::MaybeChurn(const QueryGraph& partial,
+                           std::vector<TraceEvent>* edits) {
+  if (!rng_.NextBool(params_.p_churn)) return;
+  SelectionPred sel;
+  if (!DrawSelection(partial, &sel)) return;
+  // The transient pair brackets the tail of the existing edits.
+  TraceEvent add = MakeSelEvent(TraceEventType::kAddSelection, sel);
+  TraceEvent del = MakeSelEvent(TraceEventType::kRemoveSelection, sel);
+  size_t insert_at = edits->empty() ? 0 : rng_.NextRange(edits->size() + 1);
+  edits->insert(edits->begin() + insert_at, add);
+  edits->push_back(del);
+}
+
+Trace UserModel::GenerateSession(uint64_t user_id) {
+  Trace trace;
+  trace.user_id = user_id;
+  double clock = 0;  // think-time axis
+
+  QueryGraph partial;
+  for (size_t task = 0; task < params_.tasks_per_session; task++) {
+    double q = params_.queries_per_task_mean +
+               params_.queries_per_task_stddev * rng_.NextGaussian();
+    size_t queries = static_cast<size_t>(std::max(2.0, std::round(q)));
+
+    for (size_t i = 0; i < queries; i++) {
+      std::vector<TraceEvent> edits;
+      if (i == 0 && task > 0) {
+        // New abstract question: the user clears the canvas.
+        for (const auto& sel : partial.selections()) {
+          edits.push_back(MakeSelEvent(TraceEventType::kRemoveSelection, sel));
+        }
+        for (const auto& join : partial.joins()) {
+          edits.push_back(MakeJoinEvent(TraceEventType::kRemoveJoin, join));
+        }
+        for (auto& e : edits) Trace::Apply(e, &partial);
+      }
+      EvolveStructure(&partial, &edits);
+      EvolveSelections(&partial, &edits);
+      // Guarantee a non-empty query.
+      if (partial.num_atomic_parts() == 0) {
+        SelectionPred sel;
+        QueryGraph seed_graph;
+        seed_graph.AddRelation("orders");
+        if (DrawSelection(seed_graph, &sel)) {
+          TraceEvent e = MakeSelEvent(TraceEventType::kAddSelection, sel);
+          Trace::Apply(e, &partial);
+          edits.push_back(std::move(e));
+        }
+      }
+      // If evolution produced no edits, the user still interacts before
+      // re-running: try out a predicate and retract it (the final query
+      // is a re-run of the previous one — real explorers do this after
+      // studying the results, and it exercises inter-query locality).
+      if (edits.empty()) {
+        SelectionPred transient;
+        if (DrawSelection(partial, &transient)) {
+          TraceEvent add =
+              MakeSelEvent(TraceEventType::kAddSelection, transient);
+          TraceEvent del =
+              MakeSelEvent(TraceEventType::kRemoveSelection, transient);
+          edits.push_back(std::move(add));
+          edits.push_back(std::move(del));
+        }
+      }
+      MaybeChurn(partial, &edits);
+
+      // Formulation duration = first edit -> GO (the §5 statistic).
+      // The first edit lands at `clock`; the remaining edits and the GO
+      // divide the duration by exponential weights.
+      double duration = rng_.NextLogNormal(params_.think_mu,
+                                           params_.think_sigma);
+      duration = std::clamp(duration, params_.think_min_seconds,
+                            params_.think_max_seconds);
+      size_t gaps = edits.size();  // gaps after the first edit, incl. GO
+      std::vector<double> weights(std::max<size_t>(1, gaps));
+      double total = 0;
+      for (double& w : weights) {
+        w = rng_.NextExponential(1.0);
+        total += w;
+      }
+      double t = clock;
+      double acc = 0;
+      for (size_t g = 0; g < edits.size(); g++) {
+        if (g > 0) {
+          acc += weights[g - 1];
+          t = clock + duration * acc / total;
+        }
+        edits[g].timestamp = t;
+        trace.events.push_back(edits[g]);
+      }
+      TraceEvent go;
+      go.type = TraceEventType::kGo;
+      go.timestamp = clock + duration;
+      trace.events.push_back(go);
+      clock += duration;
+      // Examine the results before starting the next formulation.
+      clock += std::clamp(
+          rng_.NextLogNormal(params_.examine_mu, params_.examine_sigma), 0.5,
+          300.0);
+    }
+  }
+  return trace;
+}
+
+}  // namespace sqp

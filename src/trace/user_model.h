@@ -1,0 +1,102 @@
+// Stochastic user-behaviour model, calibrated to the paper's §5 profile.
+//
+// The paper collected traces from 15 human subjects answering 5 abstract
+// questions each. It reports the aggregate behaviour: ~42 queries per
+// trace; 1–2 selection predicates and ~4 referenced relations per query;
+// a selection predicate survives ~3 consecutive queries and a join ~10;
+// query-formulation durations of min 1 s / avg 28 s / max 680 s with
+// 25/50/75-percentiles of 4/11/29 s. This model reproduces those
+// marginals (verified by tests/trace_stats_test) while exercising every
+// interaction the speculation engine cares about: incremental edits,
+// transient parts that get removed before GO (cancellation), and
+// inter-query part retention (materialization reuse).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "trace/trace.h"
+
+namespace sqp {
+
+struct UserModelParams {
+  /// Abstract questions per session (paper: 5).
+  size_t tasks_per_session = 5;
+  /// Queries issued while exploring one question; ~42 total per session.
+  double queries_per_task_mean = 8.4;
+  double queries_per_task_stddev = 2.5;
+
+  /// Log-normal body of the per-query formulation duration. Median
+  /// e^mu = 11 s, mean e^(mu+sigma^2/2) = 28 s, matching §5.
+  double think_mu = 2.398;
+  double think_sigma = 1.367;
+  double think_min_seconds = 1.0;
+  double think_max_seconds = 680.0;
+
+  /// Result-examination pause between a query's results arriving and
+  /// the first edit of the next formulation ("look at earlier results
+  /// and think of what the current query should be", §1). Not part of
+  /// the §5 formulation-duration statistic, but real think time during
+  /// which the canvas still shows the previous query — speculation can
+  /// prepare for the next one. Log-normal, median ~6 s.
+  double examine_mu = 1.79;
+  double examine_sigma = 1.0;
+
+  /// Probability a selection predicate survives into the next query.
+  /// Nominal geometric lifetime 1/(1-p) ≈ 4, which nets out to the §5
+  /// mean of ~3 once structural drops and task resets also retire
+  /// predicates (verified by tests/trace_stats_test).
+  double p_keep_selection = 0.78;
+  /// Probability the user restructures (drops a leaf join) per query;
+  /// with ~2 leaf joins on a 4-relation tree this yields the ~10-query
+  /// join lifetime of §5.
+  double p_drop_leaf_join = 0.13;
+
+  /// Probability of a transient edit: a part added mid-formulation and
+  /// removed again before GO (drives manipulation cancellation).
+  double p_churn = 0.15;
+
+  /// Target relation count distribution: weights for 1..5 relations.
+  /// Mean ≈ 4 (§5: "referenced 4 relations in the FROM clause"), with
+  /// enough small queries to spread execution times (the paper's
+  /// distribution is "skewed towards short queries", §6).
+  double relation_weights[5] = {0.05, 0.12, 0.22, 0.36, 0.25};
+
+  /// Selections per query: 1 or 2 (§5: "1-2 selection predicates").
+  double p_two_selections = 0.45;
+};
+
+/// Generates the event stream of one user session.
+class UserModel {
+ public:
+  UserModel(const UserModelParams& params, uint64_t seed);
+
+  /// Generate a full session trace for `user_id`.
+  Trace GenerateSession(uint64_t user_id);
+
+ private:
+  struct PendingEdit {
+    TraceEvent event;  // timestamp filled in later
+  };
+
+  /// Draw the target relation count for the next query.
+  size_t DrawTargetRelations();
+
+  /// Emit the structural edits taking `partial` toward a new query
+  /// shape; appends events (without timestamps) to `edits`.
+  void EvolveStructure(QueryGraph* partial, std::vector<TraceEvent>* edits);
+
+  /// Retire / refresh selections; appends events.
+  void EvolveSelections(QueryGraph* partial, std::vector<TraceEvent>* edits);
+
+  /// Optionally add a transient add+remove pair.
+  void MaybeChurn(const QueryGraph& partial, std::vector<TraceEvent>* edits);
+
+  /// Draw a selection predicate on a relation of `partial`.
+  bool DrawSelection(const QueryGraph& partial, SelectionPred* out);
+
+  UserModelParams params_;
+  Rng rng_;
+};
+
+}  // namespace sqp

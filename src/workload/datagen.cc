@@ -1,0 +1,188 @@
+#include "workload/datagen.h"
+
+#include <cmath>
+
+namespace sqp {
+namespace tpch {
+
+namespace {
+
+/// Skewed draw from a numeric domain: Zipf over a discretized range so a
+/// few values dominate — the "certain trends and patterns" of §4.1.
+double SkewedNumeric(Rng& rng, ZipfGenerator& zipf, double lo, double hi) {
+  uint64_t bucket = zipf.Next(rng);
+  double width = (hi - lo) / static_cast<double>(zipf.n());
+  return lo + (static_cast<double>(bucket) + rng.NextDouble()) * width;
+}
+
+int64_t SkewedInt(Rng& rng, ZipfGenerator& zipf, int64_t lo, int64_t hi) {
+  // Map zipf rank r onto an equal slice of the domain (rank 0 -> the
+  // low end), uniform within the slice, so low values are popular and
+  // the whole domain is covered.
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  uint64_t bucket = zipf.Next(rng);
+  uint64_t slice = std::max<uint64_t>(1, span / zipf.n());
+  uint64_t base = bucket * span / zipf.n();
+  int64_t v = lo + static_cast<int64_t>(base + rng.NextRange(slice));
+  return std::min(v, hi);
+}
+
+}  // namespace
+
+Status LoadTpch(Database* db, const LoadOptions& options) {
+  TableSizes sizes = SizesForScale(options.scale);
+  Rng rng(options.seed);
+  ZipfGenerator zipf50(50, options.skew_theta);
+  ZipfGenerator zipf100(100, options.skew_theta);
+
+  for (const auto& table : TableNames()) {
+    SQP_RETURN_IF_ERROR(db->CreateTable(table, SchemaFor(table)));
+  }
+
+  const char* mfgrs[] = {"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"};
+  const char* segments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"};
+  ZipfGenerator zipf5(5, options.skew_theta);
+
+  // part
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.part);
+    for (uint64_t i = 1; i <= sizes.part; i++) {
+      rows.push_back(Tuple{
+          Value(static_cast<int64_t>(i)),
+          Value(SkewedInt(rng, zipf50, 1, 50)),
+          Value(SkewedNumeric(rng, zipf100, 900, 2100)),
+          Value(std::string(mfgrs[zipf5.Next(rng)])),
+      });
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("part", rows));
+  }
+
+  // supplier
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.supplier);
+    for (uint64_t i = 1; i <= sizes.supplier; i++) {
+      rows.push_back(Tuple{
+          Value(static_cast<int64_t>(i)),
+          Value(rng.NextInt(0, 24)),
+          Value(SkewedNumeric(rng, zipf100, -1000, 10000)),
+      });
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("supplier", rows));
+  }
+
+  // partsupp: 4 suppliers per part.
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.partsupp);
+    for (uint64_t p = 1; p <= sizes.part; p++) {
+      for (int k = 0; k < 4; k++) {
+        uint64_t supp =
+            1 + (p + static_cast<uint64_t>(k) * (sizes.supplier / 4 + 1)) %
+                    sizes.supplier;
+        rows.push_back(Tuple{
+            Value(static_cast<int64_t>(p)),
+            Value(static_cast<int64_t>(supp)),
+            Value(SkewedInt(rng, zipf100, 1, 10000)),
+            Value(SkewedNumeric(rng, zipf100, 1, 1000)),
+        });
+      }
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("partsupp", rows));
+  }
+
+  // customer
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.customer);
+    for (uint64_t i = 1; i <= sizes.customer; i++) {
+      rows.push_back(Tuple{
+          Value(static_cast<int64_t>(i)),
+          Value(rng.NextInt(0, 24)),
+          Value(SkewedNumeric(rng, zipf100, -1000, 10000)),
+          Value(std::string(segments[zipf5.Next(rng)])),
+      });
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("customer", rows));
+  }
+
+  // orders: 10 per customer, skewed dates and totals.
+  ZipfGenerator zipf_date(256, options.skew_theta);
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.orders);
+    uint64_t key = 1;
+    for (uint64_t c = 1; c <= sizes.customer; c++) {
+      for (int k = 0; k < 10; k++) {
+        int64_t date =
+            static_cast<int64_t>(zipf_date.Next(rng)) * 10 +
+            rng.NextInt(0, 9);  // 0..2559, clustered toward low ranks
+        rows.push_back(Tuple{
+            Value(static_cast<int64_t>(key++)),
+            Value(static_cast<int64_t>(c)),
+            Value(SkewedNumeric(rng, zipf100, 1000, 500000)),
+            Value(std::min<int64_t>(date, 2555)),
+        });
+      }
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("orders", rows));
+  }
+
+  // lineitem: 4 per order.
+  {
+    std::vector<Tuple> rows;
+    rows.reserve(sizes.lineitem);
+    for (uint64_t o = 1; o <= sizes.orders; o++) {
+      for (int k = 0; k < 4; k++) {
+        int64_t partkey = SkewedInt(rng, zipf100, 1, 100);
+        // Mix skewed popular parts with uniform tail.
+        if (rng.NextBool(0.5)) {
+          partkey = rng.NextInt(1, static_cast<int64_t>(sizes.part));
+        }
+        // Suppliers of this part in partsupp share its residue classes.
+        uint64_t which = rng.NextRange(4);
+        int64_t suppkey = static_cast<int64_t>(
+            1 + (static_cast<uint64_t>(partkey) +
+                 which * (sizes.supplier / 4 + 1)) %
+                    sizes.supplier);
+        rows.push_back(Tuple{
+            Value(static_cast<int64_t>(o)),
+            Value(partkey),
+            Value(suppkey),
+            Value(SkewedInt(rng, zipf50, 1, 50)),
+            Value(SkewedNumeric(rng, zipf100, 900, 105000)),
+            Value(rng.NextInt(0, 10) / 100.0),
+        });
+      }
+    }
+    SQP_RETURN_IF_ERROR(db->BulkLoad("lineitem", rows));
+  }
+
+  const auto& prepared =
+      options.prepare_skewed_fields ? IndexedColumns() : KeyColumns();
+  if (options.build_indexes) {
+    for (const auto& [table, column] : prepared) {
+      SQP_RETURN_IF_ERROR(db->CreateIndex(table, column));
+    }
+  }
+  if (options.build_histograms) {
+    for (const auto& [table, column] : prepared) {
+      SQP_RETURN_IF_ERROR(db->CreateHistogram(table, column));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t DatasetPages(const Database& db) {
+  uint64_t pages = 0;
+  for (const auto& table : TableNames()) {
+    const TableInfo* info = db.catalog().GetTable(table);
+    if (info != nullptr) pages += info->stats.page_count();
+  }
+  return pages;
+}
+
+}  // namespace tpch
+}  // namespace sqp

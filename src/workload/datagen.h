@@ -1,0 +1,34 @@
+// Skewed TPC-H subset data generator and loader.
+#pragma once
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "workload/tpch.h"
+
+namespace sqp {
+namespace tpch {
+
+struct LoadOptions {
+  Scale scale = Scale::kSmall;
+  uint64_t seed = 42;
+  /// Zipf exponent for the skewed fields ("high skew", §4.2).
+  double skew_theta = 0.85;
+  /// Build indexes+histograms on IndexedColumns() ("fully prepared").
+  bool build_indexes = true;
+  bool build_histograms = true;
+  /// When false, only KeyColumns() are prepared and skewed selection
+  /// fields are left bare — the setting under which histogram/index
+  /// creation manipulations have room to act (ablation E8).
+  bool prepare_skewed_fields = true;
+};
+
+/// Create, populate, index and analyze the six tables in `db`.
+/// The simulated cost of loading is excluded from experiment timings by
+/// resetting db.meter() bookkeeping via ColdStart() in the harness.
+Status LoadTpch(Database* db, const LoadOptions& options);
+
+/// Total heap pages across the six base tables (for pool sizing).
+uint64_t DatasetPages(const Database& db);
+
+}  // namespace tpch
+}  // namespace sqp

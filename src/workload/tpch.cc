@@ -1,0 +1,209 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sqp {
+namespace tpch {
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+const char* ScalePaperLabel(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall:
+      return "100MB";
+    case Scale::kMedium:
+      return "500MB";
+    case Scale::kLarge:
+      return "1GB";
+  }
+  return "?";
+}
+
+TableSizes SizesForScale(Scale scale) {
+  // Base unit chosen so the small dataset is ~3x the 32MB-equivalent
+  // buffer pool (DESIGN.md §2); medium/large follow the paper's 5x/10x.
+  uint64_t f = scale == Scale::kSmall ? 1 : (scale == Scale::kMedium ? 5 : 10);
+  TableSizes sizes;
+  sizes.part = 2000 * f;
+  sizes.supplier = 100 * f;
+  sizes.partsupp = sizes.part * 4;
+  sizes.customer = 1500 * f;
+  sizes.orders = sizes.customer * 10;
+  sizes.lineitem = sizes.orders * 4;
+  return sizes;
+}
+
+const std::vector<std::string>& TableNames() {
+  static const std::vector<std::string> names = {
+      "part", "supplier", "partsupp", "customer", "orders", "lineitem"};
+  return names;
+}
+
+Schema SchemaFor(const std::string& table) {
+  using T = TypeId;
+  if (table == "part") {
+    return Schema({{"p_partkey", T::kInt64},
+                   {"p_size", T::kInt64},
+                   {"p_retailprice", T::kDouble},
+                   {"p_mfgr", T::kString}});
+  }
+  if (table == "supplier") {
+    return Schema({{"s_suppkey", T::kInt64},
+                   {"s_nationkey", T::kInt64},
+                   {"s_acctbal", T::kDouble}});
+  }
+  if (table == "partsupp") {
+    return Schema({{"ps_partkey", T::kInt64},
+                   {"ps_suppkey", T::kInt64},
+                   {"ps_availqty", T::kInt64},
+                   {"ps_supplycost", T::kDouble}});
+  }
+  if (table == "customer") {
+    return Schema({{"c_custkey", T::kInt64},
+                   {"c_nationkey", T::kInt64},
+                   {"c_acctbal", T::kDouble},
+                   {"c_mktsegment", T::kString}});
+  }
+  if (table == "orders") {
+    return Schema({{"o_orderkey", T::kInt64},
+                   {"o_custkey", T::kInt64},
+                   {"o_totalprice", T::kDouble},
+                   {"o_orderdate", T::kInt64}});
+  }
+  if (table == "lineitem") {
+    return Schema({{"l_orderkey", T::kInt64},
+                   {"l_partkey", T::kInt64},
+                   {"l_suppkey", T::kInt64},
+                   {"l_quantity", T::kInt64},
+                   {"l_extendedprice", T::kDouble},
+                   {"l_discount", T::kDouble}});
+  }
+  assert(false && "unknown tpch table");
+  return Schema();
+}
+
+namespace {
+JoinPred MakeJoin(const std::string& lt, const std::string& lc,
+                  const std::string& rt, const std::string& rc) {
+  JoinPred j;
+  j.left_table = lt;
+  j.left_column = lc;
+  j.right_table = rt;
+  j.right_column = rc;
+  j.Canonicalize();
+  return j;
+}
+}  // namespace
+
+const std::vector<JoinTemplate>& FkJoinTemplates() {
+  static const std::vector<JoinTemplate> templates = {
+      {{MakeJoin("customer", "c_custkey", "orders", "o_custkey")},
+       "customer-orders"},
+      {{MakeJoin("orders", "o_orderkey", "lineitem", "l_orderkey")},
+       "orders-lineitem"},
+      {{MakeJoin("part", "p_partkey", "lineitem", "l_partkey")},
+       "part-lineitem"},
+      {{MakeJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")},
+       "supplier-lineitem"},
+      {{MakeJoin("part", "p_partkey", "partsupp", "ps_partkey")},
+       "part-partsupp"},
+      {{MakeJoin("supplier", "s_suppkey", "partsupp", "ps_suppkey")},
+       "supplier-partsupp"},
+      {{MakeJoin("lineitem", "l_partkey", "partsupp", "ps_partkey"),
+        MakeJoin("lineitem", "l_suppkey", "partsupp", "ps_suppkey")},
+       "lineitem-partsupp"},
+  };
+  return templates;
+}
+
+const std::vector<SelectionColumn>& SelectionColumns() {
+  static const std::vector<SelectionColumn> cols = {
+      {"part", "p_size", TypeId::kInt64, 1, 50, {}, 50},
+      {"part", "p_retailprice", TypeId::kDouble, 900, 2100, {}, 100},
+      {"part", "p_mfgr", TypeId::kString, 0, 0,
+       {"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}, 5},
+      {"supplier", "s_acctbal", TypeId::kDouble, -1000, 10000, {}, 100},
+      {"partsupp", "ps_availqty", TypeId::kInt64, 1, 10000, {}, 100},
+      {"partsupp", "ps_supplycost", TypeId::kDouble, 1, 1000, {}, 100},
+      {"customer", "c_acctbal", TypeId::kDouble, -1000, 10000, {}, 100},
+      {"customer", "c_mktsegment", TypeId::kString, 0, 0,
+       {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}, 5},
+      {"orders", "o_totalprice", TypeId::kDouble, 1000, 500000, {}, 100},
+      {"orders", "o_orderdate", TypeId::kInt64, 0, 2555, {}, 256},
+      {"lineitem", "l_quantity", TypeId::kInt64, 1, 50, {}, 50},
+      {"lineitem", "l_extendedprice", TypeId::kDouble, 900, 105000, {}, 100},
+      {"lineitem", "l_discount", TypeId::kDouble, 0.0, 0.10, {}, 0},
+  };
+  return cols;
+}
+
+double ColumnQuantile(const SelectionColumn& column, double p) {
+  p = std::min(1.0, std::max(0.0, p));
+  if (column.zipf_n == 0) {
+    return column.lo + p * (column.hi - column.lo);
+  }
+  // Cumulative Zipf mass over ranks until >= p; the rank's slice upper
+  // edge is the quantile value.
+  double zeta = 0;
+  std::vector<double> mass(column.zipf_n);
+  for (uint64_t r = 0; r < column.zipf_n; r++) {
+    mass[r] = 1.0 / std::pow(static_cast<double>(r + 1), kSkewTheta);
+    zeta += mass[r];
+  }
+  double cum = 0;
+  for (uint64_t r = 0; r < column.zipf_n; r++) {
+    cum += mass[r] / zeta;
+    if (cum >= p) {
+      double frac = static_cast<double>(r + 1) / column.zipf_n;
+      return column.lo + frac * (column.hi - column.lo);
+    }
+  }
+  return column.hi;
+}
+
+const std::vector<std::pair<std::string, std::string>>& KeyColumns() {
+  static const std::vector<std::pair<std::string, std::string>> cols = {
+      {"part", "p_partkey"},
+      {"supplier", "s_suppkey"},
+      {"partsupp", "ps_partkey"},
+      {"partsupp", "ps_suppkey"},
+      {"customer", "c_custkey"},
+      {"orders", "o_orderkey"},
+      {"orders", "o_custkey"},
+      {"lineitem", "l_orderkey"},
+      {"lineitem", "l_partkey"},
+      {"lineitem", "l_suppkey"},
+  };
+  return cols;
+}
+
+const std::vector<std::pair<std::string, std::string>>& IndexedColumns() {
+  static const std::vector<std::pair<std::string, std::string>> cols = [] {
+    std::vector<std::pair<std::string, std::string>> all = KeyColumns();
+    // Skewed selection fields.
+    all.emplace_back("part", "p_size");
+    all.emplace_back("orders", "o_orderdate");
+    all.emplace_back("orders", "o_totalprice");
+    all.emplace_back("lineitem", "l_quantity");
+    all.emplace_back("customer", "c_acctbal");
+    all.emplace_back("supplier", "s_acctbal");
+    all.emplace_back("partsupp", "ps_availqty");
+    return all;
+  }();
+  return cols;
+}
+
+}  // namespace tpch
+}  // namespace sqp

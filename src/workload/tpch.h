@@ -1,0 +1,89 @@
+// TPC-H subset schema (paper §4.2): six tables — part, supplier,
+// partsupp, customer, orders, lineitem — mutually connected through
+// foreign keys, populated with highly skewed data in the fields likely
+// to appear in selections, and supported by indexes and histograms on
+// all skewed and foreign-key fields.
+//
+// Scales: the paper used 100 MB / 500 MB / 1 GB. We use row-count scale
+// factors whose *ratios* to the buffer pool match the paper's regime
+// (see DESIGN.md §2); kSmall ≈ 3× the experiment buffer pool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "optimizer/query_graph.h"
+
+namespace sqp {
+namespace tpch {
+
+enum class Scale { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+const char* ScaleName(Scale scale);
+
+/// Paper-equivalent label for reports ("100MB", "500MB", "1GB").
+const char* ScalePaperLabel(Scale scale);
+
+struct TableSizes {
+  uint64_t part;
+  uint64_t supplier;
+  uint64_t partsupp;
+  uint64_t customer;
+  uint64_t orders;
+  uint64_t lineitem;
+
+  uint64_t total() const {
+    return part + supplier + partsupp + customer + orders + lineitem;
+  }
+};
+
+TableSizes SizesForScale(Scale scale);
+
+/// The six table names, in load order.
+const std::vector<std::string>& TableNames();
+
+Schema SchemaFor(const std::string& table);
+
+/// Foreign-key join edges users may draw on. A template may carry two
+/// edges (the composite lineitem–partsupp join).
+struct JoinTemplate {
+  std::vector<JoinPred> edges;
+  std::string name;
+};
+const std::vector<JoinTemplate>& FkJoinTemplates();
+
+/// Columns that user selections target, with their value domains.
+struct SelectionColumn {
+  std::string table;
+  std::string column;
+  TypeId type = TypeId::kInt64;
+  // Numeric domain [lo, hi] (ints or doubles); for strings, the values.
+  double lo = 0;
+  double hi = 0;
+  std::vector<std::string> string_values;
+  /// Zipf rank count the data generator used for this column (0 =
+  /// uniformly distributed). Lets the user model invert the CDF when
+  /// drawing predicate constants with a target selectivity.
+  uint64_t zipf_n = 0;
+};
+const std::vector<SelectionColumn>& SelectionColumns();
+
+/// Approximate value v such that P(column <= v) ≈ p under the
+/// generator's distribution (Zipf-over-slices with kSkewTheta, or
+/// uniform when zipf_n == 0). Numeric columns only.
+double ColumnQuantile(const SelectionColumn& column, double p);
+
+/// The Zipf exponent the data generator uses (kept in one place so the
+/// quantile inversion stays consistent with LoadOptions::skew_theta).
+inline constexpr double kSkewTheta = 0.85;
+
+/// (table, column) pairs that get indexes and histograms at load time —
+/// "all skewed fields and foreign key fields" (§4.2).
+const std::vector<std::pair<std::string, std::string>>& IndexedColumns();
+
+/// The key/foreign-key subset of IndexedColumns() (always prepared).
+const std::vector<std::pair<std::string, std::string>>& KeyColumns();
+
+}  // namespace tpch
+}  // namespace sqp

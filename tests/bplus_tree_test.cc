@@ -1,0 +1,154 @@
+// B+-tree: correctness against a std::multimap reference, structural
+// invariants, duplicates, range semantics, scan statistics.
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace sqp {
+namespace {
+
+Rid MakeRid(uint64_t n) { return Rid{n, static_cast<uint16_t>(n % 7)}; }
+
+TEST(KeyRangeTest, ContainsSemantics) {
+  KeyRange r{Value(int64_t{3}), true, Value(int64_t{7}), false};
+  EXPECT_FALSE(r.Contains(Value(int64_t{2})));
+  EXPECT_TRUE(r.Contains(Value(int64_t{3})));
+  EXPECT_TRUE(r.Contains(Value(int64_t{6})));
+  EXPECT_FALSE(r.Contains(Value(int64_t{7})));
+  EXPECT_TRUE(KeyRange::All().Contains(Value(int64_t{-100})));
+  KeyRange exact = KeyRange::Exactly(Value(int64_t{5}));
+  EXPECT_TRUE(exact.Contains(Value(int64_t{5})));
+  EXPECT_FALSE(exact.Contains(Value(int64_t{6})));
+}
+
+TEST(BPlusTreeTest, EmptyScan) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.RangeScan(KeyRange::All()).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SequentialInsertLookup) {
+  BPlusTree tree(8);
+  for (int64_t i = 0; i < 1000; i++) tree.Insert(Value(i), MakeRid(i));
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 1u);
+
+  auto rids = tree.RangeScan(KeyRange::Exactly(Value(int64_t{500})));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0].page_id, 500u);
+}
+
+TEST(BPlusTreeTest, ReverseInsertStaysSorted) {
+  BPlusTree tree(8);
+  for (int64_t i = 999; i >= 0; i--) tree.Insert(Value(i), MakeRid(i));
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto rids = tree.RangeScan(KeyRange::All());
+  ASSERT_EQ(rids.size(), 1000u);
+  for (size_t i = 0; i < rids.size(); i++) EXPECT_EQ(rids[i].page_id, i);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllReturned) {
+  BPlusTree tree(8);
+  for (uint64_t i = 0; i < 300; i++) {
+    tree.Insert(Value(int64_t{42}), MakeRid(i));
+  }
+  tree.Insert(Value(int64_t{41}), MakeRid(1000));
+  tree.Insert(Value(int64_t{43}), MakeRid(1001));
+  auto rids = tree.RangeScan(KeyRange::Exactly(Value(int64_t{42})));
+  EXPECT_EQ(rids.size(), 300u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RangeBoundsInclusiveExclusive) {
+  BPlusTree tree(8);
+  for (int64_t i = 0; i < 100; i++) tree.Insert(Value(i), MakeRid(i));
+  KeyRange incl{Value(int64_t{10}), true, Value(int64_t{20}), true};
+  EXPECT_EQ(tree.RangeScan(incl).size(), 11u);
+  KeyRange excl{Value(int64_t{10}), false, Value(int64_t{20}), false};
+  EXPECT_EQ(tree.RangeScan(excl).size(), 9u);
+  KeyRange lo_only{Value(int64_t{95}), true, std::nullopt, true};
+  EXPECT_EQ(tree.RangeScan(lo_only).size(), 5u);
+  KeyRange hi_only{std::nullopt, true, Value(int64_t{4}), false};
+  EXPECT_EQ(tree.RangeScan(hi_only).size(), 4u);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree tree(8);
+  tree.Insert(Value("banana"), MakeRid(1));
+  tree.Insert(Value("apple"), MakeRid(2));
+  tree.Insert(Value("cherry"), MakeRid(3));
+  auto rids = tree.RangeScan(
+      KeyRange{Value("apple"), true, Value("banana"), true});
+  EXPECT_EQ(rids.size(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, ScanStatsReportTouches) {
+  BPlusTree tree(8);
+  for (int64_t i = 0; i < 2000; i++) tree.Insert(Value(i), MakeRid(i));
+  IndexScanStats stats;
+  auto rids = tree.RangeScan(
+      KeyRange{Value(int64_t{0}), true, Value(int64_t{1999}), true}, &stats);
+  EXPECT_EQ(rids.size(), 2000u);
+  EXPECT_EQ(stats.leaves_touched, tree.leaf_count());
+  EXPECT_EQ(stats.height, tree.height());
+
+  auto one = tree.RangeScan(KeyRange::Exactly(Value(int64_t{7})), &stats);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_LE(stats.leaves_touched, 2u);
+}
+
+struct FuzzParam {
+  uint64_t seed;
+  size_t n;
+  size_t fanout;
+  size_t key_space;
+};
+
+class BPlusTreeFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(BPlusTreeFuzz, MatchesMultimapReference) {
+  const FuzzParam p = GetParam();
+  Rng rng(p.seed);
+  BPlusTree tree(p.fanout);
+  std::multimap<int64_t, uint64_t> reference;
+  for (size_t i = 0; i < p.n; i++) {
+    int64_t key = rng.NextInt(0, static_cast<int64_t>(p.key_space) - 1);
+    tree.Insert(Value(key), MakeRid(i));
+    reference.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), reference.size());
+
+  for (int trial = 0; trial < 40; trial++) {
+    int64_t lo = rng.NextInt(0, static_cast<int64_t>(p.key_space) - 1);
+    int64_t hi = rng.NextInt(lo, static_cast<int64_t>(p.key_space) - 1);
+    bool lo_inc = rng.NextBool(0.5), hi_inc = rng.NextBool(0.5);
+    auto rids = tree.RangeScan(KeyRange{Value(lo), lo_inc, Value(hi), hi_inc});
+    size_t expected = 0;
+    for (auto it = reference.begin(); it != reference.end(); ++it) {
+      if ((it->first > lo || (it->first == lo && lo_inc)) &&
+          (it->first < hi || (it->first == hi && hi_inc))) {
+        expected++;
+      }
+    }
+    ASSERT_EQ(rids.size(), expected)
+        << "range [" << lo << "," << hi << "] seed " << p.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BPlusTreeFuzz,
+    ::testing::Values(FuzzParam{1, 500, 4, 50},     // tiny fanout, many dups
+                      FuzzParam{2, 5000, 8, 10000},  // sparse keys
+                      FuzzParam{3, 5000, 64, 100},   // heavy duplication
+                      FuzzParam{4, 20000, 64, 1000000},
+                      FuzzParam{5, 1000, 4, 3}));    // extreme duplication
+
+}  // namespace
+}  // namespace sqp

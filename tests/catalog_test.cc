@@ -1,0 +1,157 @@
+// Catalog and schema metadata.
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+
+namespace sqp {
+namespace {
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema schema({{"a", TypeId::kInt64}, {"b", TypeId::kString}});
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(*schema.ColumnIndex("b"), 1u);
+  EXPECT_FALSE(schema.ColumnIndex("c").has_value());
+  EXPECT_TRUE(schema.HasColumn("a"));
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema a({{"x", TypeId::kInt64}});
+  Schema b({{"y", TypeId::kDouble}, {"z", TypeId::kString}});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.column(0).name, "x");
+  EXPECT_EQ(c.column(2).name, "z");
+}
+
+TEST(SchemaTest, ProjectSelectsByName) {
+  Schema schema({{"a", TypeId::kInt64},
+                 {"b", TypeId::kDouble},
+                 {"c", TypeId::kString}});
+  Schema projected = schema.Project({"c", "a"});
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_EQ(projected.column(0).name, "c");
+  EXPECT_EQ(projected.column(1).name, "a");
+}
+
+TEST(SchemaTest, WidthAndToString) {
+  Schema schema({{"a", TypeId::kInt64}, {"s", TypeId::kString}});
+  EXPECT_GT(schema.EstimatedTupleWidth(), 16u);
+  std::string text = schema.ToString();
+  EXPECT_NE(text.find("a INT"), std::string::npos);
+  EXPECT_NE(text.find("s STRING"), std::string::npos);
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest()
+      : meter_(), disk_(&meter_), pool_(&disk_, 64), catalog_(&disk_, &pool_) {}
+
+  void FillTable(const std::string& name, int rows) {
+    TableInfo* info = catalog_.GetTable(name);
+    ASSERT_NE(info, nullptr);
+    TableStats stats;
+    stats.Begin(info->schema);
+    for (int i = 0; i < rows; i++) {
+      Tuple t{Value(static_cast<int64_t>(i)),
+              Value(static_cast<int64_t>(i % 7))};
+      stats.Observe(t);
+      ASSERT_TRUE(info->heap->Append(t).ok());
+    }
+    stats.Finish(info->heap->page_count());
+    info->stats = std::move(stats);
+  }
+
+  CostMeter meter_;
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  Schema schema_{{{"id", TypeId::kInt64}, {"v", TypeId::kInt64}}};
+};
+
+TEST_F(CatalogTest, CreateGetDrop) {
+  ASSERT_TRUE(catalog_.CreateTable("t", schema_).ok());
+  EXPECT_NE(catalog_.GetTable("t"), nullptr);
+  EXPECT_FALSE(catalog_.CreateTable("t", schema_).ok());
+  EXPECT_TRUE(catalog_.DropTable("t").ok());
+  EXPECT_EQ(catalog_.GetTable("t"), nullptr);
+  EXPECT_FALSE(catalog_.DropTable("t").ok());
+}
+
+TEST_F(CatalogTest, IndexBuildAndLookup) {
+  ASSERT_TRUE(catalog_.CreateTable("t", schema_).ok());
+  FillTable("t", 500);
+  auto index = catalog_.CreateIndex("t", "v");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->size(), 500u);
+  EXPECT_TRUE((*index)->CheckInvariants());
+  EXPECT_TRUE(catalog_.HasIndex("t", "v"));
+  EXPECT_FALSE(catalog_.HasIndex("t", "id"));
+
+  // Index entries point at real heap tuples.
+  auto rids = (*index)->RangeScan(KeyRange::Exactly(Value(int64_t{3})));
+  EXPECT_EQ(rids.size(), 71u);  // i % 7 == 3 for i in [0, 500)
+  TableInfo* info = catalog_.GetTable("t");
+  for (const Rid& rid : rids) {
+    auto row = info->heap->Fetch(rid);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ((*row)[1].AsInt64(), 3);
+  }
+
+  EXPECT_FALSE(catalog_.CreateIndex("t", "v").ok());       // duplicate
+  EXPECT_FALSE(catalog_.CreateIndex("t", "nope").ok());    // no column
+  EXPECT_FALSE(catalog_.CreateIndex("missing", "v").ok());  // no table
+}
+
+TEST_F(CatalogTest, HistogramBuildAndDrop) {
+  ASSERT_TRUE(catalog_.CreateTable("t", schema_).ok());
+  FillTable("t", 700);
+  ASSERT_TRUE(catalog_.CreateHistogram("t", "v").ok());
+  const Histogram* hist = catalog_.GetHistogram("t", "v");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->row_count(), 700u);
+  EXPECT_EQ(hist->distinct_count(), 7u);
+  EXPECT_TRUE(catalog_.DropHistogram("t", "v").ok());
+  EXPECT_EQ(catalog_.GetHistogram("t", "v"), nullptr);
+  EXPECT_FALSE(catalog_.DropHistogram("t", "v").ok());
+}
+
+TEST_F(CatalogTest, DropTableCascadesToIndexesAndHistograms) {
+  ASSERT_TRUE(catalog_.CreateTable("t", schema_).ok());
+  FillTable("t", 100);
+  ASSERT_TRUE(catalog_.CreateIndex("t", "v").ok());
+  ASSERT_TRUE(catalog_.CreateHistogram("t", "v").ok());
+  uint64_t live_before = disk_.live_pages();
+  EXPECT_GT(live_before, 0u);
+  ASSERT_TRUE(catalog_.DropTable("t").ok());
+  EXPECT_EQ(disk_.live_pages(), 0u);
+  EXPECT_FALSE(catalog_.HasIndex("t", "v"));
+  EXPECT_EQ(catalog_.GetHistogram("t", "v"), nullptr);
+}
+
+TEST_F(CatalogTest, AnalyzeRecomputesStats) {
+  ASSERT_TRUE(catalog_.CreateTable("t", schema_).ok());
+  TableInfo* info = catalog_.GetTable("t");
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(
+        info->heap->Append(Tuple{Value(int64_t{i}), Value(int64_t{1})}).ok());
+  }
+  EXPECT_EQ(info->stats.row_count(), 0u);  // not yet analyzed
+  ASSERT_TRUE(catalog_.AnalyzeTable("t").ok());
+  EXPECT_EQ(info->stats.row_count(), 50u);
+  EXPECT_EQ(info->stats.column(0).max->AsInt64(), 49);
+  EXPECT_FALSE(catalog_.AnalyzeTable("missing").ok());
+}
+
+TEST_F(CatalogTest, MaterializedTableNames) {
+  ASSERT_TRUE(catalog_.CreateTable("base", schema_).ok());
+  ASSERT_TRUE(catalog_.CreateTable("mv", schema_, true).ok());
+  auto names = catalog_.MaterializedTableNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "mv");
+  EXPECT_EQ(catalog_.TableNames().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqp

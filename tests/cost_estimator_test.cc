@@ -1,0 +1,143 @@
+// CardinalityEstimator: base statistics plumbing, histogram upgrades,
+// the composite-join correlation fix, and cost formula monotonicity.
+#include "optimizer/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "test_util.h"
+#include "workload/datagen.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reset(testutil::MakeTwoTableDb(2000, 6000));
+    estimator_ = std::make_unique<CardinalityEstimator>(
+        &db_->catalog(), db_->options().cost);
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+};
+
+TEST_F(EstimatorTest, TableRowsAndPages) {
+  EXPECT_DOUBLE_EQ(estimator_->TableRows("r"), 2000);
+  EXPECT_DOUBLE_EQ(estimator_->TableRows("s"), 6000);
+  EXPECT_GT(estimator_->TablePages("r"), 0);
+  EXPECT_DOUBLE_EQ(estimator_->TableRows("missing"), 0);
+}
+
+TEST_F(EstimatorTest, SelectionSelectivityUniformFallback) {
+  // r_a uniform in [0, 100): uniform interpolation is roughly right
+  // even without a histogram.
+  double sel = estimator_->SelectionSelectivity(
+      "r", Sel("r", "r_a", CompareOp::kLt, Value(int64_t{25})));
+  EXPECT_NEAR(sel, 0.25, 0.05);
+}
+
+TEST_F(EstimatorTest, HistogramImprovesSkewedEstimate) {
+  // Build a skewed column, compare estimates with/without histogram.
+  Schema schema({{"z", TypeId::kInt64}});
+  ASSERT_TRUE(db_->CreateTable("zt", schema).ok());
+  Rng rng(5);
+  ZipfGenerator zipf(100, 1.1);
+  std::vector<Tuple> rows;
+  size_t below10 = 0;
+  for (int i = 0; i < 20000; i++) {
+    int64_t v = static_cast<int64_t>(zipf.Next(rng));
+    if (v < 10) below10++;
+    rows.push_back(Tuple{Value(v)});
+  }
+  ASSERT_TRUE(db_->BulkLoad("zt", rows).ok());
+  double exact = static_cast<double>(below10) / 20000;
+
+  auto pred = Sel("zt", "z", CompareOp::kLt, Value(int64_t{10}));
+  double uniform = estimator_->SelectionSelectivity("zt", pred);
+  ASSERT_TRUE(db_->CreateHistogram("zt", "z").ok());
+  double with_hist = estimator_->SelectionSelectivity("zt", pred);
+  EXPECT_LT(std::abs(with_hist - exact), std::abs(uniform - exact));
+  EXPECT_NEAR(with_hist, exact, 0.05);
+}
+
+TEST_F(EstimatorTest, FkJoinCardinalityIsRightSized) {
+  // r_id is r's key; every s row matches exactly one r: |join| = |s|.
+  JoinPred j = testutil::RsJoin();
+  double sel = estimator_->JoinSelectivity(j);
+  double est = estimator_->TableRows("r") * estimator_->TableRows("s") * sel;
+  EXPECT_NEAR(est, 6000, 600);
+}
+
+TEST_F(EstimatorTest, CompositeJoinAvoidsIndependenceCollapse) {
+  // On the real TPC-H subset: lineitem ⋈ partsupp on (partkey, suppkey).
+  DatabaseOptions options;
+  options.buffer_pool_pages = 2048;
+  Database tpch_db(options);
+  tpch::LoadOptions load;
+  load.scale = tpch::Scale::kSmall;
+  ASSERT_TRUE(tpch::LoadTpch(&tpch_db, load).ok());
+  CardinalityEstimator est(&tpch_db.catalog(), options.cost);
+
+  std::vector<JoinPred> edges = {
+      Join("lineitem", "l_partkey", "partsupp", "ps_partkey"),
+      Join("lineitem", "l_suppkey", "partsupp", "ps_suppkey"),
+  };
+  double naive = est.JoinSelectivity(edges[0]) * est.JoinSelectivity(edges[1]);
+  double composite = est.CompositeJoinSelectivity(edges);
+  double rows_l = est.TableRows("lineitem");
+  double rows_ps = est.TableRows("partsupp");
+  // Truth: every lineitem matches exactly one partsupp row.
+  double truth = rows_l;
+  double naive_est = rows_l * rows_ps * naive;
+  double composite_est = rows_l * rows_ps * composite;
+  EXPECT_LT(naive_est, truth / 5);                    // collapses badly
+  EXPECT_GT(composite_est, naive_est * 3);            // much closer
+  EXPECT_NEAR(std::log10(composite_est), std::log10(truth), 1.0);
+}
+
+TEST_F(EstimatorTest, CompositeOfOneEdgeEqualsSingle) {
+  JoinPred j = testutil::RsJoin();
+  EXPECT_DOUBLE_EQ(estimator_->CompositeJoinSelectivity({j}),
+                   estimator_->JoinSelectivity(j));
+  EXPECT_DOUBLE_EQ(estimator_->CompositeJoinSelectivity({}), 1.0);
+}
+
+TEST_F(EstimatorTest, ScanCostsScaleWithSize) {
+  EXPECT_GT(estimator_->SeqScanCost("s"), estimator_->SeqScanCost("r"));
+  EXPECT_GT(estimator_->IndexScanCost("r", 1000),
+            estimator_->IndexScanCost("r", 10));
+  // A point lookup beats a full scan.
+  EXPECT_LT(estimator_->IndexScanCost("r", 1),
+            estimator_->SeqScanCost("r"));
+}
+
+TEST_F(EstimatorTest, PagesForRowsUsesWidth) {
+  Schema narrow({{"a", TypeId::kInt64}});
+  Schema wide({{"a", TypeId::kInt64},
+               {"b", TypeId::kString},
+               {"c", TypeId::kString},
+               {"d", TypeId::kDouble}});
+  EXPECT_LT(estimator_->PagesForRows(10000, narrow),
+            estimator_->PagesForRows(10000, wide));
+  EXPECT_DOUBLE_EQ(estimator_->PagesForRows(0, narrow), 0);
+}
+
+TEST_F(EstimatorTest, ScanOutputRowsMultipliesPredicates) {
+  std::vector<SelectionPred> preds = {
+      Sel("r", "r_a", CompareOp::kLt, Value(int64_t{50})),
+      Sel("r", "r_b", CompareOp::kLt, Value(500.0)),
+  };
+  double both = estimator_->ScanOutputRows("r", preds);
+  double one = estimator_->ScanOutputRows("r", {preds[0]});
+  EXPECT_LT(both, one);
+  EXPECT_GT(both, 0);
+}
+
+}  // namespace
+}  // namespace sqp

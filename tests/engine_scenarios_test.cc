@@ -1,0 +1,207 @@
+// Longer speculation-engine scenarios: multi-query sessions exercising
+// reuse, re-issue after completion, GC timing, and learner adaptation —
+// the interactions single-step tests cannot reach.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "speculation/engine.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::RsJoin;
+using testutil::Sel;
+
+TraceEvent SelAdd(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent SelDel(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kRemoveSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent JoinAdd(JoinPred j) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddJoin;
+  e.join = std::move(j);
+  return e;
+}
+
+class EngineScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reset(testutil::MakeTwoTableDb(2000, 6000));
+    db_->ColdStart();
+    engine_ = std::make_unique<SpeculationEngine>(db_.get(), &server_);
+  }
+
+  void Advance(double t) { server_.AdvanceTo(t); }
+
+  std::unique_ptr<Database> db_;
+  SimServer server_;
+  std::unique_ptr<SpeculationEngine> engine_;
+};
+
+TEST_F(EngineScenarioTest, ViewReusedAcrossConsecutiveQueries) {
+  SelectionPred sel = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  // Query 1: formulate with plenty of think time.
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.0).ok());
+  Advance(30.0);
+  ASSERT_TRUE(engine_->OnGo(30.0).ok());
+  ASSERT_EQ(engine_->live_views().size(), 1u);
+
+  ExecuteOptions opts;
+  opts.view_mode = engine_->final_view_mode();
+  auto q1 = db_->Execute(engine_->partial(), opts);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(q1->views_used.empty());
+
+  // Query 2 retains the predicate and adds the join, with *no* think
+  // time (any freshly issued manipulation is cancelled at GO): the only
+  // completed speculative result is query 1's selection view, which
+  // survives GC and keeps rewriting.
+  ASSERT_TRUE(engine_->OnUserEvent(JoinAdd(RsJoin()), 40.0).ok());
+  ASSERT_TRUE(engine_->OnGo(40.001).ok());
+  auto q2 = db_->Execute(engine_->partial(), opts);
+  ASSERT_TRUE(q2.ok());
+  bool reused = false;
+  for (const auto& v : q2->views_used) {
+    if (v == q1->views_used[0]) reused = true;
+  }
+  EXPECT_TRUE(reused) << "selection view should amortize across queries";
+}
+
+TEST_F(EngineScenarioTest, SecondManipulationIssuedAfterFirstCompletes) {
+  SelectionPred s_r = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  SelectionPred s_s = Sel("s", "s_c", CompareOp::kLt, Value(int64_t{5}));
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(s_r), 0.0).ok());
+  ASSERT_EQ(engine_->stats().manipulations_issued, 1u);
+  // Wait for completion, then another edit opens the next slot.
+  Advance(20.0);
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(s_s), 20.0).ok());
+  EXPECT_EQ(engine_->stats().manipulations_completed, 1u);
+  EXPECT_EQ(engine_->stats().manipulations_issued, 2u);
+}
+
+TEST_F(EngineScenarioTest, ExactDuplicateManipulationNotReissued) {
+  SelectionPred sel = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.0).ok());
+  Advance(20.0);
+  ASSERT_TRUE(engine_->OnGo(20.0).ok());
+  ASSERT_EQ(engine_->live_views().size(), 1u);
+  size_t issued = engine_->stats().manipulations_issued;
+  // Next formulation keeps the same predicate: its view already exists,
+  // so the enumeration may issue *other* manipulations but never the
+  // same materialization again.
+  ASSERT_TRUE(engine_->OnUserEvent(JoinAdd(RsJoin()), 30.0).ok());
+  if (engine_->stats().manipulations_issued > issued) {
+    // Whatever was issued covers a different sub-query.
+    EXPECT_EQ(engine_->live_views().size(), 1u);
+  }
+  SUCCEED();
+}
+
+TEST_F(EngineScenarioTest, GcSparesViewsStillImplied) {
+  SelectionPred keep = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  SelectionPred drop = Sel("s", "s_c", CompareOp::kLt, Value(int64_t{5}));
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(keep), 0.0).ok());
+  Advance(20.0);
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(drop), 20.0).ok());
+  Advance(40.0);
+  ASSERT_TRUE(engine_->OnGo(40.0).ok());
+  size_t views_after_go = engine_->live_views().size();
+  ASSERT_GE(views_after_go, 1u);
+
+  // Dropping only `drop` must not GC the view on `keep`.
+  ASSERT_TRUE(engine_->OnUserEvent(SelDel(drop), 50.0).ok());
+  bool keep_view_alive = false;
+  for (const auto& name : engine_->live_views()) {
+    const TableInfo* info = db_->catalog().GetTable(name);
+    ASSERT_NE(info, nullptr);
+    if (info->schema.HasColumn("r_a") && !info->schema.HasColumn("s_c")) {
+      keep_view_alive = true;
+    }
+  }
+  EXPECT_TRUE(keep_view_alive);
+}
+
+TEST_F(EngineScenarioTest, LearnerAdaptsToChurnyColumn) {
+  // A user who habitually retracts predicates on s.s_c: the learner's
+  // survival estimate for that column must fall, and with it the
+  // engine's eagerness to materialize it.
+  SelectionPred churn = Sel("s", "s_c", CompareOp::kLt, Value(int64_t{5}));
+  double t = 0;
+  for (int i = 0; i < 25; i++) {
+    SelectionPred variant = churn;
+    variant.constant = Value(static_cast<int64_t>(5 + i));
+    ASSERT_TRUE(engine_->OnUserEvent(SelAdd(variant), t).ok());
+    ASSERT_TRUE(engine_->OnUserEvent(SelDel(variant), t + 1).ok());
+    SelectionPred kept =
+        Sel("r", "r_a", CompareOp::kLt, Value(static_cast<int64_t>(3 + i)));
+    ASSERT_TRUE(engine_->OnUserEvent(SelAdd(kept), t + 2).ok());
+    Advance(t + 10);
+    ASSERT_TRUE(engine_->OnGo(t + 10).ok());
+    t += 20;
+    Advance(t);
+  }
+  ObservedPart churn_part;
+  churn_part.is_join = false;
+  churn_part.selection = churn;
+  ObservedPart kept_part;
+  kept_part.is_join = false;
+  kept_part.selection = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{3}));
+  double p_churn =
+      engine_->learner().survival().SurvivalProbability(churn_part);
+  double p_kept =
+      engine_->learner().survival().SurvivalProbability(kept_part);
+  EXPECT_LT(p_churn, 0.3);
+  EXPECT_GT(p_kept, 0.6);
+}
+
+TEST_F(EngineScenarioTest, StatsAccountingConsistent) {
+  // Over a varied session, every issued manipulation ends in exactly
+  // one terminal state.
+  Rng rng(12);
+  double t = 0;
+  for (int i = 0; i < 40; i++) {
+    SelectionPred sel =
+        Sel(rng.NextBool(0.5) ? "r" : "s",
+            rng.NextBool(0.5) ? "r_a" : "s_c", CompareOp::kLt,
+            Value(rng.NextInt(1, 80)));
+    if (sel.table == "r") sel.column = "r_a";
+    if (sel.table == "s") sel.column = "s_c";
+    ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), t).ok());
+    if (rng.NextBool(0.3)) {
+      ASSERT_TRUE(engine_->OnUserEvent(SelDel(sel), t + 0.5).ok());
+    }
+    t += rng.NextDouble(0.5, 15);
+    Advance(t);
+    if (rng.NextBool(0.6)) {
+      ASSERT_TRUE(engine_->OnGo(t).ok());
+      t += 2;
+      Advance(t);
+      ASSERT_TRUE(engine_->OnQueryResult(t).ok());
+    }
+  }
+  ASSERT_TRUE(engine_->OnGo(t).ok());
+  const EngineStats& st = engine_->stats();
+  EXPECT_EQ(st.manipulations_issued,
+            st.manipulations_completed + st.cancelled_at_go +
+                st.cancelled_by_edit + st.abandoned_at_completion);
+  // Cleanup restores the catalog.
+  size_t base_tables = 2;
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  EXPECT_EQ(db_->catalog().TableNames().size(), base_tables);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,303 @@
+// Speculation engine: the paper's operating conventions (§3.1) —
+// asynchronous issue, cancellation on edits and at GO, garbage
+// collection, the one-outstanding rule — plus the Speculator's choice
+// behaviour and the completion-time abandon guard.
+#include "speculation/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "speculation/speculator.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::RsJoin;
+using testutil::Sel;
+
+TraceEvent SelAdd(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent SelDel(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kRemoveSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent JoinAdd(JoinPred j) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddJoin;
+  e.join = std::move(j);
+  return e;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reset(testutil::MakeTwoTableDb(2000, 6000));
+    db_->ColdStart();
+    engine_ = std::make_unique<SpeculationEngine>(db_.get(), &server_);
+  }
+
+  SelectionPred SelectiveSel() {
+    return Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  }
+
+  std::unique_ptr<Database> db_;
+  SimServer server_;
+  std::unique_ptr<SpeculationEngine> engine_;
+};
+
+TEST_F(EngineTest, IssuesManipulationOnBeneficialEdit) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  EXPECT_EQ(engine_->stats().manipulations_issued, 1u);
+  EXPECT_EQ(server_.active_jobs(), 1u);
+  // Not yet visible: the view registers only at completion.
+  EXPECT_EQ(db_->views().size(), 0u);
+}
+
+TEST_F(EngineTest, CompletionRegistersView) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_.AdvanceTo(100.0);
+  // The engine syncs lazily on its next callback.
+  ASSERT_TRUE(engine_->OnQueryResult(100.0).ok());
+  EXPECT_EQ(engine_->stats().manipulations_completed, 1u);
+  EXPECT_EQ(db_->views().size(), 1u);
+  EXPECT_EQ(engine_->live_views().size(), 1u);
+}
+
+TEST_F(EngineTest, OneOutstandingRule) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  // Second beneficial edit while the first manipulation runs: no issue.
+  ASSERT_TRUE(engine_->OnUserEvent(
+                  SelAdd(Sel("s", "s_c", CompareOp::kLt, Value(int64_t{3}))),
+                  0.1)
+                  .ok());
+  EXPECT_EQ(engine_->stats().manipulations_issued, 1u);
+  EXPECT_EQ(server_.active_jobs(), 1u);
+}
+
+TEST_F(EngineTest, EditRemovingBenefitCancels) {
+  SelectionPred sel = SelectiveSel();
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.0).ok());
+  ASSERT_EQ(engine_->stats().manipulations_issued, 1u);
+  std::string spec_table = "spec_mv_0";
+  EXPECT_NE(db_->catalog().GetTable(spec_table), nullptr);
+
+  // Removing the predicate makes the materialization useless.
+  ASSERT_TRUE(engine_->OnUserEvent(SelDel(sel), 0.5).ok());
+  EXPECT_EQ(engine_->stats().cancelled_by_edit, 1u);
+  EXPECT_EQ(server_.active_jobs(), 0u);
+  // The half-built table was rolled back.
+  EXPECT_EQ(db_->catalog().GetTable(spec_table), nullptr);
+}
+
+TEST_F(EngineTest, IncompleteManipulationCancelledAtGo) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  // GO arrives before the manipulation's simulated completion.
+  ASSERT_TRUE(engine_->OnGo(0.001).ok());
+  EXPECT_EQ(engine_->stats().cancelled_at_go, 1u);
+  EXPECT_EQ(engine_->stats().manipulations_completed, 0u);
+  EXPECT_EQ(db_->views().size(), 0u);
+}
+
+TEST_F(EngineTest, CompletedManipulationSurvivesGo) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_.AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  EXPECT_EQ(engine_->stats().manipulations_completed, 1u);
+  EXPECT_EQ(engine_->stats().cancelled_at_go, 0u);
+  // Inter-query locality: the view persists after GO while the partial
+  // query still implies it.
+  EXPECT_EQ(db_->views().size(), 1u);
+}
+
+TEST_F(EngineTest, GarbageCollectionOnIrrelevance) {
+  SelectionPred sel = SelectiveSel();
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.0).ok());
+  server_.AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  ASSERT_EQ(db_->views().size(), 1u);
+  // Next formulation: the user drops the predicate -> GC.
+  ASSERT_TRUE(engine_->OnUserEvent(SelDel(sel), 60.0).ok());
+  EXPECT_EQ(engine_->stats().views_garbage_collected, 1u);
+  EXPECT_EQ(db_->views().size(), 0u);
+  EXPECT_TRUE(engine_->live_views().empty());
+}
+
+TEST_F(EngineTest, DisabledEngineIssuesNothing) {
+  SpeculationEngineOptions options;
+  options.enabled = false;
+  SpeculationEngine off(db_.get(), &server_, options);
+  ASSERT_TRUE(off.OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  EXPECT_EQ(off.stats().manipulations_issued, 0u);
+}
+
+TEST_F(EngineTest, PartialTracksEvents) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  ASSERT_TRUE(engine_->OnUserEvent(JoinAdd(RsJoin()), 1.0).ok());
+  EXPECT_EQ(engine_->partial().selections().size(), 1u);
+  EXPECT_EQ(engine_->partial().joins().size(), 1u);
+}
+
+TEST_F(EngineTest, ShutdownRemovesEverything) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_.AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  ASSERT_EQ(db_->views().size(), 1u);
+  size_t tables_before = db_->catalog().TableNames().size();
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  EXPECT_EQ(db_->views().size(), 0u);
+  EXPECT_EQ(db_->catalog().TableNames().size(), tables_before - 1);
+}
+
+TEST_F(EngineTest, AbandonGuardDropsUselessResults) {
+  // An unselective materialization looks mildly beneficial under the
+  // optimistic estimate but its actual result is as big as the base
+  // table: the completion-time re-check must drop it. Use a direct
+  // speculator check first to ensure the setup is as intended.
+  SelectionPred wide = Sel("r", "r_a", CompareOp::kLe, Value(int64_t{99}));
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(wide), 0.0).ok());
+  if (engine_->stats().manipulations_issued == 0) {
+    // The cost model already rejected it at issue time — equally fine;
+    // the guard is then unreachable for this input.
+    SUCCEED();
+    return;
+  }
+  server_.AdvanceTo(100.0);
+  ASSERT_TRUE(engine_->OnQueryResult(100.0).ok());
+  EXPECT_EQ(db_->views().size(), 0u);
+  EXPECT_EQ(engine_->stats().abandoned_at_completion +
+                engine_->stats().manipulations_completed,
+            engine_->stats().manipulations_issued);
+}
+
+TEST_F(EngineTest, WaitPolicyDelaysGoForNearCompleteManipulation) {
+  SpeculationEngineOptions options;
+  options.go_policy = GoPolicy::kWaitIfWorthwhile;
+  SpeculationEngine engine(db_.get(), &server_, options);
+  ASSERT_TRUE(engine.OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  ASSERT_EQ(engine.stats().manipulations_issued, 1u);
+
+  // GO arrives with the manipulation nearly done: waiting a fraction of
+  // a second to use the small materialization beats a full base scan.
+  double almost = server_.NextCompletionTime() - 0.05;
+  server_.AdvanceTo(almost);
+  auto submit = engine.OnGo(almost);
+  ASSERT_TRUE(submit.ok());
+  EXPECT_GT(*submit, almost);
+  EXPECT_EQ(engine.stats().waits_at_go, 1u);
+  EXPECT_EQ(engine.stats().cancelled_at_go, 0u);
+
+  server_.AdvanceTo(*submit);
+  ASSERT_TRUE(engine.ResolveWait(*submit).ok());
+  EXPECT_EQ(engine.stats().manipulations_completed, 1u);
+  EXPECT_EQ(db_->views().size(), 1u);  // usable by the final query
+}
+
+TEST_F(EngineTest, WaitPolicyStillCancelsHopelessManipulations) {
+  SpeculationEngineOptions options;
+  options.go_policy = GoPolicy::kWaitIfWorthwhile;
+  SpeculationEngine engine(db_.get(), &server_, options);
+  ASSERT_TRUE(engine.OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  // GO immediately: nearly all the manipulation work remains, which is
+  // more than the query would save. The conservative rule applies.
+  auto submit = engine.OnGo(0.001);
+  ASSERT_TRUE(submit.ok());
+  EXPECT_DOUBLE_EQ(*submit, 0.001);
+  EXPECT_EQ(engine.stats().cancelled_at_go, 1u);
+  EXPECT_EQ(engine.stats().waits_at_go, 0u);
+}
+
+TEST_F(EngineTest, MaxOutstandingPipelinesManipulations) {
+  SpeculationEngineOptions options;
+  options.max_outstanding = 3;
+  SpeculationEngine engine(db_.get(), &server_, options);
+  // One edit creating several beneficial candidates (two selections +
+  // the join): the engine may fill all three slots at once.
+  ASSERT_TRUE(engine.OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  ASSERT_TRUE(engine.OnUserEvent(JoinAdd(RsJoin()), 0.5).ok());
+  ASSERT_TRUE(engine
+                  .OnUserEvent(SelAdd(Sel("s", "s_c", CompareOp::kLt,
+                                          Value(int64_t{3}))),
+                               1.0)
+                  .ok());
+  EXPECT_GE(engine.stats().manipulations_issued, 2u);
+  EXPECT_GE(server_.active_jobs(), 2u);
+  // All concurrent jobs share capacity, complete, and register.
+  server_.AdvanceTo(200.0);
+  ASSERT_TRUE(engine.OnQueryResult(200.0).ok());
+  EXPECT_EQ(engine.stats().manipulations_completed +
+                engine.stats().abandoned_at_completion,
+            engine.stats().manipulations_issued);
+  ASSERT_TRUE(engine.Shutdown().ok());
+}
+
+TEST_F(EngineTest, LoadAwareIssuingDefersToBusyServer) {
+  SpeculationEngineOptions options;
+  options.only_issue_when_idle = true;
+  SpeculationEngine engine(db_.get(), &server_, options);
+  // A foreign job keeps the server busy.
+  auto foreign = server_.Submit(100.0);
+  ASSERT_TRUE(engine.OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  EXPECT_EQ(engine.stats().manipulations_issued, 0u);
+  // Once the server drains, the next event issues normally.
+  server_.Cancel(foreign);
+  ASSERT_TRUE(engine
+                  .OnUserEvent(SelAdd(Sel("s", "s_c", CompareOp::kLt,
+                                          Value(int64_t{3}))),
+                               1.0)
+                  .ok());
+  EXPECT_EQ(engine.stats().manipulations_issued, 1u);
+}
+
+TEST_F(EngineTest, LearnerTrainsAtGo) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  size_t before = engine_->learner().survival().observed_formulations();
+  ASSERT_TRUE(engine_->OnGo(10.0).ok());
+  EXPECT_EQ(engine_->learner().survival().observed_formulations(),
+            before + 1);
+}
+
+// ----------------------------------------------------------- Speculator
+
+TEST_F(EngineTest, SpeculatorPrefersLargerBenefit) {
+  Learner learner;
+  SpeculationCostModel model(db_.get(), &learner);
+  Speculator speculator(db_.get(), &model);
+
+  QueryGraph partial;
+  partial.AddSelection(SelectiveSel());
+  partial.AddJoin(RsJoin());
+  SpeculationDecision decision = speculator.Decide(partial, 0);
+  ASSERT_TRUE(decision.chosen.has_value());
+  EXPECT_GE(decision.considered.size(), 2u);
+  // The chosen one has the minimum score among all considered.
+  for (const auto& [m, eval] : decision.considered) {
+    EXPECT_LE(decision.evaluation.score, eval.score + 1e-12);
+  }
+}
+
+TEST_F(EngineTest, SpeculatorRespectsMinBenefit) {
+  Learner learner;
+  SpeculationCostModel model(db_.get(), &learner);
+  SpeculatorOptions options;
+  options.min_benefit_seconds = 1e9;  // nothing can clear this bar
+  Speculator speculator(db_.get(), &model, options);
+  QueryGraph partial;
+  partial.AddSelection(SelectiveSel());
+  SpeculationDecision decision = speculator.Decide(partial, 0);
+  EXPECT_FALSE(decision.chosen.has_value());
+  EXPECT_FALSE(decision.considered.empty());
+}
+
+}  // namespace
+}  // namespace sqp

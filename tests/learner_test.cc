@@ -1,0 +1,153 @@
+// Learner components: survival learning, cross-query retention, and the
+// conditional think-time model.
+#include "speculation/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+ObservedPart SelPart(const char* table, const char* column) {
+  ObservedPart part;
+  part.is_join = false;
+  part.selection = Sel(table, column, CompareOp::kLt, Value(int64_t{5}));
+  return part;
+}
+
+ObservedPart JoinPart() {
+  ObservedPart part;
+  part.is_join = true;
+  part.join = Join("r", "r_id", "s", "s_rid");
+  return part;
+}
+
+std::map<std::string, ObservedPart> SeenOf(
+    std::initializer_list<ObservedPart> parts) {
+  std::map<std::string, ObservedPart> seen;
+  for (const auto& p : parts) {
+    seen[p.is_join ? p.join.Key() : p.selection.Key()] = p;
+  }
+  return seen;
+}
+
+TEST(SurvivalLearnerTest, PriorsAreModeratelyOptimistic) {
+  SurvivalLearner learner;
+  EXPECT_NEAR(learner.SurvivalProbability(SelPart("r", "r_a")), 0.7, 0.1);
+  EXPECT_NEAR(learner.SurvivalProbability(JoinPart()), 0.9, 0.1);
+}
+
+TEST(SurvivalLearnerTest, LearnsPerFeatureHabits) {
+  SurvivalLearner learner;
+  ObservedPart kept = SelPart("r", "r_a");
+  ObservedPart dropped = SelPart("s", "s_c");
+  QueryGraph final_with_kept;
+  final_with_kept.AddSelection(kept.selection);
+  for (int i = 0; i < 30; i++) {
+    learner.ObserveFormulation(SeenOf({kept, dropped}), final_with_kept);
+  }
+  EXPECT_GT(learner.SurvivalProbability(kept), 0.85);
+  EXPECT_LT(learner.SurvivalProbability(dropped), 0.35);
+  EXPECT_EQ(learner.observed_formulations(), 30u);
+}
+
+TEST(SurvivalLearnerTest, ContainmentIsProductOfParts) {
+  SurvivalLearner learner;
+  QueryGraph qm;
+  qm.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  double p1 = learner.ContainmentProbability(qm);
+  qm.AddJoin(Join("r", "r_id", "s", "s_rid"));
+  double p2 = learner.ContainmentProbability(qm);
+  EXPECT_LT(p2, p1);  // more parts, lower joint survival
+  EXPECT_GT(p2, 0);
+  EXPECT_DOUBLE_EQ(learner.ContainmentProbability(QueryGraph()), 1.0);
+}
+
+TEST(RetentionLearnerTest, LearnsFromTransitions) {
+  RetentionLearner learner;
+  QueryGraph with_sel;
+  with_sel.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  QueryGraph without;
+  // Selection always dropped between queries.
+  for (int i = 0; i < 50; i++) {
+    learner.ObserveTransition(with_sel, without);
+  }
+  EXPECT_LT(learner.RetentionProbability(false), 0.15);
+  // Join prior untouched.
+  EXPECT_NEAR(learner.RetentionProbability(true), 0.9, 0.05);
+}
+
+TEST(RetentionLearnerTest, ExpectedUsesGrowsWithHorizonAndRetention) {
+  RetentionLearner learner;
+  QueryGraph sel_graph;
+  sel_graph.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  QueryGraph join_graph;
+  join_graph.AddJoin(Join("r", "r_id", "s", "s_rid"));
+
+  EXPECT_DOUBLE_EQ(learner.ExpectedUses(sel_graph, 1), 1.0);
+  double u2 = learner.ExpectedUses(sel_graph, 2);
+  double u8 = learner.ExpectedUses(sel_graph, 8);
+  EXPECT_GT(u2, 1.0);
+  EXPECT_GT(u8, u2);
+  // Joins are retained longer, so join views amortize further.
+  EXPECT_GT(learner.ExpectedUses(join_graph, 8),
+            learner.ExpectedUses(sel_graph, 8));
+}
+
+TEST(ThinkTimeLearnerTest, UnconditionalCompletionProbability) {
+  ThinkTimeLearner learner;  // seeded with the paper's profile
+  // A 1-second manipulation at formulation start: very likely to finish
+  // (median formulation is ~11s).
+  EXPECT_GT(learner.ProbCompleteInTime(0, 1.0), 0.75);
+  // A 100-second manipulation: unlikely.
+  EXPECT_LT(learner.ProbCompleteInTime(0, 100.0), 0.3);
+}
+
+TEST(ThinkTimeLearnerTest, ProbabilityDecreasesWithDuration) {
+  ThinkTimeLearner learner;
+  double prev = 1.0;
+  for (double d : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    double p = learner.ProbCompleteInTime(5.0, d);
+    EXPECT_LE(p, prev + 1e-9);
+    prev = p;
+  }
+}
+
+TEST(ThinkTimeLearnerTest, LearnsFromObservations) {
+  ThinkTimeLearner learner;
+  // A user with very long formulations (~200s).
+  for (int i = 0; i < 200; i++) learner.ObserveDuration(200.0);
+  EXPECT_GT(learner.ProbCompleteInTime(0, 50.0), 0.8);
+  // And one with very short ones.
+  ThinkTimeLearner quick;
+  for (int i = 0; i < 200; i++) quick.ObserveDuration(2.0);
+  EXPECT_LT(quick.ProbCompleteInTime(0, 50.0), 0.2);
+}
+
+TEST(LearnerFacadeTest, ObserveGoTrainsAllComponents) {
+  Learner learner;
+  ObservedPart part = SelPart("r", "r_a");
+  QueryGraph final_query;
+  final_query.AddSelection(part.selection);
+  QueryGraph previous;  // empty
+  double p_before = learner.survival().SurvivalProbability(part);
+  learner.ObserveGo(SeenOf({part}), final_query, &previous, 12.0);
+  double p_after = learner.survival().SurvivalProbability(part);
+  EXPECT_GT(p_after, p_before);
+  EXPECT_EQ(learner.survival().observed_formulations(), 1u);
+}
+
+TEST(BetaCounterTest, DecayForgetsOldEvidence) {
+  BetaCounter counter(1, 2);
+  for (int i = 0; i < 100; i++) counter.Observe(true);
+  EXPECT_GT(counter.Mean(), 0.9);
+  for (int i = 0; i < 100; i++) counter.Observe(false);
+  EXPECT_LT(counter.Mean(), 0.15);  // recent evidence dominates
+}
+
+}  // namespace
+}  // namespace sqp

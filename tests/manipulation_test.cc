@@ -1,0 +1,149 @@
+// Manipulations and the manipulation-space enumeration (§3.2 / §3.5).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "speculation/manipulation_space.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+TEST(ManipulationTest, KeysAndDescriptions) {
+  Manipulation null = Manipulation::Null();
+  EXPECT_EQ(null.type, ManipulationType::kNull);
+  EXPECT_EQ(null.Key(), "null");
+  EXPECT_FALSE(null.is_materialization());
+
+  Manipulation mat;
+  mat.type = ManipulationType::kRewriteQuery;
+  mat.target_query.AddSelection(
+      Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  EXPECT_TRUE(mat.is_materialization());
+  EXPECT_NE(mat.Describe().find("MATERIALIZE"), std::string::npos);
+
+  Manipulation hist;
+  hist.type = ManipulationType::kHistogramCreation;
+  hist.table = "r";
+  hist.column = "r_a";
+  EXPECT_EQ(hist.Key(), "histogram:r.r_a");
+  EXPECT_FALSE(hist.is_materialization());
+}
+
+class ManipulationSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reset(testutil::MakeTwoTableDb(100, 100));
+    partial_.AddJoin(Join("r", "r_id", "s", "s_rid"));
+    partial_.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+    partial_.AddSelection(Sel("s", "s_c", CompareOp::kGt, Value(int64_t{9})));
+  }
+  std::unique_ptr<Database> db_;
+  QueryGraph partial_;
+};
+
+TEST_F(ManipulationSpaceTest, DefaultEnumeratesSelectionsAndJoins) {
+  ManipulationSpaceOptions options;
+  auto ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                                   options);
+  // 2 selection edges + 1 join pair = 3 materializations.
+  ASSERT_EQ(ms.size(), 3u);
+  for (const auto& m : ms) {
+    EXPECT_EQ(m.type, ManipulationType::kRewriteQuery);
+  }
+  // The join manipulation carries both attached selections (§3.5).
+  bool found_join = false;
+  for (const auto& m : ms) {
+    if (!m.target_query.joins().empty()) {
+      found_join = true;
+      EXPECT_EQ(m.target_query.selections().size(), 2u);
+    } else {
+      EXPECT_EQ(m.target_query.selections().size(), 1u);
+      EXPECT_EQ(m.target_query.relations().size(), 1u);
+    }
+  }
+  EXPECT_TRUE(found_join);
+}
+
+TEST_F(ManipulationSpaceTest, ForceRewriteToggle) {
+  ManipulationSpaceOptions options;
+  options.force_rewrite = false;
+  auto ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                                   options);
+  for (const auto& m : ms) {
+    EXPECT_EQ(m.type, ManipulationType::kMaterializeQuery);
+  }
+}
+
+TEST_F(ManipulationSpaceTest, SelectionOnlyPolicy) {
+  ManipulationSpaceOptions options;
+  options.join_materializations = false;
+  auto ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                                   options);
+  ASSERT_EQ(ms.size(), 2u);
+  for (const auto& m : ms) EXPECT_TRUE(m.target_query.joins().empty());
+}
+
+TEST_F(ManipulationSpaceTest, ExistingViewSkipped) {
+  QueryGraph sel;
+  sel.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  ASSERT_TRUE(db_->Materialize(sel, "v").ok());
+  ManipulationSpaceOptions options;
+  auto ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                                   options);
+  for (const auto& m : ms) {
+    EXPECT_FALSE(m.target_query == sel) << "existing view re-enumerated";
+  }
+}
+
+TEST_F(ManipulationSpaceTest, HistogramAndIndexPolicies) {
+  ManipulationSpaceOptions options;
+  options.selection_materializations = false;
+  options.join_materializations = false;
+  options.histogram_creations = true;
+  options.index_creations = true;
+  auto ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                                   options);
+  // Two selection columns, each yielding one histogram + one index.
+  std::set<std::string> keys;
+  for (const auto& m : ms) keys.insert(m.Key());
+  EXPECT_EQ(keys.size(), 4u);
+  EXPECT_TRUE(keys.count("histogram:r.r_a"));
+  EXPECT_TRUE(keys.count("index:s.s_c"));
+
+  // Existing structures are skipped.
+  ASSERT_TRUE(db_->CreateIndex("r", "r_a").ok());
+  ASSERT_TRUE(db_->CreateHistogram("s", "s_c").ok());
+  ms = EnumerateManipulations(partial_, db_->views(), db_->catalog(),
+                              options);
+  keys.clear();
+  for (const auto& m : ms) keys.insert(m.Key());
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_FALSE(keys.count("index:r.r_a"));
+  EXPECT_FALSE(keys.count("histogram:s.s_c"));
+}
+
+TEST_F(ManipulationSpaceTest, CompositeJoinBecomesOneManipulation) {
+  QueryGraph partial;
+  partial.AddJoin(Join("lineitem", "l_partkey", "partsupp", "ps_partkey"));
+  partial.AddJoin(Join("lineitem", "l_suppkey", "partsupp", "ps_suppkey"));
+  ManipulationSpaceOptions options;
+  options.selection_materializations = false;
+  auto ms = EnumerateManipulations(partial, db_->views(), db_->catalog(),
+                                   options);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].target_query.joins().size(), 2u);
+}
+
+TEST_F(ManipulationSpaceTest, EmptyPartialYieldsNothing) {
+  auto ms = EnumerateManipulations(QueryGraph(), db_->views(),
+                                   db_->catalog(), ManipulationSpaceOptions{});
+  EXPECT_TRUE(ms.empty());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,126 @@
+// Experiment metrics: the paper's improvement formula and bucketing.
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+QueryRecord Rec(double seconds) {
+  QueryRecord r;
+  r.seconds = seconds;
+  return r;
+}
+
+TEST(MetricsTest, ImprovementFormula) {
+  std::vector<QueryRecord> normal = {Rec(10), Rec(10)};
+  std::vector<QueryRecord> spec = {Rec(5), Rec(10)};
+  // 1 - 15/20 = 0.25.
+  EXPECT_NEAR(Improvement(normal, spec), 0.25, 1e-12);
+  // Regression yields a negative value.
+  std::vector<QueryRecord> slower = {Rec(15), Rec(15)};
+  EXPECT_LT(Improvement(normal, slower), 0);
+  // Identical runs: zero.
+  EXPECT_DOUBLE_EQ(Improvement(normal, normal), 0.0);
+}
+
+TEST(MetricsTest, ImprovementEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Improvement({}, {}), 0.0);
+}
+
+TEST(MetricsTest, BucketsPartitionByNormalTime) {
+  std::vector<QueryRecord> normal, spec;
+  // Bucket [0,1): 6 queries at 0.5s improved to 0.25.
+  for (int i = 0; i < 6; i++) {
+    normal.push_back(Rec(0.5));
+    spec.push_back(Rec(0.25));
+  }
+  // Bucket [1,2): 5 queries at 1.5s, no change.
+  for (int i = 0; i < 5; i++) {
+    normal.push_back(Rec(1.5));
+    spec.push_back(Rec(1.5));
+  }
+  // Sparse bucket [2,3): only 2 queries -> suppressed.
+  for (int i = 0; i < 2; i++) {
+    normal.push_back(Rec(2.5));
+    spec.push_back(Rec(0.1));
+  }
+  BucketOptions opts;
+  opts.lo = 0;
+  opts.hi = 3;
+  opts.width = 1;
+  opts.min_count = 5;
+  auto buckets = BucketImprovements(normal, spec, opts);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0].improvement, 0.5, 1e-12);
+  EXPECT_EQ(buckets[0].count, 6u);
+  EXPECT_NEAR(buckets[1].improvement, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, ExtremesPerBucket) {
+  std::vector<QueryRecord> normal, spec;
+  for (int i = 0; i < 4; i++) {
+    normal.push_back(Rec(1.0));
+    spec.push_back(Rec(0.5));
+  }
+  normal.push_back(Rec(1.0));
+  spec.push_back(Rec(2.0));  // a penalty
+  BucketOptions opts;
+  opts.lo = 0;
+  opts.hi = 2;
+  opts.width = 2;
+  opts.min_count = 1;
+  auto buckets = BucketImprovements(normal, spec, opts);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_NEAR(buckets[0].max_improvement, 0.5, 1e-12);
+  EXPECT_NEAR(buckets[0].min_improvement, -1.0, 1e-12);
+}
+
+TEST(MetricsTest, OutOfRangeQueriesDropped) {
+  std::vector<QueryRecord> normal = {Rec(0.1), Rec(5.0), Rec(100.0)};
+  std::vector<QueryRecord> spec = {Rec(0.1), Rec(2.5), Rec(1.0)};
+  BucketOptions opts;
+  opts.lo = 1;
+  opts.hi = 10;
+  opts.width = 9;
+  opts.min_count = 1;
+  auto buckets = BucketImprovements(normal, spec, opts);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 1u);
+}
+
+TEST(MetricsTest, AutoBucketsCoverBulk) {
+  std::vector<QueryRecord> normal;
+  for (int i = 0; i < 200; i++) normal.push_back(Rec(1.0 + (i % 50) * 0.1));
+  BucketOptions opts = AutoBuckets(normal, 10, 5);
+  EXPECT_LT(opts.lo, 2.0);
+  EXPECT_GT(opts.hi, 4.0);
+  EXPECT_GT(opts.width, 0.0);
+  size_t covered = 0;
+  for (const auto& q : normal) {
+    if (q.seconds >= opts.lo && q.seconds < opts.hi) covered++;
+  }
+  EXPECT_GT(covered, normal.size() * 3 / 5);
+}
+
+TEST(MetricsTest, AutoBucketsEmptyInput) {
+  BucketOptions opts = AutoBuckets({});
+  EXPECT_GT(opts.hi, opts.lo);
+}
+
+TEST(MetricsTest, FormatBucketsRendersRows) {
+  std::vector<Bucket> buckets(1);
+  buckets[0].lo = 0;
+  buckets[0].hi = 1;
+  buckets[0].count = 7;
+  buckets[0].improvement = 0.42;
+  buckets[0].max_improvement = 0.9;
+  buckets[0].min_improvement = -0.1;
+  std::string text = FormatBuckets(buckets, true);
+  EXPECT_NE(text.find("42.0"), std::string::npos);
+  EXPECT_NE(text.find("90.0"), std::string::npos);
+  EXPECT_NE(text.find("-10.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,91 @@
+// PartialQueryTracker: formulation bookkeeping feeding the Learner.
+#include "speculation/partial_query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+TraceEvent Event(TraceEventType type, SelectionPred s) {
+  TraceEvent e;
+  e.type = type;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent JoinEvent(TraceEventType type, JoinPred j) {
+  TraceEvent e;
+  e.type = type;
+  e.join = std::move(j);
+  return e;
+}
+
+TEST(PartialQueryTrackerTest, TracksCurrentGraph) {
+  PartialQueryTracker tracker;
+  auto sel = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  tracker.ApplyEvent(Event(TraceEventType::kAddSelection, sel));
+  tracker.ApplyEvent(JoinEvent(TraceEventType::kAddJoin, testutil::RsJoin()));
+  EXPECT_EQ(tracker.current().selections().size(), 1u);
+  EXPECT_EQ(tracker.current().joins().size(), 1u);
+}
+
+TEST(PartialQueryTrackerTest, SeenPartsIncludeRemovedOnes) {
+  PartialQueryTracker tracker;
+  auto transient = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  tracker.ApplyEvent(Event(TraceEventType::kAddSelection, transient));
+  tracker.ApplyEvent(Event(TraceEventType::kRemoveSelection, transient));
+  // Gone from the graph, but the Learner must still observe it (it did
+  // not survive — exactly the negative example survival learns from).
+  EXPECT_TRUE(tracker.current().selections().empty());
+  ASSERT_EQ(tracker.seen_parts().size(), 1u);
+  EXPECT_EQ(tracker.seen_parts().begin()->first, transient.Key());
+}
+
+TEST(PartialQueryTrackerTest, GoSeedsNextFormulationWithSurvivors) {
+  PartialQueryTracker tracker;
+  auto kept = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  auto dropped = Sel("s", "s_c", CompareOp::kGt, Value(int64_t{9}));
+  tracker.ApplyEvent(Event(TraceEventType::kAddSelection, kept));
+  tracker.ApplyEvent(Event(TraceEventType::kAddSelection, dropped));
+  tracker.ApplyEvent(Event(TraceEventType::kRemoveSelection, dropped));
+  tracker.OnGo();
+  // The survivor seeds the next formulation's seen-set; the transient
+  // part does not.
+  ASSERT_EQ(tracker.seen_parts().size(), 1u);
+  EXPECT_EQ(tracker.seen_parts().begin()->first, kept.Key());
+  EXPECT_EQ(tracker.current().selections().size(), 1u);
+}
+
+TEST(PartialQueryTrackerTest, FormulationStartIsFirstEventTime) {
+  PartialQueryTracker tracker;
+  EXPECT_LT(tracker.formulation_start(), 0);
+  tracker.NoteEventTime(12.5);
+  tracker.NoteEventTime(20.0);  // later events do not move the start
+  EXPECT_DOUBLE_EQ(tracker.formulation_start(), 12.5);
+  tracker.OnGo();
+  EXPECT_LT(tracker.formulation_start(), 0);  // reset per formulation
+  tracker.NoteEventTime(30.0);
+  EXPECT_DOUBLE_EQ(tracker.formulation_start(), 30.0);
+}
+
+TEST(PartialQueryTrackerTest, FeatureKeysDistinguishKinds) {
+  ObservedPart sel_part;
+  sel_part.is_join = false;
+  sel_part.selection = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  ObservedPart join_part;
+  join_part.is_join = true;
+  join_part.join = testutil::RsJoin();
+  EXPECT_NE(sel_part.FeatureKey(), join_part.FeatureKey());
+  // Selections share a feature per (table, column) across constants.
+  ObservedPart other = sel_part;
+  other.selection.constant = Value(int64_t{99});
+  EXPECT_EQ(sel_part.FeatureKey(), other.FeatureKey());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace sqp {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.NextUint64() == b.NextUint64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextRangeStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextRange(7), 7u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; i++) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; i++) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(12);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(13);
+  const int n = 20001;
+  std::vector<double> vs(n);
+  for (auto& v : vs) v = rng.NextLogNormal(2.0, 0.5);
+  std::sort(vs.begin(), vs.end());
+  EXPECT_NEAR(vs[n / 2], std::exp(2.0), 0.3);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(14);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; i++) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(55);
+  Rng b = a.Fork();
+  // Forked stream differs from parent's continuation.
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  Rng rng(20);
+  ZipfGenerator zipf(100, 0.85);
+  std::map<uint64_t, size_t> counts;
+  for (int i = 0; i < 50000; i++) counts[zipf.Next(rng)]++;
+  // Rank 0 strictly dominates rank 10, which dominates rank 50.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfTest, CoversDomain) {
+  Rng rng(21);
+  ZipfGenerator zipf(10, 0.85);
+  std::map<uint64_t, size_t> counts;
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+TEST(ZipfTest, ThetaControlsSkew) {
+  Rng rng1(22), rng2(22);
+  ZipfGenerator mild(100, 0.5), heavy(100, 1.2);
+  size_t mild_top = 0, heavy_top = 0;
+  for (int i = 0; i < 20000; i++) {
+    if (mild.Next(rng1) == 0) mild_top++;
+    if (heavy.Next(rng2) == 0) heavy_top++;
+  }
+  EXPECT_GT(heavy_top, mild_top);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,128 @@
+// Processor-sharing simulator: completion-time math, cancellation,
+// work conservation.
+#include "sim/sim_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sqp {
+namespace {
+
+TEST(SimServerTest, SingleJobRunsAtFullSpeed) {
+  SimServer server;
+  auto job = server.Submit(5.0);
+  EXPECT_TRUE(server.IsActive(job));
+  EXPECT_DOUBLE_EQ(server.NextCompletionTime(), 5.0);
+  server.AdvanceTo(5.0);
+  EXPECT_TRUE(server.IsComplete(job));
+  EXPECT_DOUBLE_EQ(server.CompletionTime(job), 5.0);
+}
+
+TEST(SimServerTest, TwoEqualJobsShareCapacity) {
+  SimServer server;
+  auto a = server.Submit(2.0);
+  auto b = server.Submit(2.0);
+  // Each progresses at rate 1/2: both complete at t=4.
+  server.AdvanceTo(10.0);
+  EXPECT_DOUBLE_EQ(server.CompletionTime(a), 4.0);
+  EXPECT_DOUBLE_EQ(server.CompletionTime(b), 4.0);
+}
+
+TEST(SimServerTest, StaggeredArrival) {
+  SimServer server;
+  auto a = server.Submit(4.0);
+  server.AdvanceTo(2.0);  // a has 2.0 left
+  auto b = server.Submit(1.0);
+  // Shared: a finishes its 2.0 at rate 1/2 while b burns 1.0; b done at
+  // t = 2 + 2 = 4 (1.0 work at rate 1/2); a then has 1.0 left alone:
+  // done at 5.
+  server.AdvanceTo(100.0);
+  EXPECT_DOUBLE_EQ(server.CompletionTime(b), 4.0);
+  EXPECT_DOUBLE_EQ(server.CompletionTime(a), 5.0);
+}
+
+TEST(SimServerTest, CancelRemovesJob) {
+  SimServer server;
+  auto a = server.Submit(4.0);
+  auto b = server.Submit(4.0);
+  server.AdvanceTo(2.0);  // both have 3.0 left
+  server.Cancel(a);
+  EXPECT_FALSE(server.IsActive(a));
+  server.AdvanceTo(100.0);
+  EXPECT_FALSE(server.IsComplete(a));
+  // b ran alone after the cancel: 3.0 remaining -> done at 5.0.
+  EXPECT_DOUBLE_EQ(server.CompletionTime(b), 5.0);
+}
+
+TEST(SimServerTest, ZeroWorkCompletesImmediately) {
+  SimServer server;
+  server.AdvanceTo(3.0);
+  auto job = server.Submit(0.0);
+  EXPECT_TRUE(server.IsComplete(job));
+  EXPECT_DOUBLE_EQ(server.CompletionTime(job), 3.0);
+}
+
+TEST(SimServerTest, RunUntilComplete) {
+  SimServer server;
+  auto slow = server.Submit(10.0);
+  auto fast = server.Submit(1.0);
+  double done = server.RunUntilComplete(fast);
+  EXPECT_DOUBLE_EQ(done, 2.0);  // 1.0 work at rate 1/2
+  EXPECT_TRUE(server.IsActive(slow));
+  EXPECT_DOUBLE_EQ(server.RunUntilComplete(slow), 11.0);
+}
+
+TEST(SimServerTest, AdvancePastIdlePeriods) {
+  SimServer server;
+  server.AdvanceTo(5.0);
+  EXPECT_DOUBLE_EQ(server.now(), 5.0);
+  auto job = server.Submit(1.0);
+  server.AdvanceTo(6.0);
+  EXPECT_TRUE(server.IsComplete(job));
+  EXPECT_DOUBLE_EQ(server.NextCompletionTime(), SimServer::kNever);
+}
+
+TEST(SimServerTest, WorkConservationRandomized) {
+  // Property: total delivered service equals total submitted work once
+  // everything completes, and each job's completion time is >= its
+  // submit time + its work (sharing can only stretch).
+  Rng rng(77);
+  SimServer server;
+  struct JobInfo {
+    SimServer::JobId id;
+    double submit_time;
+    double work;
+  };
+  std::vector<JobInfo> jobs;
+  double total_work = 0;
+  for (int i = 0; i < 50; i++) {
+    server.AdvanceTo(server.now() + rng.NextDouble(0, 2));
+    double work = rng.NextDouble(0.1, 3.0);
+    auto id = server.Submit(work);
+    jobs.push_back({id, server.now(), work});
+    total_work += work;
+  }
+  while (server.active_jobs() > 0) {
+    server.AdvanceTo(server.NextCompletionTime());
+  }
+  EXPECT_NEAR(server.delivered_work(), total_work, 1e-6);
+  for (const auto& job : jobs) {
+    double done = server.CompletionTime(job.id);
+    EXPECT_GE(done + 1e-9, job.submit_time + job.work);
+  }
+}
+
+TEST(SimServerTest, ManySimultaneousCompletions) {
+  SimServer server;
+  std::vector<SimServer::JobId> ids;
+  for (int i = 0; i < 8; i++) ids.push_back(server.Submit(1.0));
+  server.AdvanceTo(8.0);
+  for (auto id : ids) {
+    ASSERT_TRUE(server.IsComplete(id));
+    EXPECT_NEAR(server.CompletionTime(id), 8.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,157 @@
+// SQL frontend: lexer, parser, binder.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+// ----------------------------------------------------------------- Lexer
+
+TEST(LexerTest, TokenizesBasics) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a <= 5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdent);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_EQ((*tokens)[2].type, TokenType::kComma);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[9].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens).back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, OperatorsAndLiterals) {
+  auto tokens = Tokenize("<> != < <= > >= = 'str lit' 3.14 -7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kLt);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kGe);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[7].text, "str lit");
+  EXPECT_EQ((*tokens)[8].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens)[8].text, "3.14");
+  EXPECT_EQ((*tokens)[9].text, "-7");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ParserTest, SelectStar) {
+  auto ast = ParseSelect("SELECT * FROM r");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->select_star);
+  ASSERT_EQ(ast->tables.size(), 1u);
+  EXPECT_EQ(ast->tables[0], "r");
+  EXPECT_TRUE(ast->conditions.empty());
+}
+
+TEST(ParserTest, ProjectionsAndQualifiedColumns) {
+  auto ast = ParseSelect("SELECT r.a, b FROM r, s");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_EQ(ast->projections.size(), 2u);
+  EXPECT_EQ(ast->projections[0].table, "r");
+  EXPECT_EQ(ast->projections[0].column, "a");
+  EXPECT_EQ(ast->projections[1].table, "");
+  EXPECT_EQ(ast->tables.size(), 2u);
+}
+
+TEST(ParserTest, WhereConjunction) {
+  auto ast = ParseSelect(
+      "SELECT * FROM r, s WHERE r.id = s.rid AND a < 10 AND s.c >= 2.5 "
+      "AND name = 'bob'");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_EQ(ast->conditions.size(), 4u);
+  EXPECT_TRUE(ast->conditions[0].is_join);
+  EXPECT_FALSE(ast->conditions[1].is_join);
+  EXPECT_EQ(ast->conditions[1].op, CompareOp::kLt);
+  EXPECT_EQ(ast->conditions[1].literal.AsInt64(), 10);
+  EXPECT_EQ(ast->conditions[2].literal.AsDouble(), 2.5);
+  EXPECT_EQ(ast->conditions[3].literal.AsString(), "bob");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseSelect("select * from r where a = 1").ok());
+  EXPECT_TRUE(ParseSelect("SeLeCt * FrOm r").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("FROM r").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM r").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM r WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM r WHERE a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM r WHERE a <").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM r extra garbage").ok());
+  // Column-column conditions must be equijoins.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM r, s WHERE r.a < s.b").ok());
+}
+
+// ---------------------------------------------------------------- Binder
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_.reset(testutil::MakeTwoTableDb(50, 50)); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BinderTest, BindsJoinAndSelection) {
+  auto graph = ParseAndBind(
+      "SELECT r_a FROM r, s WHERE r_id = s_rid AND r_a < 10",
+      db_->catalog());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relations().size(), 2u);
+  EXPECT_EQ(graph->joins().size(), 1u);
+  EXPECT_EQ(graph->selections().size(), 1u);
+  EXPECT_EQ(graph->selections()[0].table, "r");
+  ASSERT_EQ(graph->projections().size(), 1u);
+  EXPECT_EQ(graph->projections()[0], "r_a");
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedColumnsAcrossTables) {
+  auto graph = ParseAndBind("SELECT * FROM r, s WHERE s_c = 3",
+                            db_->catalog());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->selections()[0].table, "s");
+}
+
+TEST_F(BinderTest, RejectsUnknownTableAndColumn) {
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM nosuch", db_->catalog()).ok());
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM r WHERE nosuch = 1", db_->catalog()).ok());
+  EXPECT_FALSE(
+      ParseAndBind("SELECT nosuch FROM r", db_->catalog()).ok());
+}
+
+TEST_F(BinderTest, RejectsQualifierNotInFrom) {
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM r WHERE s.s_c = 1", db_->catalog()).ok());
+}
+
+TEST_F(BinderTest, RejectsSelfJoinCondition) {
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM r WHERE r_id = r_a", db_->catalog()).ok());
+}
+
+TEST_F(BinderTest, StringLiteralTypes) {
+  auto graph =
+      ParseAndBind("SELECT * FROM r WHERE r_s = 'alpha'", db_->catalog());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->selections()[0].constant.type(), TypeId::kString);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,213 @@
+// Statistics: histograms (accuracy against exact selectivities),
+// table stats, and the selectivity estimator's fallbacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+#include "stats/table_stats.h"
+
+namespace sqp {
+namespace {
+
+double ExactSelectivity(const std::vector<Value>& values, CompareOp op,
+                        const Value& c) {
+  size_t n = 0;
+  for (const auto& v : values) {
+    if (EvalCompare(v.Compare(c), op)) n++;
+  }
+  return static_cast<double>(n) / values.size();
+}
+
+TEST(HistogramTest, EmptyColumn) {
+  Histogram h = Histogram::Build({});
+  EXPECT_EQ(h.row_count(), 0u);
+  EXPECT_EQ(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{1})), 0.0);
+}
+
+TEST(HistogramTest, SingleValueColumn) {
+  std::vector<Value> values(100, Value(int64_t{7}));
+  Histogram h = Histogram::Build(values);
+  EXPECT_EQ(h.distinct_count(), 1u);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{7})), 1.0,
+              1e-9);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{8})), 0.0,
+              0.02);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLt, Value(int64_t{7})), 0.0,
+              1e-9);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLe, Value(int64_t{7})), 1.0,
+              1e-9);
+}
+
+TEST(HistogramTest, McvCapturesHeavyHitters) {
+  std::vector<Value> values;
+  for (int i = 0; i < 900; i++) values.emplace_back(int64_t{1});
+  for (int i = 0; i < 100; i++) values.emplace_back(int64_t{i + 10});
+  Histogram h = Histogram::Build(values);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{1})), 0.9,
+              0.01);
+}
+
+TEST(HistogramTest, StringColumnsUseMcvs) {
+  std::vector<Value> values;
+  for (int i = 0; i < 700; i++) values.emplace_back("A");
+  for (int i = 0; i < 300; i++) values.emplace_back("B");
+  Histogram h = Histogram::Build(values);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value("A")), 0.7, 0.01);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value("B")), 0.3, 0.01);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kNe, Value("A")), 0.3, 0.01);
+}
+
+struct HistAccuracyParam {
+  uint64_t seed;
+  double theta;  // 0 = uniform
+  size_t n;
+};
+
+class HistogramAccuracy
+    : public ::testing::TestWithParam<HistAccuracyParam> {};
+
+TEST_P(HistogramAccuracy, RangeAndEqualityWithinTolerance) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Value> values;
+  if (p.theta > 0) {
+    ZipfGenerator zipf(100, p.theta);
+    for (size_t i = 0; i < p.n; i++) {
+      values.emplace_back(static_cast<int64_t>(zipf.Next(rng)));
+    }
+  } else {
+    for (size_t i = 0; i < p.n; i++) {
+      values.emplace_back(rng.NextInt(0, 99));
+    }
+  }
+  Histogram h = Histogram::Build(values);
+
+  for (int trial = 0; trial < 30; trial++) {
+    int64_t c = rng.NextInt(0, 99);
+    for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                         CompareOp::kGe, CompareOp::kEq}) {
+      double est = h.EstimateSelectivity(op, Value(c));
+      double exact = ExactSelectivity(values, op, Value(c));
+      double tolerance = op == CompareOp::kEq ? 0.05 : 0.08;
+      ASSERT_NEAR(est, exact, tolerance)
+          << CompareOpName(op) << " " << c << " theta=" << p.theta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramAccuracy,
+    ::testing::Values(HistAccuracyParam{1, 0.0, 20000},
+                      HistAccuracyParam{2, 0.85, 20000},
+                      HistAccuracyParam{3, 1.2, 20000},
+                      HistAccuracyParam{4, 0.85, 500}));
+
+TEST(HistogramTest, DoublesSupported) {
+  Rng rng(5);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; i++) values.emplace_back(rng.NextDouble(0, 10));
+  Histogram h = Histogram::Build(values);
+  double est = h.EstimateSelectivity(CompareOp::kLt, Value(2.5));
+  EXPECT_NEAR(est, 0.25, 0.05);
+}
+
+TEST(HistogramTest, OutOfDomainConstants) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; i++) values.emplace_back(int64_t{i});
+  Histogram h = Histogram::Build(values);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLt, Value(int64_t{-5})), 0.0,
+              0.01);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kGt, Value(int64_t{500})), 0.0,
+              0.01);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLe, Value(int64_t{500})), 1.0,
+              0.01);
+}
+
+// ------------------------------------------------------------ TableStats
+
+TEST(TableStatsTest, MinMaxDistinct) {
+  Schema schema({{"a", TypeId::kInt64}, {"s", TypeId::kString}});
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 100; i++) {
+    rows.push_back(Tuple{Value(int64_t{i % 10}), Value(i % 2 ? "x" : "y")});
+  }
+  TableStats stats = TableStats::Compute(schema, rows, 3);
+  EXPECT_EQ(stats.row_count(), 100u);
+  EXPECT_EQ(stats.page_count(), 3u);
+  EXPECT_EQ(stats.column(0).min->AsInt64(), 0);
+  EXPECT_EQ(stats.column(0).max->AsInt64(), 9);
+  EXPECT_EQ(stats.column(0).distinct_count, 10u);
+  EXPECT_EQ(stats.column(1).distinct_count, 2u);
+}
+
+TEST(TableStatsTest, EmptyTable) {
+  Schema schema({{"a", TypeId::kInt64}});
+  TableStats stats = TableStats::Compute(schema, {}, 0);
+  EXPECT_EQ(stats.row_count(), 0u);
+  EXPECT_FALSE(stats.column(0).min.has_value());
+}
+
+// ----------------------------------------------------------- Selectivity
+
+TEST(SelectivityTest, UniformFallbackRange) {
+  ColumnStats stats;
+  stats.min = Value(int64_t{0});
+  stats.max = Value(int64_t{100});
+  stats.distinct_count = 101;
+  double est = EstimateSelectionSelectivity(stats, nullptr, CompareOp::kLt,
+                                            Value(int64_t{25}));
+  EXPECT_NEAR(est, 0.25, 0.01);
+  est = EstimateSelectionSelectivity(stats, nullptr, CompareOp::kGe,
+                                     Value(int64_t{75}));
+  EXPECT_NEAR(est, 0.25, 0.01);
+}
+
+TEST(SelectivityTest, UniformFallbackEquality) {
+  ColumnStats stats;
+  stats.min = Value(int64_t{0});
+  stats.max = Value(int64_t{9});
+  stats.distinct_count = 10;
+  EXPECT_NEAR(EstimateSelectionSelectivity(stats, nullptr, CompareOp::kEq,
+                                           Value(int64_t{3})),
+              0.1, 1e-9);
+  // Out of [min, max]: zero.
+  EXPECT_EQ(EstimateSelectionSelectivity(stats, nullptr, CompareOp::kEq,
+                                         Value(int64_t{42})),
+            0.0);
+}
+
+TEST(SelectivityTest, HistogramOverridesUniform) {
+  // Skewed data: uniform assumption is badly wrong; histogram fixes it.
+  Rng rng(6);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<Value> values;
+  for (int i = 0; i < 20000; i++) {
+    values.emplace_back(static_cast<int64_t>(zipf.Next(rng)));
+  }
+  Histogram hist = Histogram::Build(values);
+  ColumnStats stats;
+  stats.min = Value(int64_t{0});
+  stats.max = Value(int64_t{99});
+  stats.distinct_count = 100;
+
+  double exact = ExactSelectivity(values, CompareOp::kLt, Value(int64_t{5}));
+  double uniform = EstimateSelectionSelectivity(stats, nullptr,
+                                                CompareOp::kLt,
+                                                Value(int64_t{5}));
+  double with_hist = EstimateSelectionSelectivity(stats, &hist,
+                                                  CompareOp::kLt,
+                                                  Value(int64_t{5}));
+  EXPECT_GT(std::abs(uniform - exact), 0.15);  // uniform badly wrong
+  EXPECT_LT(std::abs(with_hist - exact), 0.1);  // histogram close
+}
+
+TEST(SelectivityTest, JoinSelectivityUsesLargerDistinct) {
+  EXPECT_DOUBLE_EQ(EstimateJoinSelectivity(100, 1000), 1.0 / 1000);
+  EXPECT_DOUBLE_EQ(EstimateJoinSelectivity(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,122 @@
+// User-model calibration: the generated traces must reproduce the
+// paper's §5 behaviour profile within tolerances (DESIGN.md §2 justifies
+// the generator as the stand-in for the 15 human subjects).
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+
+namespace sqp {
+namespace {
+
+class TraceStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceGeneratorOptions options;
+    options.num_users = 15;
+    options.seed = 20030107;  // CIDR 2003
+    stats_ = new TraceStats(ComputeTraceStats(GenerateTraces(options)));
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    stats_ = nullptr;
+  }
+  static TraceStats* stats_;
+};
+
+TraceStats* TraceStatsTest::stats_ = nullptr;
+
+TEST_F(TraceStatsTest, QueriesPerTraceNear42) {
+  EXPECT_NEAR(stats_->avg_queries_per_trace, 42.0, 7.0);
+}
+
+TEST_F(TraceStatsTest, SelectionsPerQueryBetweenOneAndTwo) {
+  EXPECT_GE(stats_->avg_selections_per_query, 1.0);
+  EXPECT_LE(stats_->avg_selections_per_query, 2.0);
+}
+
+TEST_F(TraceStatsTest, RelationsPerQueryNearFour) {
+  EXPECT_NEAR(stats_->avg_relations_per_query, 4.0, 0.8);
+}
+
+TEST_F(TraceStatsTest, SelectionLifetimeNearThree) {
+  EXPECT_NEAR(stats_->avg_selection_lifetime, 3.0, 0.8);
+}
+
+TEST_F(TraceStatsTest, JoinLifetimeNearTen) {
+  EXPECT_NEAR(stats_->avg_join_lifetime, 10.0, 3.0);
+}
+
+TEST_F(TraceStatsTest, DurationDistributionMatchesPaper) {
+  // Paper: min 1, avg 28, max 680, percentiles 4 / 11 / 29.
+  EXPECT_GE(stats_->min_duration, 0.99);
+  EXPECT_NEAR(stats_->avg_duration, 28.0, 8.0);
+  EXPECT_LE(stats_->max_duration, 680.01);
+  EXPECT_GT(stats_->max_duration, 100.0);
+  EXPECT_NEAR(stats_->p25_duration, 4.0, 2.0);
+  EXPECT_NEAR(stats_->p50_duration, 11.0, 3.5);
+  EXPECT_NEAR(stats_->p75_duration, 29.0, 8.0);
+}
+
+TEST(TraceGeneratorTest, DeterministicInSeed) {
+  TraceGeneratorOptions options;
+  options.num_users = 2;
+  options.seed = 5;
+  auto a = GenerateTraces(options);
+  auto b = GenerateTraces(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].Serialize(), b[i].Serialize());
+  }
+  options.seed = 6;
+  auto c = GenerateTraces(options);
+  EXPECT_NE(a[0].Serialize(), c[0].Serialize());
+}
+
+TEST(TraceGeneratorTest, FinalQueriesAreConnectedAndNonEmpty) {
+  TraceGeneratorOptions options;
+  options.num_users = 4;
+  options.seed = 11;
+  for (const auto& trace : GenerateTraces(options)) {
+    for (const auto& q : trace.FinalQueries()) {
+      EXPECT_GT(q.num_atomic_parts(), 0u);
+      EXPECT_TRUE(q.IsConnected()) << q.ToSql();
+      EXPECT_LE(q.relations().size(), 6u);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, EventsHaveMonotoneTimestamps) {
+  UserModelParams params;
+  Trace trace = GenerateTrace(params, 0, 3);
+  double prev = -1;
+  for (const auto& e : trace.events) {
+    EXPECT_GE(e.timestamp, prev - 1e-9);
+    prev = e.timestamp;
+  }
+}
+
+TEST(TraceGeneratorTest, ChurnProducesTransientParts) {
+  // Across enough traces, some parts must appear mid-formulation and
+  // vanish before GO (the events that drive manipulation cancellation).
+  UserModelParams params;
+  params.p_churn = 1.0;  // force it
+  Trace trace = GenerateTrace(params, 0, 17);
+  size_t removals_before_go = 0;
+  QueryGraph partial;
+  std::vector<std::string> added_this_formulation;
+  for (const auto& e : trace.events) {
+    if (e.type == TraceEventType::kGo) {
+      added_this_formulation.clear();
+    } else if (e.type == TraceEventType::kAddSelection) {
+      added_this_formulation.push_back(e.selection.Key());
+    } else if (e.type == TraceEventType::kRemoveSelection) {
+      for (const auto& key : added_this_formulation) {
+        if (key == e.selection.Key()) removals_before_go++;
+      }
+    }
+  }
+  EXPECT_GT(removals_before_go, 10u);
+}
+
+}  // namespace
+}  // namespace sqp

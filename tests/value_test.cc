@@ -1,0 +1,62 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(int64_t{1}).type(), TypeId::kInt64);
+  EXPECT_EQ(Value(1.5).type(), TypeId::kDouble);
+  EXPECT_EQ(Value("x").type(), TypeId::kString);
+  EXPECT_TRUE(Value(1.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_GT(Value(int64_t{9}), Value(int64_t{-9}));
+}
+
+TEST(ValueTest, MixedNumericComparisonCoerces) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(int64_t{4}));
+}
+
+TEST(ValueTest, StringComparisonLexicographic) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("same"), Value("same"));
+}
+
+TEST(ValueTest, EqualNumericsHashEqual) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5000");
+}
+
+TEST(ValueTest, StorageSizeAccountsForStrings) {
+  EXPECT_EQ(Value(int64_t{1}).StorageSize(), 8u);
+  EXPECT_EQ(Value(1.0).StorageSize(), 8u);
+  EXPECT_EQ(Value("abcd").StorageSize(), 8u);  // 4 header + 4 chars
+}
+
+TEST(ValueTest, NumericValue) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).NumericValue(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.25).NumericValue(), 2.25);
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+}  // namespace
+}  // namespace sqp

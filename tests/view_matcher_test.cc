@@ -1,0 +1,135 @@
+// View registry, applicability rules, and structural rewriting.
+#include "optimizer/view_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+QueryGraph SelGraph(int64_t cut) {
+  QueryGraph g;
+  g.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(cut)));
+  return g;
+}
+
+QueryGraph JoinGraph() {
+  QueryGraph g;
+  g.AddJoin(Join("r", "r_id", "s", "s_rid"));
+  return g;
+}
+
+TEST(ViewRegistryTest, RegisterLookupUnregister) {
+  ViewRegistry registry;
+  registry.Register(ViewDefinition{"v1", SelGraph(5)});
+  EXPECT_TRUE(registry.Contains("v1"));
+  EXPECT_NE(registry.Get("v1"), nullptr);
+  EXPECT_EQ(registry.Get("v2"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  registry.Unregister("v1");
+  EXPECT_FALSE(registry.Contains("v1"));
+}
+
+TEST(ViewRegistryTest, FindExactMatchesByGraphIdentity) {
+  ViewRegistry registry;
+  registry.Register(ViewDefinition{"v1", SelGraph(5)});
+  EXPECT_NE(registry.FindExact(SelGraph(5)), nullptr);
+  EXPECT_EQ(registry.FindExact(SelGraph(6)), nullptr);
+}
+
+TEST(ViewApplicableTest, RequiresContainment) {
+  ViewDefinition view{"v", SelGraph(5)};
+  QueryGraph q = SelGraph(5);
+  q.AddJoin(Join("r", "r_id", "s", "s_rid"));
+  EXPECT_TRUE(ViewApplicable(view, q));
+  EXPECT_FALSE(ViewApplicable(view, SelGraph(6)));
+  EXPECT_FALSE(ViewApplicable(view, JoinGraph()));
+}
+
+TEST(ViewApplicableTest, RejectsUnabsorbedInternalJoin) {
+  // View covers {r, s} without the join; the query joins them — the
+  // view (a cross-section without that join) cannot substitute.
+  QueryGraph def;
+  def.AddRelation("r");
+  def.AddRelation("s");
+  def.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  def.AddSelection(Sel("s", "s_c", CompareOp::kLt, Value(int64_t{5})));
+  ViewDefinition view{"v", def};
+
+  QueryGraph q = def;
+  q.AddJoin(Join("r", "r_id", "s", "s_rid"));
+  EXPECT_FALSE(ViewApplicable(view, q));
+}
+
+TEST(ViewApplicableTest, EmptyDefinitionNeverApplies) {
+  ViewDefinition view{"v", QueryGraph()};
+  EXPECT_FALSE(ViewApplicable(view, SelGraph(5)));
+}
+
+TEST(RewriteTest, BaselineEveryRelationItsOwnUnit) {
+  QueryGraph q = JoinGraph();
+  q.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  RewrittenQuery rw = RewriteWithViews(q, {});
+  ASSERT_EQ(rw.units.size(), 2u);
+  EXPECT_EQ(rw.joins.size(), 1u);
+  EXPECT_TRUE(rw.view_tables_used.empty());
+  // Selections pushed to the owning unit.
+  for (const auto& unit : rw.units) {
+    if (unit.stored_table == "r") {
+      EXPECT_EQ(unit.selections.size(), 1u);
+    } else {
+      EXPECT_TRUE(unit.selections.empty());
+    }
+  }
+}
+
+TEST(RewriteTest, ViewAbsorbsJoinAndSelections) {
+  QueryGraph def = JoinGraph();
+  def.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  ViewDefinition view{"v", def};
+
+  QueryGraph q = def;
+  q.AddSelection(Sel("s", "s_c", CompareOp::kGt, Value(int64_t{3})));
+  ASSERT_TRUE(ViewApplicable(view, q));
+  RewrittenQuery rw = RewriteWithViews(q, {&view});
+  ASSERT_EQ(rw.units.size(), 1u);
+  EXPECT_TRUE(rw.units[0].is_view);
+  EXPECT_EQ(rw.units[0].stored_table, "v");
+  EXPECT_TRUE(rw.joins.empty());  // absorbed
+  // Only the residual (s_c) selection remains.
+  ASSERT_EQ(rw.units[0].selections.size(), 1u);
+  EXPECT_EQ(rw.units[0].selections[0].column, "s_c");
+}
+
+TEST(RewriteTest, CrossUnitJoinsSurvive) {
+  // Three relations, view covering two; the third joins across.
+  QueryGraph def = JoinGraph();
+  ViewDefinition view{"v", def};
+  QueryGraph q = def;
+  q.AddJoin(Join("s", "s_c", "t", "t_c"));
+  RewrittenQuery rw = RewriteWithViews(q, {&view});
+  ASSERT_EQ(rw.units.size(), 2u);
+  ASSERT_EQ(rw.joins.size(), 1u);
+  EXPECT_EQ(rw.joins[0].Key(), Join("s", "s_c", "t", "t_c").Key());
+}
+
+TEST(ApplicableViewsTest, SortedLargestFirst) {
+  ViewRegistry registry;
+  registry.Register(ViewDefinition{"small", SelGraph(5)});
+  QueryGraph big_def = JoinGraph();
+  big_def.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5})));
+  registry.Register(ViewDefinition{"big", big_def});
+
+  QueryGraph q = big_def;
+  auto views = ApplicableViews(registry, q);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0]->table_name, "big");
+  EXPECT_EQ(views[1]->table_name, "small");
+}
+
+}  // namespace
+}  // namespace sqp
