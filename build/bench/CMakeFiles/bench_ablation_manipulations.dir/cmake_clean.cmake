@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_manipulations.dir/bench_ablation_manipulations.cpp.o"
+  "CMakeFiles/bench_ablation_manipulations.dir/bench_ablation_manipulations.cpp.o.d"
+  "bench_ablation_manipulations"
+  "bench_ablation_manipulations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_manipulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_matviews.dir/bench_fig6_matviews.cpp.o"
+  "CMakeFiles/bench_fig6_matviews.dir/bench_fig6_matviews.cpp.o.d"
+  "bench_fig6_matviews"
+  "bench_fig6_matviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_matviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

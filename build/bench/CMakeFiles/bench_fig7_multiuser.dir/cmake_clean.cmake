@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multiuser.dir/bench_fig7_multiuser.cpp.o"
+  "CMakeFiles/bench_fig7_multiuser.dir/bench_fig7_multiuser.cpp.o.d"
+  "bench_fig7_multiuser"
+  "bench_fig7_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

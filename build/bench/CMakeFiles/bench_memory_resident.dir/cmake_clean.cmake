@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_resident.dir/bench_memory_resident.cpp.o"
+  "CMakeFiles/bench_memory_resident.dir/bench_memory_resident.cpp.o.d"
+  "bench_memory_resident"
+  "bench_memory_resident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_resident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

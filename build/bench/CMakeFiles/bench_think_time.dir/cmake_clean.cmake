@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_think_time.dir/bench_think_time.cpp.o"
+  "CMakeFiles/bench_think_time.dir/bench_think_time.cpp.o.d"
+  "bench_think_time"
+  "bench_think_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_think_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

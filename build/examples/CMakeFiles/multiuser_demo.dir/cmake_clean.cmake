@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_demo.dir/multiuser_demo.cpp.o"
+  "CMakeFiles/multiuser_demo.dir/multiuser_demo.cpp.o.d"
+  "multiuser_demo"
+  "multiuser_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_profile.dir/user_profile.cpp.o"
+  "CMakeFiles/user_profile.dir/user_profile.cpp.o.d"
+  "user_profile"
+  "user_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

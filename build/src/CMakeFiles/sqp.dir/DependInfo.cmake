@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/sqp.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/sqp.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/sqp.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/sqp.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/agg_func.cc" "src/CMakeFiles/sqp.dir/common/agg_func.cc.o" "gcc" "src/CMakeFiles/sqp.dir/common/agg_func.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sqp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sqp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sqp.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sqp.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sqp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sqp.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/sqp.dir/common/value.cc.o" "gcc" "src/CMakeFiles/sqp.dir/common/value.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/sqp.dir/db/database.cc.o" "gcc" "src/CMakeFiles/sqp.dir/db/database.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/sqp.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/sqp.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/executors.cc" "src/CMakeFiles/sqp.dir/exec/executors.cc.o" "gcc" "src/CMakeFiles/sqp.dir/exec/executors.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/sqp.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/sqp.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/materializer.cc" "src/CMakeFiles/sqp.dir/exec/materializer.cc.o" "gcc" "src/CMakeFiles/sqp.dir/exec/materializer.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/sqp.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/sqp.dir/exec/sort.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/sqp.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/sqp.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/metrics.cc" "src/CMakeFiles/sqp.dir/harness/metrics.cc.o" "gcc" "src/CMakeFiles/sqp.dir/harness/metrics.cc.o.d"
+  "/root/repo/src/harness/multi_user_replayer.cc" "src/CMakeFiles/sqp.dir/harness/multi_user_replayer.cc.o" "gcc" "src/CMakeFiles/sqp.dir/harness/multi_user_replayer.cc.o.d"
+  "/root/repo/src/harness/replayer.cc" "src/CMakeFiles/sqp.dir/harness/replayer.cc.o" "gcc" "src/CMakeFiles/sqp.dir/harness/replayer.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/sqp.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/sqp.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/sqp.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/sqp.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/sqp.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/sqp.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/optimizer/query_graph.cc" "src/CMakeFiles/sqp.dir/optimizer/query_graph.cc.o" "gcc" "src/CMakeFiles/sqp.dir/optimizer/query_graph.cc.o.d"
+  "/root/repo/src/optimizer/view_matcher.cc" "src/CMakeFiles/sqp.dir/optimizer/view_matcher.cc.o" "gcc" "src/CMakeFiles/sqp.dir/optimizer/view_matcher.cc.o.d"
+  "/root/repo/src/sim/sim_server.cc" "src/CMakeFiles/sqp.dir/sim/sim_server.cc.o" "gcc" "src/CMakeFiles/sqp.dir/sim/sim_server.cc.o.d"
+  "/root/repo/src/speculation/cost_model.cc" "src/CMakeFiles/sqp.dir/speculation/cost_model.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/cost_model.cc.o.d"
+  "/root/repo/src/speculation/engine.cc" "src/CMakeFiles/sqp.dir/speculation/engine.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/engine.cc.o.d"
+  "/root/repo/src/speculation/learner.cc" "src/CMakeFiles/sqp.dir/speculation/learner.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/learner.cc.o.d"
+  "/root/repo/src/speculation/manipulation.cc" "src/CMakeFiles/sqp.dir/speculation/manipulation.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/manipulation.cc.o.d"
+  "/root/repo/src/speculation/manipulation_space.cc" "src/CMakeFiles/sqp.dir/speculation/manipulation_space.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/manipulation_space.cc.o.d"
+  "/root/repo/src/speculation/partial_query.cc" "src/CMakeFiles/sqp.dir/speculation/partial_query.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/partial_query.cc.o.d"
+  "/root/repo/src/speculation/speculator.cc" "src/CMakeFiles/sqp.dir/speculation/speculator.cc.o" "gcc" "src/CMakeFiles/sqp.dir/speculation/speculator.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/sqp.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/sqp.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sqp.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sqp.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sqp.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sqp.dir/sql/parser.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/sqp.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/sqp.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/selectivity.cc" "src/CMakeFiles/sqp.dir/stats/selectivity.cc.o" "gcc" "src/CMakeFiles/sqp.dir/stats/selectivity.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/CMakeFiles/sqp.dir/stats/table_stats.cc.o" "gcc" "src/CMakeFiles/sqp.dir/stats/table_stats.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/sqp.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/sqp.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/sqp.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/sqp.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/sqp.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/sqp.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/sqp.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/sqp.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/sqp.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/sqp.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_generator.cc" "src/CMakeFiles/sqp.dir/trace/trace_generator.cc.o" "gcc" "src/CMakeFiles/sqp.dir/trace/trace_generator.cc.o.d"
+  "/root/repo/src/trace/user_model.cc" "src/CMakeFiles/sqp.dir/trace/user_model.cc.o" "gcc" "src/CMakeFiles/sqp.dir/trace/user_model.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/sqp.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/sqp.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/sqp.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/sqp.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

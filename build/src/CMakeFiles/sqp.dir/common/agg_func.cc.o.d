@@ -1,0 +1,3 @@
+src/CMakeFiles/sqp.dir/common/agg_func.cc.o: \
+ /root/repo/src/common/agg_func.cc /usr/include/stdc-predef.h \
+ /root/repo/src/common/agg_func.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_scenarios_test.dir/engine_scenarios_test.cc.o"
+  "CMakeFiles/engine_scenarios_test.dir/engine_scenarios_test.cc.o.d"
+  "engine_scenarios_test"
+  "engine_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

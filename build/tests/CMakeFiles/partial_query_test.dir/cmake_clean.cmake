@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_query_test.dir/partial_query_test.cc.o"
+  "CMakeFiles/partial_query_test.dir/partial_query_test.cc.o.d"
+  "partial_query_test"
+  "partial_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

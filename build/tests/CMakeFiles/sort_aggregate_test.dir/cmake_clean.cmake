@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_aggregate_test.dir/sort_aggregate_test.cc.o"
+  "CMakeFiles/sort_aggregate_test.dir/sort_aggregate_test.cc.o.d"
+  "sort_aggregate_test"
+  "sort_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

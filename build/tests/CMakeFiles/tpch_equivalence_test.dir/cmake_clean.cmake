@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_equivalence_test.dir/tpch_equivalence_test.cc.o"
+  "CMakeFiles/tpch_equivalence_test.dir/tpch_equivalence_test.cc.o.d"
+  "tpch_equivalence_test"
+  "tpch_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
