@@ -37,9 +37,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%-6s %8s %12s %12s %9s %9s\n", "user", "queries",
-              "normal(s)", "spec(s)", "gain%", "manips");
+  std::printf("%-6s %8s %12s %12s %9s %9s %7s %7s\n", "user", "queries",
+              "normal(s)", "spec(s)", "gain%", "manips", "cancel", "failed");
   double total_normal = 0, total_spec = 0;
+  std::vector<EngineStats> all_stats;
   for (const Trace& trace : *traces) {
     ReplayOptions normal_opts;
     normal_opts.speculation = false;
@@ -60,18 +61,23 @@ int main(int argc, char** argv) {
                       ? 100 * (1 - spec->total_exec_seconds /
                                        normal->total_exec_seconds)
                       : 0;
-    std::printf("%-6llu %8zu %12.1f %12.1f %8.1f%% %4zu/%zu\n",
+    std::printf("%-6llu %8zu %12.1f %12.1f %8.1f%% %4zu/%zu %7zu %7zu\n",
                 static_cast<unsigned long long>(trace.user_id),
                 normal->queries.size(), normal->total_exec_seconds,
                 spec->total_exec_seconds, gain,
                 spec->engine_stats.manipulations_completed,
-                spec->engine_stats.manipulations_issued);
+                spec->engine_stats.manipulations_issued,
+                spec->engine_stats.cancelled(),
+                spec->engine_stats.manipulations_failed);
     total_normal += normal->total_exec_seconds;
     total_spec += spec->total_exec_seconds;
+    all_stats.push_back(spec->engine_stats);
   }
   if (total_normal > 0) {
     std::printf("\noverall improvement: %.1f%%\n",
                 100 * (1 - total_spec / total_normal));
   }
+  std::printf("\nengine totals:\n%s",
+              FormatEngineStats(AggregateEngineStats(all_stats)).c_str());
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the chaos test under 10 distinct fault-schedule base seeds.
+#
+# Each chaos_test invocation internally replays 10 seeds starting at
+# SQP_CHAOS_SEED, so this sweep covers 100 randomized fault schedules.
+# Every schedule must leave final query results bit-identical to a
+# no-speculation run and restore the disk's live-page count.
+#
+# Usage: scripts/check_chaos.sh [path-to-chaos_test-binary]
+set -euo pipefail
+
+BIN="${1:-build/tests/chaos_test}"
+if [ ! -x "$BIN" ]; then
+  echo "error: chaos_test binary not found at '$BIN'" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for seed in 1 101 201 301 401 501 601 701 801 901; do
+  echo "=== chaos sweep: base seed $seed ==="
+  SQP_CHAOS_SEED="$seed" "$BIN" \
+    --gtest_filter='ChaosReplayTest.*' --gtest_brief=1
+done
+echo "check_chaos: all 10 seed sweeps passed"

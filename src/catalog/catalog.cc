@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/fault_injector.h"
+
 namespace sqp {
 
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
@@ -73,6 +75,7 @@ Result<BPlusTree*> Catalog::CreateIndex(const std::string& table,
   if (indexes_.count(key) > 0) {
     return Status::AlreadyExists("index on " + key);
   }
+  SQP_INJECT_FAULT("catalog.index_build");
   auto tree = std::make_unique<BPlusTree>();
   // Build: full scan, inserting (key, rid). The scan's buffer-pool
   // traffic charges the build's simulated I/O cost.
@@ -127,6 +130,7 @@ Status Catalog::CreateHistogram(const std::string& table,
   if (!col_idx.has_value()) {
     return Status::NotFound("column " + column + " in " + table);
   }
+  SQP_INJECT_FAULT("catalog.histogram_build");
   std::vector<Value> values;
   values.reserve(info->heap->tuple_count());
   auto iter = info->heap->Scan();

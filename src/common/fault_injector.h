@@ -1,0 +1,132 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code declares *fault points* — named places where an
+// operation may be made to fail — with SQP_INJECT_FAULT("disk.write").
+// When no fault is armed the check is a map lookup on an empty registry
+// (effectively free); tests arm points with probability, every-Nth, or
+// one-shot triggers and the point then returns an error Status that
+// propagates through the normal Status/Result plumbing.
+//
+// Faults are deterministic: the schedule is a pure function of the
+// injector's seed (drawn through the shared Rng), so a failing chaos run
+// replays exactly. By default an armed fault only fires inside a
+// ScopedFaultRegion — the speculation engine brackets manipulation work
+// with one, so injected faults hit speculative work while final-query
+// execution proceeds unharmed (the paper's best-effort invariant).
+// Tests that want faults everywhere set FaultSpec::only_in_region=false.
+//
+// The simulator is single-threaded; the registry is not synchronized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqp {
+
+struct FaultSpec {
+  enum class Trigger {
+    kProbability,  // fire on each hit with probability `probability`
+    kEveryNth,     // fire on every n-th hit (n, 2n, 3n, ...)
+    kOneShot,      // fire exactly once, on the n-th hit
+  };
+
+  Trigger trigger = Trigger::kProbability;
+  double probability = 0.0;
+  uint64_t n = 1;
+  /// The Status code the point returns when the fault fires.
+  /// kResourceExhausted is retryable (transient); kInternal is not.
+  StatusCode code = StatusCode::kResourceExhausted;
+  std::string message;
+  /// Fire only inside a ScopedFaultRegion (see file comment).
+  bool only_in_region = true;
+
+  static FaultSpec Probability(
+      double p, StatusCode code = StatusCode::kResourceExhausted) {
+    FaultSpec spec;
+    spec.trigger = Trigger::kProbability;
+    spec.probability = p;
+    spec.code = code;
+    return spec;
+  }
+  static FaultSpec EveryNth(
+      uint64_t n, StatusCode code = StatusCode::kResourceExhausted) {
+    FaultSpec spec;
+    spec.trigger = Trigger::kEveryNth;
+    spec.n = n == 0 ? 1 : n;
+    spec.code = code;
+    return spec;
+  }
+  static FaultSpec OneShot(
+      uint64_t nth = 1, StatusCode code = StatusCode::kResourceExhausted) {
+    FaultSpec spec;
+    spec.trigger = Trigger::kOneShot;
+    spec.n = nth == 0 ? 1 : nth;
+    spec.code = code;
+    return spec;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide registry every fault point consults.
+  static FaultInjector& Global();
+
+  /// Arm (or re-arm, resetting counters) one fault point.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+
+  /// Disarm everything, zero counters, leave the region depth alone.
+  void Reset();
+
+  /// Reseed the trigger stream (call before arming for a new schedule).
+  void Seed(uint64_t seed);
+
+  /// Evaluate one fault point. OK unless the point is armed and fires.
+  Status Check(const std::string& point);
+
+  uint64_t hits(const std::string& point) const;
+  uint64_t fires(const std::string& point) const;
+  uint64_t total_fires() const { return total_fires_; }
+  bool armed() const { return !points_.empty(); }
+
+  void EnterRegion() { region_depth_++; }
+  void ExitRegion() { region_depth_--; }
+  bool InRegion() const { return region_depth_ > 0; }
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  std::map<std::string, PointState> points_;
+  Rng rng_{0};
+  int region_depth_ = 0;
+  uint64_t total_fires_ = 0;
+};
+
+/// RAII marker for "speculative work in progress": region-scoped faults
+/// fire only while at least one of these is alive.
+class ScopedFaultRegion {
+ public:
+  ScopedFaultRegion() { FaultInjector::Global().EnterRegion(); }
+  ~ScopedFaultRegion() { FaultInjector::Global().ExitRegion(); }
+  ScopedFaultRegion(const ScopedFaultRegion&) = delete;
+  ScopedFaultRegion& operator=(const ScopedFaultRegion&) = delete;
+};
+
+/// Declare a fault point: returns the injected Status from the enclosing
+/// function when the point fires.
+#define SQP_INJECT_FAULT(point)                                     \
+  do {                                                              \
+    if (::sqp::FaultInjector::Global().armed()) {                   \
+      SQP_RETURN_IF_ERROR(::sqp::FaultInjector::Global().Check(point)); \
+    }                                                               \
+  } while (0)
+
+}  // namespace sqp

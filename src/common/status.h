@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
@@ -20,6 +22,9 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kCancelled,
+  /// A resource limit or transient exhaustion (storage budget, injected
+  /// transient fault). Retryable: the same operation may succeed later.
+  kResourceExhausted,
 };
 
 /// Outcome of an operation that can fail. Cheap to copy when OK.
@@ -46,8 +51,18 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Whether retrying the failed operation may succeed (transient
+  /// failures: resource exhaustion). Permanent errors — bad input,
+  /// broken invariants — are not retryable.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
@@ -68,7 +83,15 @@ class Result {
  public:
   Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
   Result(Status status) : v_(std::move(status)) {    // NOLINT implicit
-    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+    // A Result built from an OK status carries neither a value nor an
+    // error; continuing would dereference an empty variant later, far
+    // from the bug. Fail here with a readable message in every build.
+    if (std::get<Status>(v_).ok()) {
+      std::fprintf(stderr,
+                   "FATAL: Result<T> constructed from an OK Status; "
+                   "return the value instead\n");
+      std::abort();
+    }
   }
 
   bool ok() const { return std::holds_alternative<T>(v_); }
@@ -99,5 +122,18 @@ class Result {
     ::sqp::Status _st = (expr);          \
     if (!_st.ok()) return _st;           \
   } while (0)
+
+#define SQP_STATUS_CONCAT_IMPL(a, b) a##b
+#define SQP_STATUS_CONCAT(a, b) SQP_STATUS_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error propagate its Status from
+/// the current function, otherwise assign the value to `lhs` (which may
+/// declare a new variable: SQP_ASSIGN_OR_RETURN(auto x, F());).
+#define SQP_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto SQP_STATUS_CONCAT(_sqp_result_, __LINE__) = (expr);          \
+  if (!SQP_STATUS_CONCAT(_sqp_result_, __LINE__).ok()) {            \
+    return SQP_STATUS_CONCAT(_sqp_result_, __LINE__).status();      \
+  }                                                                 \
+  lhs = std::move(*SQP_STATUS_CONCAT(_sqp_result_, __LINE__))
 
 }  // namespace sqp

@@ -39,7 +39,7 @@ Status Database::BulkLoad(const std::string& name,
   stats.Finish(info->heap->page_count());
   info->stats = std::move(stats);
   for (page_id_t page_id : info->heap->pages()) {
-    pool_->FlushPage(page_id);
+    SQP_RETURN_IF_ERROR(pool_->FlushPage(page_id));
   }
   return Status::OK();
 }
@@ -209,6 +209,6 @@ void Database::RegisterView(const QueryGraph& definition,
   views_.Register(ViewDefinition{table_name, std::move(def)});
 }
 
-void Database::ColdStart() { pool_->Reset(); }
+Status Database::ColdStart() { return pool_->Reset(); }
 
 }  // namespace sqp

@@ -101,7 +101,8 @@ class Database {
                     const std::string& table_name);
 
   /// Empty the buffer pool: the next operation starts cold (§4.2).
-  void ColdStart();
+  /// Fails only on a disk write error while flushing dirty frames.
+  Status ColdStart();
 
   // ------------------------------------------------------- Accessors
   Catalog& catalog() { return *catalog_; }
@@ -112,6 +113,9 @@ class Database {
   CostMeter& meter() { return meter_; }
   const DatabaseOptions& options() const { return options_; }
   BufferPool& buffer_pool() { return *pool_; }
+  /// Exposed for leak accounting (chaos tests compare live_pages()
+  /// across sessions) — not for direct page I/O.
+  const DiskManager& disk_manager() const { return *disk_; }
 
   /// Total simulated seconds of work this database has performed.
   double TotalSimSeconds() const { return meter_.ElapsedSeconds(); }

@@ -1,5 +1,7 @@
 #include "exec/materializer.h"
 
+#include "common/fault_injector.h"
+
 namespace sqp {
 
 Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
@@ -27,6 +29,13 @@ Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
       return row.status();
     }
     if (!row->has_value()) break;
+    if (FaultInjector::Global().armed()) {
+      Status injected = FaultInjector::Global().Check("materialize.append");
+      if (!injected.ok()) {
+        (void)catalog->DropTable(table_name);
+        return injected;
+      }
+    }
     stats.Observe(**row);
     auto rid = info->heap->Append(**row);
     if (!rid.ok()) {
@@ -37,9 +46,14 @@ Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
   stats.Finish(info->heap->page_count());
   info->stats = std::move(stats);
 
-  // Persist the result: every page of the new table goes to disk.
+  // Persist the result: every page of the new table goes to disk. A
+  // flush failure abandons the half-built table (pages released).
   for (page_id_t page_id : info->heap->pages()) {
-    pool->FlushPage(page_id);
+    Status flushed = pool->FlushPage(page_id);
+    if (!flushed.ok()) {
+      (void)catalog->DropTable(table_name);
+      return flushed;
+    }
   }
   return info;
 }

@@ -138,4 +138,48 @@ std::string FormatBuckets(const std::vector<Bucket>& buckets,
   return os.str();
 }
 
+EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats) {
+  EngineStats total;
+  for (const EngineStats& s : stats) {
+    total.manipulations_issued += s.manipulations_issued;
+    total.manipulations_completed += s.manipulations_completed;
+    total.cancelled_by_edit += s.cancelled_by_edit;
+    total.cancelled_at_go += s.cancelled_at_go;
+    total.abandoned_at_completion += s.abandoned_at_completion;
+    total.views_garbage_collected += s.views_garbage_collected;
+    total.waits_at_go += s.waits_at_go;
+    total.total_wait_seconds += s.total_wait_seconds;
+    total.total_manipulation_work += s.total_manipulation_work;
+    total.manipulations_failed += s.manipulations_failed;
+    total.retries += s.retries;
+    total.speculation_suspended_events += s.speculation_suspended_events;
+    total.views_evicted_for_budget += s.views_evicted_for_budget;
+    total.completed_durations.insert(total.completed_durations.end(),
+                                     s.completed_durations.begin(),
+                                     s.completed_durations.end());
+  }
+  return total;
+}
+
+std::string FormatEngineStats(const EngineStats& stats) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "  manipulations: issued %zu, completed %zu, cancelled %zu "
+                "(%zu by edit, %zu at GO), abandoned %zu, GC'd views %zu\n",
+                stats.manipulations_issued, stats.manipulations_completed,
+                stats.cancelled(), stats.cancelled_by_edit,
+                stats.cancelled_at_go, stats.abandoned_at_completion,
+                stats.views_garbage_collected);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  failures: %zu failed, %zu retries, %zu suspensions "
+                "(circuit breaker), %zu budget evictions\n",
+                stats.manipulations_failed, stats.retries,
+                stats.speculation_suspended_events,
+                stats.views_evicted_for_budget);
+  out += line;
+  return out;
+}
+
 }  // namespace sqp

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "optimizer/query_graph.h"
+#include "speculation/engine.h"
 
 namespace sqp {
 
@@ -71,5 +72,14 @@ BucketOptions AutoBuckets(const std::vector<QueryRecord>& normal,
 /// Render buckets as an aligned text table (one row per bucket).
 std::string FormatBuckets(const std::vector<Bucket>& buckets,
                           bool include_extremes);
+
+/// Sum engine counters across replays (one EngineStats per trace).
+EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats);
+
+/// Two-line summary of an engine's lifecycle and failure counters —
+/// issued/completed/cancelled plus failures, retries, circuit-breaker
+/// suspensions, and budget evictions, so degraded runs are visible in
+/// experiment reports.
+std::string FormatEngineStats(const EngineStats& stats);
 
 }  // namespace sqp

@@ -15,7 +15,7 @@ std::vector<QueryRecord> MultiUserReplayResult::Flatten() const {
 
 Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     const std::vector<Trace>& traces) {
-  if (options_.cold_start) db_->ColdStart();
+  if (options_.cold_start) SQP_RETURN_IF_ERROR(db_->ColdStart());
 
   SimServer server;
   const size_t n = traces.size();

@@ -3,7 +3,7 @@
 namespace sqp {
 
 Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
-  if (options_.cold_start) db_->ColdStart();
+  if (options_.cold_start) SQP_RETURN_IF_ERROR(db_->ColdStart());
 
   SimServer server;
   SpeculationEngineOptions engine_options = options_.engine;

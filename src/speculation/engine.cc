@@ -1,8 +1,11 @@
 #include "speculation/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <set>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace sqp {
@@ -46,7 +49,8 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
       } else {
         // The result becomes visible to the optimizer now.
         db_->RegisterView(m.target_query, it->table_name);
-        owned_views_[it->table_name] = m.target_query;
+        owned_views_[it->table_name] =
+            OwnedView{m.target_query, sim_time};
       }
     } else if (m.type == ManipulationType::kHistogramCreation) {
       owned_histograms_.emplace_back(m.table, m.column);
@@ -56,10 +60,13 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
     if (!abandoned) {
       stats_.manipulations_completed++;
       stats_.completed_durations.push_back(it->work);
+      // A completed manipulation proves the fault burst has passed.
+      consecutive_failures_ = 0;
       SQP_LOG_DEBUG << "spec: completed " << m.Describe();
     }
     it = outstanding_.erase(it);
   }
+  EnforceBudget();
 }
 
 bool SpeculationEngine::StillRelevant(const Outstanding& out) const {
@@ -108,17 +115,77 @@ void SpeculationEngine::CancelOutstanding(bool at_go) {
   outstanding_.clear();
 }
 
-void SpeculationEngine::GarbageCollect() {
+void SpeculationEngine::GarbageCollect(double sim_time) {
   const QueryGraph& partial = tracker_.current();
   for (auto it = owned_views_.begin(); it != owned_views_.end();) {
-    if (!partial.ContainsSubgraph(it->second)) {
+    if (!partial.ContainsSubgraph(it->second.definition)) {
       SQP_LOG_DEBUG << "spec: GC " << it->first;
       (void)db_->DropTable(it->first);  // also unregisters the view
       it = owned_views_.erase(it);
       stats_.views_garbage_collected++;
     } else {
+      it->second.last_use = sim_time;  // still useful right now
       ++it;
     }
+  }
+}
+
+void SpeculationEngine::EnforceBudget() {
+  if (options_.max_speculative_pages == 0) return;
+  auto total_pages = [&] {
+    uint64_t total = 0;
+    for (const auto& [name, view] : owned_views_) {
+      const TableInfo* info = db_->catalog().GetTable(name);
+      if (info != nullptr) total += info->heap->page_count();
+    }
+    return total;
+  };
+  while (!owned_views_.empty() &&
+         total_pages() > options_.max_speculative_pages) {
+    // Evict the least-recently-useful view (ties broken by name order,
+    // keeping the schedule deterministic).
+    auto victim = owned_views_.begin();
+    for (auto it = owned_views_.begin(); it != owned_views_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    SQP_LOG_DEBUG << "spec: budget eviction of " << victim->first
+                  << " (last use " << victim->second.last_use << "s)";
+    (void)db_->DropTable(victim->first);
+    owned_views_.erase(victim);
+    stats_.views_evicted_for_budget++;
+  }
+}
+
+void SpeculationEngine::HandleManipulationFailure(const Status& failure,
+                                                  double sim_time) {
+  stats_.manipulations_failed++;
+  SQP_LOG_DEBUG << "spec: manipulation failed (" << failure.ToString()
+                << ")";
+  if (failure.IsRetryable() && retry_attempts_ < options_.max_retries) {
+    // Transient: back off in simulated time, doubling per consecutive
+    // retry up to the cap, and let a later event try again.
+    double backoff = std::min(
+        options_.retry_backoff_cap_seconds,
+        options_.retry_backoff_seconds *
+            std::pow(2.0, static_cast<double>(retry_attempts_)));
+    retry_attempts_++;
+    stats_.retries++;
+    retry_not_before_ = sim_time + backoff;
+    SQP_LOG_DEBUG << "spec: retry " << retry_attempts_ << " in " << backoff
+                  << "s";
+    return;
+  }
+  // Permanent failure, or retries exhausted: count it toward the
+  // circuit breaker.
+  retry_attempts_ = 0;
+  consecutive_failures_++;
+  if (consecutive_failures_ >= options_.circuit_breaker_threshold) {
+    suspended_until_ =
+        sim_time + options_.circuit_breaker_cooldown_seconds;
+    stats_.speculation_suspended_events++;
+    consecutive_failures_ = 0;
+    SQP_LOG_DEBUG << "spec: circuit breaker open until "
+                  << suspended_until_ << "s";
   }
 }
 
@@ -130,6 +197,11 @@ Status SpeculationEngine::ExecuteManipulation(
   out.issue_time = sim_time;
   out.issue_cost_without = eval.cost_without;
 
+  // All eagerly-applied side effects happen inside a fault region:
+  // injected faults target speculative work here, never final queries.
+  ScopedFaultRegion fault_region;
+  SQP_INJECT_FAULT("engine.manipulation");
+
   switch (m.type) {
     case ManipulationType::kMaterializeQuery:
     case ManipulationType::kRewriteQuery: {
@@ -137,7 +209,12 @@ Status SpeculationEngine::ExecuteManipulation(
           options_.table_prefix + std::to_string(next_table_id_++);
       auto result = db_->Materialize(m.target_query, out.table_name,
                                      /*register_view=*/false);
-      if (!result.ok()) return result.status();
+      if (!result.ok()) {
+        // The materializer rolls its half-built table back itself, but a
+        // failure between create and fill can leave the shell behind.
+        (void)db_->DropTable(out.table_name);
+        return result.status();
+      }
       out.work = result->seconds;
       break;
     }
@@ -168,6 +245,12 @@ Status SpeculationEngine::ExecuteManipulation(
 
 Status SpeculationEngine::MaybeIssue(double sim_time) {
   if (!options_.enabled) return Status::OK();
+  if (sim_time < suspended_until_) {
+    return Status::OK();  // circuit breaker open: speculation suspended
+  }
+  if (sim_time < retry_not_before_) {
+    return Status::OK();  // still backing off after a transient failure
+  }
   double start = tracker_.formulation_start();
   double elapsed = start >= 0 ? sim_time - start : 0;
   while (outstanding_.size() < options_.max_outstanding) {
@@ -181,8 +264,17 @@ Status SpeculationEngine::MaybeIssue(double sim_time) {
     SpeculationDecision decision =
         speculator_.Decide(tracker_.current(), elapsed, &in_flight);
     if (!decision.chosen.has_value()) return Status::OK();
-    SQP_RETURN_IF_ERROR(
-        ExecuteManipulation(*decision.chosen, decision.evaluation, sim_time));
+    Status executed =
+        ExecuteManipulation(*decision.chosen, decision.evaluation, sim_time);
+    if (!executed.ok()) {
+      // Best-effort invariant: a failed manipulation costs us the
+      // speculation opportunity, never the session. Side effects were
+      // rolled back by ExecuteManipulation.
+      HandleManipulationFailure(executed, sim_time);
+      return Status::OK();
+    }
+    retry_attempts_ = 0;
+    retry_not_before_ = 0;
   }
   return Status::OK();
 }
@@ -200,7 +292,7 @@ Status SpeculationEngine::OnUserEvent(const TraceEvent& event,
       ++it;
     }
   }
-  GarbageCollect();
+  GarbageCollect(sim_time);
   return MaybeIssue(sim_time);
 }
 
@@ -283,8 +375,12 @@ Status SpeculationEngine::ResolveWait(double wait_until) {
 
 Status SpeculationEngine::Shutdown() {
   CancelOutstanding(/*at_go=*/true);
-  for (const auto& [name, def] : owned_views_) {
-    SQP_RETURN_IF_ERROR(db_->DropTable(name));
+  // Best-effort teardown: one failed drop must not leave the rest of
+  // the speculative state behind. Report the first failure at the end.
+  Status first_error;
+  for (const auto& [name, view] : owned_views_) {
+    Status dropped = db_->DropTable(name);
+    if (!dropped.ok() && first_error.ok()) first_error = dropped;
   }
   owned_views_.clear();
   for (const auto& [table, column] : owned_histograms_) {
@@ -295,7 +391,11 @@ Status SpeculationEngine::Shutdown() {
     (void)db_->catalog().DropIndex(table, column);
   }
   owned_indexes_.clear();
-  return Status::OK();
+  retry_attempts_ = 0;
+  consecutive_failures_ = 0;
+  retry_not_before_ = 0;
+  suspended_until_ = 0;
+  return first_error;
 }
 
 Status SpeculationEngine::OnQueryResult(double sim_time) {
@@ -307,7 +407,7 @@ Status SpeculationEngine::OnQueryResult(double sim_time) {
 std::vector<std::string> SpeculationEngine::live_views() const {
   std::vector<std::string> out;
   out.reserve(owned_views_.size());
-  for (const auto& [name, def] : owned_views_) out.push_back(name);
+  for (const auto& [name, view] : owned_views_) out.push_back(name);
   return out;
 }
 

@@ -68,6 +68,31 @@ struct SpeculationEngineOptions {
   bool speculate_on_results = true;
   /// Name prefix for speculative tables (unique per engine).
   std::string table_prefix = "spec_mv_";
+
+  // --- failure handling -------------------------------------------
+  // Speculation is strictly best-effort: a failed manipulation never
+  // fails the session. Transient failures (Status::IsRetryable()) are
+  // retried with capped exponential backoff in simulated time; repeated
+  // failures of any kind trip a circuit breaker that suspends
+  // speculation for a cooldown window.
+  /// Transient-failure retries before a manipulation counts as failed
+  /// for the circuit breaker.
+  size_t max_retries = 3;
+  /// Initial backoff before a retry (simulated seconds); doubles per
+  /// consecutive retry up to `retry_backoff_cap_seconds`.
+  double retry_backoff_seconds = 0.5;
+  double retry_backoff_cap_seconds = 8.0;
+  /// Consecutive (post-retry) failures that open the circuit breaker.
+  size_t circuit_breaker_threshold = 5;
+  /// How long speculation stays suspended once the breaker opens.
+  double circuit_breaker_cooldown_seconds = 60.0;
+
+  // --- storage budget ---------------------------------------------
+  /// Cap on the total pages of completed speculative views this engine
+  /// keeps (0 = unlimited). When a newly completed view pushes the
+  /// total over the cap, the least-recently-useful views are evicted
+  /// first, so speculation can never exhaust the store.
+  size_t max_speculative_pages = 0;
 };
 
 struct EngineStats {
@@ -84,6 +109,16 @@ struct EngineStats {
   /// GO events where the engine chose to wait for a near-complete
   /// manipulation instead of cancelling it (GoPolicy::kWaitIfWorthwhile).
   size_t waits_at_go = 0;
+  /// Manipulations whose execution failed (I/O error, resource
+  /// exhaustion, injected fault). Their side effects were rolled back;
+  /// the session continued unaffected.
+  size_t manipulations_failed = 0;
+  /// Retry attempts scheduled for transient manipulation failures.
+  size_t retries = 0;
+  /// Times the circuit breaker opened and suspended speculation.
+  size_t speculation_suspended_events = 0;
+  /// Completed views evicted to respect max_speculative_pages.
+  size_t views_evicted_for_budget = 0;
   double total_wait_seconds = 0;
   /// Simulated seconds of manipulation work executed (incl. cancelled).
   double total_manipulation_work = 0;
@@ -174,8 +209,19 @@ class SpeculationEngine {
   /// Cancel every outstanding manipulation.
   void CancelOutstanding(bool at_go);
 
-  /// Drop completed speculative views no longer implied by the partial.
-  void GarbageCollect();
+  /// Drop completed speculative views no longer implied by the partial;
+  /// views that remain implied are touched (LRU bookkeeping for the
+  /// storage budget).
+  void GarbageCollect(double sim_time);
+
+  /// Evict least-recently-useful completed views until the total pages
+  /// they occupy fit within max_speculative_pages.
+  void EnforceBudget();
+
+  /// Record a failed manipulation: schedule a backed-off retry for
+  /// transient failures, advance the circuit breaker otherwise. Never
+  /// propagates the failure — speculation is best-effort.
+  void HandleManipulationFailure(const Status& failure, double sim_time);
 
   /// Ask the Speculator and issue the chosen manipulation.
   Status MaybeIssue(double sim_time);
@@ -194,14 +240,26 @@ class SpeculationEngine {
   /// In-flight manipulations (size bounded by max_outstanding; the
   /// paper's convention keeps it at one).
   std::vector<Outstanding> outstanding_;
-  /// Completed speculative views: table name -> definition.
-  std::map<std::string, QueryGraph> owned_views_;
+  struct OwnedView {
+    QueryGraph definition;
+    /// Last simulated time the current partial query implied this view
+    /// (refreshed on every event; the budget evicts the stalest first).
+    double last_use = 0;
+  };
+  /// Completed speculative views: table name -> definition + LRU stamp.
+  std::map<std::string, OwnedView> owned_views_;
   /// Completed speculative histograms / indexes: (table, column).
   std::vector<std::pair<std::string, std::string>> owned_histograms_;
   std::vector<std::pair<std::string, std::string>> owned_indexes_;
   std::optional<QueryGraph> previous_final_;
   EngineStats stats_;
   uint64_t next_table_id_ = 0;
+
+  // Failure-handling state (simulated-time clocks).
+  size_t retry_attempts_ = 0;        // consecutive transient failures
+  size_t consecutive_failures_ = 0;  // toward the circuit breaker
+  double retry_not_before_ = 0;      // backoff gate for the next issue
+  double suspended_until_ = 0;       // circuit-breaker cooldown end
 };
 
 }  // namespace sqp

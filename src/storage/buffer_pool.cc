@@ -21,17 +21,20 @@ Result<size_t> BufferPool::GetVictimFrame() {
     return idx;
   }
   if (lru_.empty()) {
-    return Status::Internal("buffer pool exhausted: all frames pinned");
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
   }
   size_t idx = lru_.front();
-  lru_.pop_front();
   Frame& f = frames_[idx];
-  f.in_lru = false;
   assert(f.pin_count == 0);
   if (f.dirty) {
-    disk_->WritePage(f.page_id, f.page);
+    // Flush before detaching: on a write failure the victim stays
+    // resident, dirty, and in LRU order — nothing is lost.
+    SQP_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page));
     f.dirty = false;
   }
+  lru_.pop_front();
+  f.in_lru = false;
   table_.erase(f.page_id);
   return idx;
 }
@@ -53,7 +56,13 @@ Result<Page*> BufferPool::FetchPage(page_id_t page_id) {
   if (!victim.ok()) return victim.status();
   size_t idx = *victim;
   Frame& f = frames_[idx];
-  disk_->ReadPage(page_id, &f.page);
+  Status read = disk_->ReadPage(page_id, &f.page);
+  if (!read.ok()) {
+    // The victim was already detached; return it to the free list.
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(idx);
+    return read;
+  }
   f.page_id = page_id;
   f.pin_count = 1;
   f.dirty = false;
@@ -65,8 +74,14 @@ Result<std::pair<page_id_t, Page*>> BufferPool::NewPage() {
   auto victim = GetVictimFrame();
   if (!victim.ok()) return victim.status();
   size_t idx = *victim;
-  page_id_t page_id = disk_->AllocatePage();
   Frame& f = frames_[idx];
+  auto allocated = disk_->AllocatePage();
+  if (!allocated.ok()) {
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(idx);
+    return allocated.status();
+  }
+  page_id_t page_id = *allocated;
   f.page.Init();
   f.page_id = page_id;
   f.pin_count = 1;
@@ -87,28 +102,30 @@ void BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
   }
 }
 
-void BufferPool::FlushPage(page_id_t page_id) {
+Status BufferPool::FlushPage(page_id_t page_id) {
   auto it = table_.find(page_id);
-  if (it == table_.end()) return;
+  if (it == table_.end()) return Status::OK();
   Frame& f = frames_[it->second];
   if (f.dirty) {
-    disk_->WritePage(f.page_id, f.page);
+    SQP_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page));
     f.dirty = false;
   }
+  return Status::OK();
 }
 
-void BufferPool::FlushAll() {
+Status BufferPool::FlushAll() {
   for (auto& [page_id, idx] : table_) {
     Frame& f = frames_[idx];
     if (f.dirty) {
-      disk_->WritePage(f.page_id, f.page);
+      SQP_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page));
       f.dirty = false;
     }
   }
+  return Status::OK();
 }
 
-void BufferPool::Reset() {
-  FlushAll();
+Status BufferPool::Reset() {
+  SQP_RETURN_IF_ERROR(FlushAll());
   for (auto& [page_id, idx] : table_) {
     Frame& f = frames_[idx];
     assert(f.pin_count == 0 && "Reset with pinned pages");
@@ -123,6 +140,7 @@ void BufferPool::Reset() {
   }
   hits_ = 0;
   misses_ = 0;
+  return Status::OK();
 }
 
 void BufferPool::EvictPage(page_id_t page_id) {

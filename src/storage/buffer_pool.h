@@ -33,13 +33,15 @@ class BufferPool {
   /// Drop a pin. `dirty` records that the caller modified the frame.
   void UnpinPage(page_id_t page_id, bool dirty);
 
-  /// Flush one page / all dirty pages to disk.
-  void FlushPage(page_id_t page_id);
-  void FlushAll();
+  /// Flush one page / all dirty pages to disk. A write failure leaves
+  /// the frame resident and dirty (no data loss; retry may succeed).
+  Status FlushPage(page_id_t page_id);
+  Status FlushAll();
 
   /// Flush everything and empty every frame: the next replay starts with
   /// a cold cache, matching the paper's per-replay methodology (§4.2).
-  void Reset();
+  /// Fails (with the pool only partially emptied) when a flush fails.
+  Status Reset();
 
   /// Evict (without flushing loss — flushes first) any frames caching
   /// pages of a dropped table so DeallocatePage is safe.

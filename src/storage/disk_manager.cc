@@ -2,13 +2,16 @@
 
 #include <cassert>
 
+#include "common/fault_injector.h"
+
 namespace sqp {
 
-page_id_t DiskManager::AllocatePage() {
+Result<page_id_t> DiskManager::AllocatePage() {
+  SQP_INJECT_FAULT("disk.allocate");
   store_.push_back(std::make_unique<Page>());
   live_.push_back(true);
   live_pages_++;
-  return store_.size() - 1;
+  return static_cast<page_id_t>(store_.size() - 1);
 }
 
 void DiskManager::DeallocatePage(page_id_t page_id) {
@@ -20,16 +23,20 @@ void DiskManager::DeallocatePage(page_id_t page_id) {
   }
 }
 
-void DiskManager::ReadPage(page_id_t page_id, Page* out) {
+Status DiskManager::ReadPage(page_id_t page_id, Page* out) {
   assert(page_id < store_.size() && live_[page_id]);
+  SQP_INJECT_FAULT("disk.read");
   std::memcpy(out->raw(), store_[page_id]->raw(), kPageSize);
   meter_->ChargeBlockRead();
+  return Status::OK();
 }
 
-void DiskManager::WritePage(page_id_t page_id, const Page& in) {
+Status DiskManager::WritePage(page_id_t page_id, const Page& in) {
   assert(page_id < store_.size() && live_[page_id]);
+  SQP_INJECT_FAULT("disk.write");
   std::memcpy(store_[page_id]->raw(), in.raw(), kPageSize);
   meter_->ChargeBlockWrite();
+  return Status::OK();
 }
 
 }  // namespace sqp

@@ -3,12 +3,18 @@
 // Backing store is main memory; "I/O" charges simulated time through the
 // shared CostMeter. This stands in for the paper's physical disk: the
 // experiments depend only on relative I/O volumes (see DESIGN.md §2).
+//
+// Every operation can fail: the fault points "disk.allocate",
+// "disk.read", and "disk.write" let the chaos harness inject transient
+// or permanent I/O errors, which propagate as Status through the buffer
+// pool and up to whoever issued the operation.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "common/cost_meter.h"
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace sqp {
@@ -21,16 +27,16 @@ class DiskManager {
   DiskManager& operator=(const DiskManager&) = delete;
 
   /// Allocate a fresh zeroed page on disk; returns its id.
-  page_id_t AllocatePage();
+  Result<page_id_t> AllocatePage();
 
   /// Free a page (space returns to the allocator; id is never reused).
   void DeallocatePage(page_id_t page_id);
 
   /// Copy page contents disk -> out. Charges one block read.
-  void ReadPage(page_id_t page_id, Page* out);
+  Status ReadPage(page_id_t page_id, Page* out);
 
   /// Copy page contents in -> disk. Charges one block write.
-  void WritePage(page_id_t page_id, const Page& in);
+  Status WritePage(page_id_t page_id, const Page& in);
 
   uint64_t allocated_pages() const { return store_.size(); }
   uint64_t live_pages() const { return live_pages_; }

@@ -159,6 +159,29 @@ TEST_F(EngineTest, ShutdownRemovesEverything) {
   EXPECT_EQ(db_->catalog().TableNames().size(), tables_before - 1);
 }
 
+TEST_F(EngineTest, ShutdownReleasesAllStoragePages) {
+  // Leak-freedom on the happy path: after a session with completed,
+  // in-flight, and garbage-collected manipulations, Shutdown() restores
+  // the disk's live-page count to exactly what the replay found.
+  const uint64_t pages_before = db_->disk_manager().live_pages();
+  const size_t tables_before = db_->catalog().TableNames().size();
+
+  // Formulation 1 completes and survives GO.
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_.AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  ASSERT_TRUE(engine_->OnQueryResult(51.0).ok());
+  // Formulation 2 grows the query; leave its manipulation in flight.
+  ASSERT_TRUE(engine_->OnUserEvent(JoinAdd(RsJoin()), 60.0).ok());
+  EXPECT_GT(db_->disk_manager().live_pages(), pages_before);
+
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  EXPECT_TRUE(engine_->live_views().empty());
+  EXPECT_EQ(db_->views().size(), 0u);
+  EXPECT_EQ(db_->catalog().TableNames().size(), tables_before);
+  EXPECT_EQ(db_->disk_manager().live_pages(), pages_before);
+}
+
 TEST_F(EngineTest, AbandonGuardDropsUselessResults) {
   // An unselective materialization looks mildly beneficial under the
   // optimistic estimate but its actual result is as big as the base

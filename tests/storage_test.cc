@@ -116,12 +116,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TupleRoundTrip, ::testing::Values(1, 2, 3));
 TEST(DiskManagerTest, AllocateReadWriteCharges) {
   CostMeter meter;
   DiskManager disk(&meter);
-  page_id_t id = disk.AllocatePage();
+  page_id_t id = *disk.AllocatePage();
   Page page;
   page.Insert(reinterpret_cast<const uint8_t*>("ab"), 2);
-  disk.WritePage(id, page);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
   Page back;
-  disk.ReadPage(id, &back);
+  ASSERT_TRUE(disk.ReadPage(id, &back).ok());
   EXPECT_EQ(back.slot_count(), 1);
   EXPECT_EQ(meter.blocks_read(), 1u);
   EXPECT_EQ(meter.blocks_written(), 1u);
@@ -131,8 +131,8 @@ TEST(DiskManagerTest, AllocateReadWriteCharges) {
 TEST(DiskManagerTest, DeallocateTracksLivePages) {
   CostMeter meter;
   DiskManager disk(&meter);
-  page_id_t a = disk.AllocatePage();
-  disk.AllocatePage();
+  page_id_t a = *disk.AllocatePage();
+  (void)disk.AllocatePage();
   EXPECT_EQ(disk.live_pages(), 2u);
   disk.DeallocatePage(a);
   EXPECT_EQ(disk.live_pages(), 1u);
