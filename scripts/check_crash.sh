@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the crash-recovery chaos harness under 10 distinct base seeds.
+#
+# Each crash_recovery_test invocation internally replays 10 randomized
+# crash schedules starting at SQP_CRASH_SEED, so this sweep covers 100
+# schedules. Every schedule must (a) return final-query results
+# bit-identical to a crash-free run, (b) detect every torn page instead
+# of serving it, and (c) leave zero orphan pages after recovery.
+#
+# Usage: scripts/check_crash.sh [path-to-crash_recovery_test-binary]
+set -euo pipefail
+
+BIN="${1:-build/tests/crash_recovery_test}"
+if [ ! -x "$BIN" ]; then
+  echo "error: crash_recovery_test binary not found at '$BIN'" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for seed in 1 101 201 301 401 501 601 701 801 901; do
+  echo "=== crash sweep: base seed $seed ==="
+  SQP_CRASH_SEED="$seed" "$BIN" \
+    --gtest_filter='CrashChaosTest.*' --gtest_brief=1
+done
+echo "check_crash: all 10 seed sweeps passed"

@@ -22,6 +22,26 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
   return raw;
 }
 
+Result<TableInfo*> Catalog::RestoreTable(const std::string& name,
+                                         const Schema& schema,
+                                         bool is_materialized,
+                                         std::vector<page_id_t> pages,
+                                         uint64_t tuple_count) {
+  auto created = CreateTable(name, schema, is_materialized);
+  if (!created.ok()) return created.status();
+  TableInfo* info = *created;
+  info->heap->Restore(std::move(pages), tuple_count);
+  Status analyzed = AnalyzeTable(name);
+  if (!analyzed.ok()) {
+    // Validation failed (torn page, I/O error): detach the page list so
+    // the caller decides whether to drop the pages or surface the loss.
+    info->heap->Restore({}, 0);
+    tables_.erase(name);
+    return analyzed;
+  }
+  return info;
+}
+
 TableInfo* Catalog::GetTable(const std::string& name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

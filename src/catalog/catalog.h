@@ -42,6 +42,15 @@ class Catalog {
                                  const Schema& schema,
                                  bool is_materialized = false);
 
+  /// Crash recovery: recreate a table around an existing on-disk page
+  /// list (recorded in the manifest), then recompute its stats with a
+  /// validating full scan — every page read verifies its checksum, so a
+  /// torn page surfaces here as kDataLoss.
+  Result<TableInfo*> RestoreTable(const std::string& name,
+                                  const Schema& schema, bool is_materialized,
+                                  std::vector<page_id_t> pages,
+                                  uint64_t tuple_count);
+
   /// nullptr when absent.
   TableInfo* GetTable(const std::string& name);
   const TableInfo* GetTable(const std::string& name) const;

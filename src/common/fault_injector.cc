@@ -66,6 +66,8 @@ Status FaultInjector::Check(const std::string& point) {
       return Status::AlreadyExists(std::move(msg));
     case StatusCode::kNotSupported:
       return Status::NotSupported(std::move(msg));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(msg));
     case StatusCode::kOk:
       break;
   }

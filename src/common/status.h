@@ -25,6 +25,10 @@ enum class StatusCode {
   /// A resource limit or transient exhaustion (storage budget, injected
   /// transient fault). Retryable: the same operation may succeed later.
   kResourceExhausted,
+  /// Durable data is unrecoverably lost or corrupt: a torn page failed
+  /// its checksum, or the disk crashed and must be reopened. Never
+  /// retryable — the damage is in the stored bytes, not the operation.
+  kDataLoss,
 };
 
 /// Outcome of an operation that can fail. Cheap to copy when OK.
@@ -53,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

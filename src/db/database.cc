@@ -19,7 +19,11 @@ Database::Database(DatabaseOptions options)
 
 Status Database::CreateTable(const std::string& name, const Schema& schema) {
   auto table = catalog_->CreateTable(name, schema);
-  return table.ok() ? Status::OK() : table.status();
+  if (!table.ok()) return table.status();
+  manifest_.Append(ManifestRecord::CreateTable(name, schema,
+                                               /*is_materialized=*/false));
+  manifest_.Commit();
+  return Status::OK();
 }
 
 Status Database::BulkLoad(const std::string& name,
@@ -41,21 +45,59 @@ Status Database::BulkLoad(const std::string& name,
   for (page_id_t page_id : info->heap->pages()) {
     SQP_RETURN_IF_ERROR(pool_->FlushPage(page_id));
   }
+  // Commit point: pages become durable *before* the manifest record
+  // that references them (write-ahead discipline) — a crash in between
+  // leaves committed bytes plus an uncommitted record, never the
+  // reverse.
+  SQP_RETURN_IF_ERROR(disk_->Sync());
+  manifest_.Append(ManifestRecord::BulkLoadCommit(
+      name, info->heap->pages(), info->heap->tuple_count()));
+  manifest_.Commit();
   return Status::OK();
 }
 
 Status Database::CreateIndex(const std::string& table,
                              const std::string& column) {
   auto index = catalog_->CreateIndex(table, column);
-  return index.ok() ? Status::OK() : index.status();
+  if (!index.ok()) return index.status();
+  manifest_.Append(ManifestRecord::CreateIndex(table, column));
+  manifest_.Commit();
+  return Status::OK();
 }
 
 Status Database::CreateHistogram(const std::string& table,
                                  const std::string& column) {
-  return catalog_->CreateHistogram(table, column);
+  SQP_RETURN_IF_ERROR(catalog_->CreateHistogram(table, column));
+  manifest_.Append(ManifestRecord::CreateHistogram(table, column));
+  manifest_.Commit();
+  return Status::OK();
+}
+
+Status Database::DropIndex(const std::string& table,
+                           const std::string& column) {
+  SQP_RETURN_IF_ERROR(catalog_->DropIndex(table, column));
+  manifest_.Append(ManifestRecord::DropIndex(table, column));
+  manifest_.Commit();
+  return Status::OK();
+}
+
+Status Database::DropHistogram(const std::string& table,
+                               const std::string& column) {
+  SQP_RETURN_IF_ERROR(catalog_->DropHistogram(table, column));
+  manifest_.Append(ManifestRecord::DropHistogram(table, column));
+  manifest_.Commit();
+  return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
+  if (catalog_->GetTable(name) == nullptr) {
+    return Status::NotFound("table " + name);
+  }
+  // Log-before-action: commit the drop record first, then free the
+  // pages. A crash in between leaves orphan pages for recovery GC —
+  // never a committed table pointing at deallocated pages.
+  manifest_.Append(ManifestRecord::DropTable(name));
+  manifest_.Commit();
   views_.Unregister(name);
   return catalog_->DropTable(name);
 }
@@ -189,6 +231,24 @@ Result<MaterializeResult> Database::Materialize(
                                /*is_materialized=*/true);
   if (!table.ok()) return table.status();
 
+  // Commit point: sync the result pages, then commit the table (and
+  // optionally its view registration) as one atomic manifest group. A
+  // crash before the commit leaves only orphan pages for recovery GC.
+  Status synced = disk_->Sync();
+  if (!synced.ok()) {
+    (void)DropTable(table_name);
+    return synced;
+  }
+  manifest_.Append(ManifestRecord::CreateTable(table_name,
+                                               (*table)->schema,
+                                               /*is_materialized=*/true));
+  manifest_.Append(ManifestRecord::BulkLoadCommit(
+      table_name, (*table)->heap->pages(), (*table)->heap->tuple_count()));
+  if (register_view) {
+    manifest_.Append(ManifestRecord::RegisterView(table_name, definition));
+  }
+  manifest_.Commit();
+
   if (register_view) {
     views_.Register(ViewDefinition{table_name, definition});
   }
@@ -206,9 +266,97 @@ void Database::RegisterView(const QueryGraph& definition,
                             const std::string& table_name) {
   QueryGraph def = definition;
   def.SetProjections({});
+  manifest_.Append(ManifestRecord::RegisterView(table_name, def));
+  manifest_.Commit();
   views_.Register(ViewDefinition{table_name, std::move(def)});
 }
 
 Status Database::ColdStart() { return pool_->Reset(); }
+
+void Database::SimulateCrash() {
+  disk_->SimulateCrash();
+  manifest_.DropUncommitted();
+}
+
+Status Database::Reopen() {
+  manifest_.DropUncommitted();
+  disk_->Restart();
+  // The old pool/catalog/views mirror pre-crash memory: discard them and
+  // rebuild from the durable image.
+  pool_ = std::make_unique<BufferPool>(disk_.get(),
+                                       options_.buffer_pool_pages);
+  catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
+  views_ = ViewRegistry();
+  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
+  last_recovery_ = RecoveryStats();
+  last_recovery_.manifest_records_replayed = manifest_.committed_count();
+  const uint64_t checksum_failures_before = disk_->checksum_failures();
+
+  ManifestFoldResult fold = FoldManifest(manifest_.committed());
+  for (const auto& [name, state] : fold.tables) {
+    auto restored =
+        catalog_->RestoreTable(name, state.schema, state.is_materialized,
+                               state.pages, state.tuple_count);
+    if (!restored.ok()) {
+      if (restored.status().code() == StatusCode::kDataLoss &&
+          state.is_materialized) {
+        // A corrupt speculative materialization is disposable: release
+        // its pages and record the drop so later replays agree.
+        for (page_id_t page_id : state.pages) {
+          pool_->EvictPage(page_id);
+          (void)disk_->DeallocatePage(page_id);
+        }
+        manifest_.Append(ManifestRecord::DropTable(name));
+        manifest_.Commit();
+        last_recovery_.corrupt_matviews_dropped++;
+        continue;
+      }
+      // A corrupt base table (or a non-checksum failure) is
+      // unrecoverable data loss; surface it instead of serving it.
+      return restored.status();
+    }
+    last_recovery_.tables_recovered++;
+    if (state.is_materialized) last_recovery_.matviews_recovered++;
+    for (const auto& column : state.index_columns) {
+      auto index = catalog_->CreateIndex(name, column);
+      if (!index.ok()) return index.status();
+      last_recovery_.indexes_rebuilt++;
+    }
+    for (const auto& column : state.histogram_columns) {
+      SQP_RETURN_IF_ERROR(catalog_->CreateHistogram(name, column));
+      last_recovery_.histograms_rebuilt++;
+    }
+    if (state.has_view) {
+      QueryGraph def = state.view_definition;
+      def.SetProjections({});
+      views_.Register(ViewDefinition{name, std::move(def)});
+      last_recovery_.views_registered++;
+    }
+  }
+
+  // Orphan GC: live pages referenced by no recovered table are the
+  // remains of half-built (uncommitted) work — free them.
+  std::vector<bool> owned(disk_->allocated_pages(), false);
+  for (const auto& name : catalog_->TableNames()) {
+    for (page_id_t page_id : catalog_->GetTable(name)->heap->pages()) {
+      owned[page_id] = true;
+    }
+  }
+  for (page_id_t page_id : disk_->LivePages()) {
+    if (owned[page_id]) continue;
+    pool_->EvictPage(page_id);
+    SQP_RETURN_IF_ERROR(disk_->DeallocatePage(page_id));
+    last_recovery_.orphan_pages_collected++;
+  }
+  last_recovery_.torn_pages_detected =
+      disk_->checksum_failures() - checksum_failures_before;
+  SQP_LOG_DEBUG << "Reopen: " << last_recovery_.tables_recovered
+                << " tables, " << last_recovery_.views_registered
+                << " views, " << last_recovery_.orphan_pages_collected
+                << " orphan pages collected, "
+                << last_recovery_.corrupt_matviews_dropped
+                << " corrupt matviews dropped";
+  return Status::OK();
+}
 
 }  // namespace sqp

@@ -16,11 +16,31 @@
 #include "catalog/catalog.h"
 #include "common/cost_meter.h"
 #include "common/status.h"
+#include "db/manifest.h"
 #include "optimizer/planner.h"
 #include "optimizer/query_graph.h"
 #include "optimizer/view_matcher.h"
 
 namespace sqp {
+
+/// Counters from the last Reopen() (crash recovery) — surfaced through
+/// harness/metrics so chaos reports show what recovery did.
+struct RecoveryStats {
+  size_t manifest_records_replayed = 0;
+  size_t tables_recovered = 0;
+  size_t matviews_recovered = 0;
+  size_t views_registered = 0;
+  size_t indexes_rebuilt = 0;
+  size_t histograms_rebuilt = 0;
+  /// Materialized views whose validation scan hit a torn page; they are
+  /// disposable, so recovery drops them instead of failing.
+  size_t corrupt_matviews_dropped = 0;
+  /// Checksum mismatches detected during recovery validation scans.
+  size_t torn_pages_detected = 0;
+  /// Live pages referenced by no committed table (half-built speculative
+  /// materializations) deallocated by recovery GC.
+  size_t orphan_pages_collected = 0;
+};
 
 struct DatabaseOptions {
   /// Buffer pool frames (4096 × 8 KiB = 32 MiB, the paper's single-user
@@ -68,6 +88,11 @@ class Database {
   Status CreateIndex(const std::string& table, const std::string& column);
   Status CreateHistogram(const std::string& table, const std::string& column);
 
+  /// Drop one index / histogram (cancelled speculative creations). The
+  /// drop is recorded in the manifest so recovery does not resurrect it.
+  Status DropIndex(const std::string& table, const std::string& column);
+  Status DropHistogram(const std::string& table, const std::string& column);
+
   /// Drop a table (and, if it is a materialized view, its registration).
   Status DropTable(const std::string& name);
 
@@ -104,6 +129,26 @@ class Database {
   /// Fails only on a disk write error while flushing dirty frames.
   Status ColdStart();
 
+  // ------------------------------------------------- Crash durability
+  /// Simulate a machine crash: buffer-pool contents, unsynced disk
+  /// writes, uncommitted manifest records, and the in-memory catalog
+  /// are all lost; at most one in-flight page tears. Every storage
+  /// operation fails with kDataLoss until Reopen(). (The "disk.crash"
+  /// fault point triggers the same thing from inside a write or sync.)
+  void SimulateCrash();
+
+  /// Recover from the durable on-disk image: replay the committed
+  /// manifest, validate every recovered table with a checksum scan
+  /// (dropping corrupt materialized views; a corrupt *base* table is
+  /// unrecoverable and returns kDataLoss), re-register committed views,
+  /// rebuild committed indexes/histograms, and garbage-collect orphan
+  /// pages left by half-built speculative materializations. Also usable
+  /// without a prior crash (a clean restart loses only unsynced state).
+  Status Reopen();
+
+  /// Counters from the last Reopen().
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+
   // ------------------------------------------------------- Accessors
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
@@ -116,6 +161,8 @@ class Database {
   /// Exposed for leak accounting (chaos tests compare live_pages()
   /// across sessions) — not for direct page I/O.
   const DiskManager& disk_manager() const { return *disk_; }
+  /// The durable metadata log (exposed for recovery tests).
+  const Manifest& manifest() const { return manifest_; }
 
   /// Total simulated seconds of work this database has performed.
   double TotalSimSeconds() const { return meter_.ElapsedSeconds(); }
@@ -128,6 +175,8 @@ class Database {
   std::unique_ptr<Catalog> catalog_;
   ViewRegistry views_;
   std::unique_ptr<Planner> planner_;
+  Manifest manifest_;
+  RecoveryStats last_recovery_;
   uint64_t next_matview_id_ = 0;
 };
 

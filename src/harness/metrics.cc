@@ -154,6 +154,8 @@ EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats) {
     total.retries += s.retries;
     total.speculation_suspended_events += s.speculation_suspended_events;
     total.views_evicted_for_budget += s.views_evicted_for_budget;
+    total.views_recovered += s.views_recovered;
+    total.views_dropped_at_recovery += s.views_dropped_at_recovery;
     total.completed_durations.insert(total.completed_durations.end(),
                                      s.completed_durations.begin(),
                                      s.completed_durations.end());
@@ -178,6 +180,31 @@ std::string FormatEngineStats(const EngineStats& stats) {
                 stats.manipulations_failed, stats.retries,
                 stats.speculation_suspended_events,
                 stats.views_evicted_for_budget);
+  out += line;
+  if (stats.views_recovered > 0 || stats.views_dropped_at_recovery > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  recovery: %zu views adopted, %zu dropped\n",
+                  stats.views_recovered, stats.views_dropped_at_recovery);
+    out += line;
+  }
+  return out;
+}
+
+std::string FormatRecoveryStats(const RecoveryStats& stats) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "  recovery: %zu manifest records, %zu tables "
+                "(%zu matviews), %zu views, %zu indexes, %zu histograms\n",
+                stats.manifest_records_replayed, stats.tables_recovered,
+                stats.matviews_recovered, stats.views_registered,
+                stats.indexes_rebuilt, stats.histograms_rebuilt);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  damage: %zu corrupt matviews dropped, %zu torn pages "
+                "detected, %zu orphan pages collected\n",
+                stats.corrupt_matviews_dropped, stats.torn_pages_detected,
+                stats.orphan_pages_collected);
   out += line;
   return out;
 }

@@ -82,4 +82,8 @@ EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats);
 /// experiment reports.
 std::string FormatEngineStats(const EngineStats& stats);
 
+/// Two-line summary of a Database::Reopen(): what recovery replayed and
+/// what damage (torn pages, corrupt matviews, orphans) it handled.
+std::string FormatRecoveryStats(const RecoveryStats& stats);
+
 }  // namespace sqp

@@ -93,10 +93,10 @@ void SpeculationEngine::CancelOne(Outstanding& out, bool at_go) {
       (void)db_->DropTable(out.table_name);
       break;
     case ManipulationType::kHistogramCreation:
-      (void)db_->catalog().DropHistogram(m.table, m.column);
+      (void)db_->DropHistogram(m.table, m.column);
       break;
     case ManipulationType::kIndexCreation:
-      (void)db_->catalog().DropIndex(m.table, m.column);
+      (void)db_->DropIndex(m.table, m.column);
       break;
     case ManipulationType::kNull:
       break;
@@ -325,8 +325,13 @@ Result<double> SpeculationEngine::OnGo(double sim_time) {
     if (best < outstanding_.size()) {
       auto cost_without =
           db_->EstimateCost(tracker_.current(), ViewMode::kCostBased);
-      db_->RegisterView(outstanding_[best].manipulation.target_query,
-                        outstanding_[best].table_name);
+      // Probe registration for the cost estimate only: bypass
+      // Database::RegisterView so the transient entry never reaches the
+      // durable manifest.
+      QueryGraph probe_def = outstanding_[best].manipulation.target_query;
+      probe_def.SetProjections({});
+      db_->views().Register(
+          ViewDefinition{outstanding_[best].table_name, probe_def});
       auto cost_with =
           db_->EstimateCost(tracker_.current(), ViewMode::kForced);
       db_->views().Unregister(outstanding_[best].table_name);
@@ -384,11 +389,11 @@ Status SpeculationEngine::Shutdown() {
   }
   owned_views_.clear();
   for (const auto& [table, column] : owned_histograms_) {
-    (void)db_->catalog().DropHistogram(table, column);
+    (void)db_->DropHistogram(table, column);
   }
   owned_histograms_.clear();
   for (const auto& [table, column] : owned_indexes_) {
-    (void)db_->catalog().DropIndex(table, column);
+    (void)db_->DropIndex(table, column);
   }
   owned_indexes_.clear();
   retry_attempts_ = 0;
@@ -396,6 +401,69 @@ Status SpeculationEngine::Shutdown() {
   retry_not_before_ = 0;
   suspended_until_ = 0;
   return first_error;
+}
+
+Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
+  // In-flight manipulations died with the crash: their side effects
+  // were uncommitted (half-built tables became orphan pages that
+  // recovery GC reclaimed; histograms and indexes are volatile), so
+  // there is nothing in the database to roll back — just drop the
+  // simulated server jobs and the bookkeeping.
+  for (auto& out : outstanding_) server_->Cancel(out.job);
+  outstanding_.clear();
+  owned_views_.clear();
+  // Committed speculative indexes/histograms were rebuilt by recovery:
+  // keep owning those (so Shutdown still drops them) and forget the
+  // ones that did not survive.
+  auto erase_missing = [&](auto& owned, auto exists) {
+    for (size_t i = owned.size(); i-- > 0;) {
+      if (!exists(owned[i].first, owned[i].second)) {
+        owned.erase(owned.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+  };
+  erase_missing(owned_histograms_,
+                [&](const std::string& t, const std::string& c) {
+                  return db_->catalog().GetHistogram(t, c) != nullptr;
+                });
+  erase_missing(owned_indexes_,
+                [&](const std::string& t, const std::string& c) {
+                  return db_->catalog().HasIndex(t, c);
+                });
+  retry_attempts_ = 0;
+  consecutive_failures_ = 0;
+  retry_not_before_ = 0;
+  suspended_until_ = 0;
+
+  // Walk the speculative tables that survived recovery. Registered ones
+  // are adopted back into ownership so GC and the storage budget resume
+  // governing them; a survivor with no registration is unreachable by
+  // the rewriter, so drop it. Either way, bump the name counter past
+  // every survivor so new materializations cannot collide.
+  for (const auto& name : db_->catalog().MaterializedTableNames()) {
+    if (name.rfind(options_.table_prefix, 0) != 0) continue;
+    uint64_t suffix = 0;
+    bool numeric = true;
+    for (size_t i = options_.table_prefix.size(); i < name.size(); i++) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      suffix = suffix * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (numeric && suffix >= next_table_id_) next_table_id_ = suffix + 1;
+    const ViewDefinition* def = db_->views().Get(name);
+    if (def != nullptr) {
+      owned_views_[name] = OwnedView{def->definition, sim_time};
+      stats_.views_recovered++;
+    } else {
+      (void)db_->DropTable(name);
+      stats_.views_dropped_at_recovery++;
+    }
+  }
+  SQP_LOG_DEBUG << "spec: recovered after crash, adopted "
+                << stats_.views_recovered << " views";
+  return Status::OK();
 }
 
 Status SpeculationEngine::OnQueryResult(double sim_time) {

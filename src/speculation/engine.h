@@ -119,6 +119,12 @@ struct EngineStats {
   size_t speculation_suspended_events = 0;
   /// Completed views evicted to respect max_speculative_pages.
   size_t views_evicted_for_budget = 0;
+  /// Speculative views adopted back after a crash+Reopen (they were
+  /// committed and survived recovery, so the engine keeps reusing them).
+  size_t views_recovered = 0;
+  /// Half-built or unregistered speculative tables dropped by
+  /// RecoverAfterCrash (recovery kept the pages but no registration).
+  size_t views_dropped_at_recovery = 0;
   double total_wait_seconds = 0;
   /// Simulated seconds of manipulation work executed (incl. cancelled).
   double total_manipulation_work = 0;
@@ -178,6 +184,17 @@ class SpeculationEngine {
   /// drop every speculative view, histogram, and index this engine
   /// created, leaving the database as the replay found it.
   Status Shutdown();
+
+  /// Re-align with the database after a crash + Database::Reopen().
+  /// In-flight bookkeeping (outstanding manipulations, retry/breaker
+  /// clocks) is discarded. Committed speculative views that survived
+  /// recovery and are still registered are adopted back into ownership
+  /// so GC and the storage budget keep governing them; speculative
+  /// tables that survived with no registration are dropped; owned
+  /// indexes/histograms are pruned to the ones recovery rebuilt.
+  /// Best-effort, like everything else in the engine: never fails the
+  /// session.
+  Status RecoverAfterCrash(double sim_time);
 
   /// Pre-train the learner on historical traces (the paper's Learner
   /// "observes users over time").

@@ -121,7 +121,9 @@ Status BufferPool::FlushAll() {
       f.dirty = false;
     }
   }
-  return Status::OK();
+  // Flush barrier: everything written above (and any earlier per-page
+  // flushes) becomes durable, not merely cached.
+  return disk_->Sync();
 }
 
 Status BufferPool::Reset() {

@@ -35,6 +35,9 @@ class BufferPool {
 
   /// Flush one page / all dirty pages to disk. A write failure leaves
   /// the frame resident and dirty (no data loss; retry may succeed).
+  /// FlushPage lands in the disk's volatile write cache; FlushAll is a
+  /// barrier — it ends with a DiskManager::Sync(), making every flushed
+  /// page durable.
   Status FlushPage(page_id_t page_id);
   Status FlushAll();
 

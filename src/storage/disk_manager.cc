@@ -1,42 +1,167 @@
 #include "storage/disk_manager.h"
 
-#include <cassert>
+#include <string>
 
+#include "common/checksum.h"
 #include "common/fault_injector.h"
 
 namespace sqp {
 
+namespace {
+Status CrashedError() {
+  return Status::DataLoss("disk crashed; Reopen() required");
+}
+}  // namespace
+
 Result<page_id_t> DiskManager::AllocatePage() {
+  if (crashed_) return CrashedError();
   SQP_INJECT_FAULT("disk.allocate");
   store_.push_back(std::make_unique<Page>());
+  checksums_.push_back(Crc32(store_.back()->raw(), kPageSize));
   live_.push_back(true);
   live_pages_++;
   return static_cast<page_id_t>(store_.size() - 1);
 }
 
-void DiskManager::DeallocatePage(page_id_t page_id) {
-  assert(page_id < store_.size());
-  if (live_[page_id]) {
-    live_[page_id] = false;
-    live_pages_--;
-    store_[page_id].reset();  // release the memory immediately
+Status DiskManager::DeallocatePage(page_id_t page_id) {
+  if (crashed_) return CrashedError();
+  if (page_id >= store_.size()) {
+    return Status::InvalidArgument("deallocate of unallocated page " +
+                                   std::to_string(page_id));
   }
+  if (!live_[page_id]) {
+    return Status::NotFound("deallocate of dead page " +
+                            std::to_string(page_id));
+  }
+  live_[page_id] = false;
+  live_pages_--;
+  store_[page_id].reset();  // release the memory immediately
+  unsynced_.erase(page_id);
+  if (last_unsynced_write_ == page_id) {
+    last_unsynced_write_ = kInvalidPageId;
+  }
+  return Status::OK();
 }
 
 Status DiskManager::ReadPage(page_id_t page_id, Page* out) {
-  assert(page_id < store_.size() && live_[page_id]);
+  if (crashed_) return CrashedError();
+  if (page_id >= store_.size()) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(page_id));
+  }
+  if (!live_[page_id]) {
+    return Status::NotFound("read of dead page " + std::to_string(page_id));
+  }
   SQP_INJECT_FAULT("disk.read");
-  std::memcpy(out->raw(), store_[page_id]->raw(), kPageSize);
   meter_->ChargeBlockRead();
+  auto cached = unsynced_.find(page_id);
+  if (cached != unsynced_.end()) {
+    // Unsynced writes are served from the cache (OS page cache
+    // semantics); they have no durable checksum yet.
+    std::memcpy(out->raw(), cached->second->raw(), kPageSize);
+    return Status::OK();
+  }
+  const Page& durable = *store_[page_id];
+  if (Crc32(durable.raw(), kPageSize) != checksums_[page_id]) {
+    checksum_failures_++;
+    return Status::DataLoss("torn page " + std::to_string(page_id) +
+                            ": checksum mismatch");
+  }
+  std::memcpy(out->raw(), durable.raw(), kPageSize);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(page_id_t page_id, const Page& in) {
-  assert(page_id < store_.size() && live_[page_id]);
+  if (crashed_) return CrashedError();
+  if (page_id >= store_.size()) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(page_id));
+  }
+  if (!live_[page_id]) {
+    return Status::NotFound("write of dead page " + std::to_string(page_id));
+  }
   SQP_INJECT_FAULT("disk.write");
-  std::memcpy(store_[page_id]->raw(), in.raw(), kPageSize);
+  if (FaultInjector::Global().armed()) {
+    Status crash = FaultInjector::Global().Check("disk.crash");
+    if (!crash.ok()) {
+      // The machine dies with this write in flight: it becomes the tear
+      // candidate, everything unsynced is lost.
+      auto torn = std::make_unique<Page>();
+      std::memcpy(torn->raw(), in.raw(), kPageSize);
+      unsynced_[page_id] = std::move(torn);
+      last_unsynced_write_ = page_id;
+      SimulateCrash();
+      return crash;
+    }
+  }
+  auto cached = unsynced_.find(page_id);
+  if (cached == unsynced_.end()) {
+    cached = unsynced_.emplace(page_id, std::make_unique<Page>()).first;
+  }
+  std::memcpy(cached->second->raw(), in.raw(), kPageSize);
+  last_unsynced_write_ = page_id;
   meter_->ChargeBlockWrite();
   return Status::OK();
+}
+
+void DiskManager::MakeDurable(page_id_t page_id, const Page& in) {
+  std::memcpy(store_[page_id]->raw(), in.raw(), kPageSize);
+  checksums_[page_id] = Crc32(in.raw(), kPageSize);
+}
+
+Status DiskManager::Sync() {
+  if (crashed_) return CrashedError();
+  while (!unsynced_.empty()) {
+    auto it = unsynced_.begin();
+    if (FaultInjector::Global().armed()) {
+      Status crash = FaultInjector::Global().Check("disk.crash");
+      if (!crash.ok()) {
+        // Crash mid-fsync: this page becomes the tear candidate; the
+        // pages already iterated past are durable, the rest are lost.
+        last_unsynced_write_ = it->first;
+        SimulateCrash();
+        return crash;
+      }
+    }
+    MakeDurable(it->first, *it->second);
+    unsynced_.erase(it);
+  }
+  last_unsynced_write_ = kInvalidPageId;
+  sync_count_++;
+  return Status::OK();
+}
+
+void DiskManager::SimulateCrash() {
+  // Tear the most recent in-flight write: half of it reaches the durable
+  // image, the checksum does not. (A page allocated after the last sync
+  // tears against its zeroed initial image — equally detectable.)
+  auto torn = unsynced_.find(last_unsynced_write_);
+  if (torn != unsynced_.end() && live_[torn->first]) {
+    std::memcpy(store_[torn->first]->raw(), torn->second->raw(),
+                kPageSize / 2);
+    if (Crc32(store_[torn->first]->raw(), kPageSize) !=
+        checksums_[torn->first]) {
+      torn_pages_++;
+    }
+  }
+  unsynced_.clear();
+  last_unsynced_write_ = kInvalidPageId;
+  crashed_ = true;
+}
+
+void DiskManager::Restart() {
+  unsynced_.clear();
+  last_unsynced_write_ = kInvalidPageId;
+  crashed_ = false;
+}
+
+std::vector<page_id_t> DiskManager::LivePages() const {
+  std::vector<page_id_t> out;
+  out.reserve(live_pages_);
+  for (page_id_t id = 0; id < live_.size(); id++) {
+    if (live_[id]) out.push_back(id);
+  }
+  return out;
 }
 
 }  // namespace sqp

@@ -1,15 +1,30 @@
-// Simulated disk.
+// Simulated disk with a crash-durability model.
 //
 // Backing store is main memory; "I/O" charges simulated time through the
 // shared CostMeter. This stands in for the paper's physical disk: the
 // experiments depend only on relative I/O volumes (see DESIGN.md §2).
 //
+// Durability model (DESIGN.md §8): the disk holds a *durable image*
+// (page bytes plus a sidecar CRC-32 per page) and a *volatile write
+// cache*. WritePage lands in the cache; Sync() makes every cached write
+// durable and recomputes its checksum. SimulateCrash() models a
+// power-cut: all unsynced writes are discarded and at most one in-flight
+// page is torn (half of the lost write reaches the durable image without
+// a checksum update). ReadPage verifies the checksum of every durable
+// read, so torn pages surface as kDataLoss — never as silently wrong
+// bytes. Page allocation/deallocation is durable metadata (a journaled
+// allocator), so the live-page map survives crashes and recovery can
+// enumerate orphans.
+//
 // Every operation can fail: the fault points "disk.allocate",
-// "disk.read", and "disk.write" let the chaos harness inject transient
-// or permanent I/O errors, which propagate as Status through the buffer
-// pool and up to whoever issued the operation.
+// "disk.read", and "disk.write" inject transient or permanent I/O
+// errors, and "disk.crash" makes a write or sync die mid-operation,
+// crashing the whole disk (the chaos harness then recovers through
+// Database::Reopen). After a crash every operation returns kDataLoss
+// until Restart() is called.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -30,22 +45,65 @@ class DiskManager {
   Result<page_id_t> AllocatePage();
 
   /// Free a page (space returns to the allocator; id is never reused).
-  void DeallocatePage(page_id_t page_id);
+  Status DeallocatePage(page_id_t page_id);
 
-  /// Copy page contents disk -> out. Charges one block read.
+  /// Copy page contents disk -> out, serving unsynced writes from the
+  /// cache and verifying the checksum of durable reads. Charges one
+  /// block read. A checksum mismatch (torn page) returns kDataLoss.
   Status ReadPage(page_id_t page_id, Page* out);
 
-  /// Copy page contents in -> disk. Charges one block write.
+  /// Copy page contents in -> write cache (volatile until the next
+  /// Sync). Charges one block write.
   Status WritePage(page_id_t page_id, const Page& in);
+
+  /// Make every cached write durable (fsync barrier): contents reach the
+  /// durable image and their checksums are recomputed atomically.
+  Status Sync();
+
+  /// Power-cut: discard all unsynced writes; the most recent in-flight
+  /// write (if any) tears — half of it reaches the durable image with a
+  /// stale checksum. Subsequent operations fail with kDataLoss until
+  /// Restart().
+  void SimulateCrash();
+
+  /// Re-mount after a crash (or a clean close): drops whatever is still
+  /// in the volatile cache and clears the crashed flag. The caller
+  /// (Database::Reopen) then replays its manifest against the durable
+  /// image.
+  void Restart();
+
+  bool has_crashed() const { return crashed_; }
 
   uint64_t allocated_pages() const { return store_.size(); }
   uint64_t live_pages() const { return live_pages_; }
+  /// Writes sitting in the volatile cache (lost if we crash now).
+  uint64_t unsynced_pages() const { return unsynced_.size(); }
+  /// Checksum verification failures served as kDataLoss so far.
+  uint64_t checksum_failures() const { return checksum_failures_; }
+  /// Pages torn by crashes so far.
+  uint64_t torn_pages() const { return torn_pages_; }
+  uint64_t sync_count() const { return sync_count_; }
+
+  /// Ids of every live page (recovery uses this to find orphans).
+  std::vector<page_id_t> LivePages() const;
 
  private:
+  /// Move one cached write into the durable image with a fresh checksum.
+  void MakeDurable(page_id_t page_id, const Page& in);
+
   CostMeter* meter_;
-  std::vector<std::unique_ptr<Page>> store_;
+  std::vector<std::unique_ptr<Page>> store_;  // durable image
+  std::vector<uint32_t> checksums_;           // sidecar, one per page
   std::vector<bool> live_;
+  /// Volatile write cache: ordered so crash/sync order is deterministic.
+  std::map<page_id_t, std::unique_ptr<Page>> unsynced_;
+  /// Most recent unsynced write — the crash-tear candidate.
+  page_id_t last_unsynced_write_ = kInvalidPageId;
+  bool crashed_ = false;
   uint64_t live_pages_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint64_t torn_pages_ = 0;
+  uint64_t sync_count_ = 0;
 };
 
 }  // namespace sqp

@@ -49,10 +49,17 @@ Result<Tuple> HeapFile::Fetch(const Rid& rid) const {
 void HeapFile::Drop(DiskManager* disk) {
   for (page_id_t page_id : pages_) {
     pool_->EvictPage(page_id);
-    disk->DeallocatePage(page_id);
+    // Best-effort: a page already gone (double drop) is not an error
+    // worth failing a drop over.
+    (void)disk->DeallocatePage(page_id);
   }
   pages_.clear();
   tuple_count_ = 0;
+}
+
+void HeapFile::Restore(std::vector<page_id_t> pages, uint64_t tuple_count) {
+  pages_ = std::move(pages);
+  tuple_count_ = tuple_count;
 }
 
 Result<std::optional<Tuple>> HeapFile::Iterator::Next() {

@@ -26,6 +26,10 @@ class HeapFile {
   /// Release all pages back to the disk manager (table drop).
   void Drop(DiskManager* disk);
 
+  /// Re-attach a page list recorded in the catalog manifest (crash
+  /// recovery): the pages already exist on disk with their contents.
+  void Restore(std::vector<page_id_t> pages, uint64_t tuple_count);
+
   uint64_t tuple_count() const { return tuple_count_; }
   uint64_t page_count() const { return pages_.size(); }
   const std::vector<page_id_t>& pages() const { return pages_; }

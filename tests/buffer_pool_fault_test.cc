@@ -1,0 +1,150 @@
+// Buffer-pool failure semantics under injected disk-write faults:
+// FlushAll must fail without losing data (flushed frames clean, failed
+// frames still dirty, retry completes), and eviction must never drop a
+// dirty frame whose flush failed.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cost_meter.h"
+#include "common/fault_injector.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace sqp {
+namespace {
+
+class BufferPoolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  /// Arm "disk.write" to fail on its nth hit from now.
+  void ArmWriteFault(uint64_t nth) {
+    FaultSpec spec = FaultSpec::OneShot(nth);
+    spec.only_in_region = false;
+    FaultInjector::Global().Arm("disk.write", spec);
+  }
+
+  CostMeter meter_;
+};
+
+TEST_F(BufferPoolFaultTest, FlushAllPartialFailureLosesNothing) {
+  DiskManager disk(&meter_);
+  BufferPool pool(&disk, 8);
+
+  // Four dirty pages, each with one distinctive record.
+  std::vector<page_id_t> ids;
+  for (int i = 0; i < 4; i++) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    std::string record = "page-" + std::to_string(i);
+    page->second->Insert(reinterpret_cast<const uint8_t*>(record.data()),
+                         static_cast<uint16_t>(record.size()));
+    pool.UnpinPage(page->first, /*dirty=*/true);
+    ids.push_back(page->first);
+  }
+
+  // The third write of the flush sweep fails: some frames are now
+  // clean-and-cached, the rest still dirty — but nothing is lost.
+  ArmWriteFault(3);
+  Status flush = pool.FlushAll();
+  ASSERT_FALSE(flush.ok());
+  EXPECT_EQ(flush.code(), StatusCode::kResourceExhausted);
+  // The barrier never ran: nothing reached the durable image yet.
+  EXPECT_EQ(disk.sync_count(), 0u);
+  FaultInjector::Global().Reset();
+
+  // Every page still reads back intact through the pool.
+  for (page_id_t id : ids) {
+    auto page = pool.FetchPage(id);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->slot_count(), 1);
+    pool.UnpinPage(id, false);
+  }
+
+  // The retry flushes the remaining dirty frames and syncs everything.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(disk.unsynced_pages(), 0u);
+  // Now durable: bypass the pool and read the disk image directly.
+  for (page_id_t id : ids) {
+    Page out;
+    ASSERT_TRUE(disk.ReadPage(id, &out).ok());
+    EXPECT_EQ(out.slot_count(), 1);
+  }
+}
+
+TEST_F(BufferPoolFaultTest, EvictionNeverDropsADirtyFrameWhoseFlushFailed) {
+  DiskManager disk(&meter_);
+  BufferPool pool(&disk, 1);  // single frame: every NewPage must evict
+  auto a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  a->second->Insert(reinterpret_cast<const uint8_t*>("precious"), 8);
+  pool.UnpinPage(a->first, /*dirty=*/true);
+
+  // Every eviction flush fails while the fault is armed: the victim
+  // must stay resident and dirty, no matter how often we retry.
+  FaultSpec spec = FaultSpec::EveryNth(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("disk.write", spec);
+  for (int attempt = 0; attempt < 3; attempt++) {
+    auto b = pool.NewPage();
+    ASSERT_FALSE(b.ok());
+  }
+  FaultInjector::Global().Reset();
+
+  // The dirty frame survived every failed eviction with its data.
+  auto back = pool.FetchPage(a->first);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ((*back)->slot_count(), 1);
+  uint16_t len = 0;
+  const uint8_t* rec = (*back)->Record(0, &len);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(rec), len),
+            "precious");
+  pool.UnpinPage(a->first, false);
+
+  // With the fault gone the eviction (and later readback) succeed.
+  auto b = pool.NewPage();
+  ASSERT_TRUE(b.ok());
+  pool.UnpinPage(b->first, false);
+  auto again = pool.FetchPage(a->first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->slot_count(), 1);
+  pool.UnpinPage(a->first, false);
+}
+
+TEST_F(BufferPoolFaultTest, FlushAllIsASyncBarrier) {
+  DiskManager disk(&meter_);
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  page->second->Insert(reinterpret_cast<const uint8_t*>("x"), 1);
+  pool.UnpinPage(page->first, /*dirty=*/true);
+
+  // A per-page flush lands in the volatile write cache only...
+  ASSERT_TRUE(pool.FlushPage(page->first).ok());
+  EXPECT_EQ(disk.unsynced_pages(), 1u);
+  EXPECT_EQ(disk.sync_count(), 0u);
+  // ...while FlushAll is a durability barrier.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(disk.unsynced_pages(), 0u);
+  EXPECT_EQ(disk.sync_count(), 1u);
+}
+
+TEST_F(BufferPoolFaultTest, FlushAllSurfacesACrashedDisk) {
+  DiskManager disk(&meter_);
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  page->second->Insert(reinterpret_cast<const uint8_t*>("x"), 1);
+  pool.UnpinPage(page->first, /*dirty=*/true);
+
+  disk.SimulateCrash();
+  Status flush = pool.FlushAll();
+  EXPECT_EQ(flush.code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace sqp
