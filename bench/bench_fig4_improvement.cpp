@@ -46,6 +46,9 @@ int main() {
                 result->manipulations_completed);
     std::printf("  queries rewritten via views: %5.1f %%\n",
                 100 * result->rewritten_query_fraction);
+    // Think-time-overlap story (DESIGN.md §9): how much speculative
+    // work was hidden under think time vs thrown away.
+    std::printf("%s", FormatOverlapStats(result->overlap).c_str());
 
     if (std::getenv("SQP_DEBUG_QUERIES") != nullptr) {
       std::vector<size_t> order(result->normal.size());

@@ -37,6 +37,7 @@ int main() {
     std::printf("%s", FormatBuckets(series, true).c_str());
     std::printf("  overall improvement: %5.1f %%\n",
                 100 * result->overall_improvement);
+    std::printf("%s", FormatOverlapStats(result->overlap).c_str());
 
     // §7 extension: load-aware issuing (speculate only when the server
     // is idle) — the paper's proposed fix for the 1GB penalties.

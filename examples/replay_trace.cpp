@@ -3,22 +3,44 @@
 // as a standalone tool.
 //
 // Usage: replay_trace <trace-dir> [scale: small|medium|large]
+//                     [--trace-json <file>] [--timeline] [--metrics]
+//
+//   --trace-json <file>  export the speculative replays as Chrome
+//                        trace_event JSON (open in chrome://tracing or
+//                        https://ui.perfetto.dev) — DESIGN.md §9
+//   --timeline           print the compact text timeline
+//   --metrics            dump the unified metrics registry at the end
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
 
+#include "common/metrics_registry.h"
+#include "common/tracing.h"
 #include "harness/experiment.h"
 
 using namespace sqp;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: replay_trace <trace-dir> [small|medium|large]\n");
+    std::printf(
+        "usage: replay_trace <trace-dir> [small|medium|large]\n"
+        "                    [--trace-json <file>] [--timeline] "
+        "[--metrics]\n");
     return 1;
   }
   tpch::Scale scale = tpch::Scale::kSmall;
-  if (argc > 2) {
-    if (std::strcmp(argv[2], "medium") == 0) scale = tpch::Scale::kMedium;
-    if (std::strcmp(argv[2], "large") == 0) scale = tpch::Scale::kLarge;
+  std::string trace_json;
+  bool print_timeline = false;
+  bool print_metrics = false;
+  for (int i = 2; i < argc; i++) {
+    if (std::strcmp(argv[i], "medium") == 0) scale = tpch::Scale::kMedium;
+    if (std::strcmp(argv[i], "large") == 0) scale = tpch::Scale::kLarge;
+    if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_json = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--timeline") == 0) print_timeline = true;
+    if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
   }
 
   auto traces = LoadTraces(argv[1]);
@@ -37,10 +59,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One tracer across all speculative replays: each user lands on its
+  // own lane, so the export shows the sessions stacked (DESIGN.md §9).
+  Tracer tracer;
+  bool want_trace = !trace_json.empty() || print_timeline;
+
   std::printf("%-6s %8s %12s %12s %9s %9s %7s %7s\n", "user", "queries",
               "normal(s)", "spec(s)", "gain%", "manips", "cancel", "failed");
   double total_normal = 0, total_spec = 0;
   std::vector<EngineStats> all_stats;
+  std::vector<OverlapStats> all_overlap;
   for (const Trace& trace : *traces) {
     ReplayOptions normal_opts;
     normal_opts.speculation = false;
@@ -52,6 +80,10 @@ int main(int argc, char** argv) {
     }
     ReplayOptions spec_opts;
     spec_opts.speculation = true;
+    if (want_trace) {
+      spec_opts.tracer = &tracer;
+      spec_opts.trace_lane = "user" + std::to_string(trace.user_id);
+    }
     auto spec = TraceReplayer(db->get(), spec_opts).Replay(trace);
     if (!spec.ok()) {
       std::printf("replay failed: %s\n", spec.status().ToString().c_str());
@@ -72,6 +104,7 @@ int main(int argc, char** argv) {
     total_normal += normal->total_exec_seconds;
     total_spec += spec->total_exec_seconds;
     all_stats.push_back(spec->engine_stats);
+    all_overlap.push_back(spec->overlap);
   }
   if (total_normal > 0) {
     std::printf("\noverall improvement: %.1f%%\n",
@@ -79,5 +112,26 @@ int main(int argc, char** argv) {
   }
   std::printf("\nengine totals:\n%s",
               FormatEngineStats(AggregateEngineStats(all_stats)).c_str());
+  std::printf("%s", FormatOverlapStats(AggregateOverlap(all_overlap)).c_str());
+
+  if (print_timeline) {
+    std::printf("\ntimeline (speculative replays):\n%s",
+                tracer.FormatTimeline().c_str());
+  }
+  if (!trace_json.empty()) {
+    std::ofstream out(trace_json);
+    if (!out) {
+      std::printf("error: cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    out << tracer.ExportChromeTrace();
+    std::printf("\nwrote Chrome trace (%zu records) to %s\n"
+                "open it in chrome://tracing or https://ui.perfetto.dev\n",
+                tracer.records().size(), trace_json.c_str());
+  }
+  if (print_metrics) {
+    std::printf("\nmetrics registry:\n%s",
+                MetricsRegistry::Global().Snapshot().Format().c_str());
+  }
   return 0;
 }

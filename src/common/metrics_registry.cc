@@ -1,0 +1,133 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sqp {
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); i++) counts_[i] = 0;
+}
+
+void HistogramMetric::Observe(double value) {
+  size_t bucket = bounds_.size();  // overflow by default
+  for (size_t i = 0; i < bounds_.size(); i++) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS add: atomic<double>::fetch_add is C++20 but not
+  // universally lock-free; a CAS loop is, and contention here is nil.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void HistogramMetric::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); i++) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::Format() const {
+  std::ostringstream os;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "  %-44s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    os << line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "  %-44s %12.4f\n", name.c_str(),
+                  value);
+    os << line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "  %-44s n=%llu sum=%.4f mean=%.4f\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum,
+                  h.count > 0 ? h.sum / h.count : 0.0);
+    os << line;
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultDurationBounds();
+    slot = std::make_unique<HistogramMetric>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+const std::vector<double>& MetricsRegistry::DefaultDurationBounds() {
+  // Simulated seconds, log-ish spacing spanning sub-millisecond index
+  // touches to multi-minute materializations.
+  static const std::vector<double> kBounds = {
+      0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300};
+  return kBounds;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramEntry entry;
+    entry.bounds = histogram->bounds();
+    entry.counts.resize(entry.bounds.size() + 1);
+    for (size_t i = 0; i < entry.counts.size(); i++) {
+      entry.counts[i] = histogram->bucket_count(i);
+    }
+    entry.count = histogram->count();
+    entry.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(entry);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace sqp

@@ -1,0 +1,148 @@
+// Unified metrics registry (DESIGN.md §9).
+//
+// One process-wide (or locally instantiated) registry of named
+// instruments — counters, gauges, and fixed-bucket histograms — that
+// absorbs the scattered per-subsystem counters (EngineStats,
+// RecoveryStats, buffer-pool/disk tallies) behind a single
+// `MetricsRegistry::Snapshot()`. Subsystems look their instruments up
+// once at construction and then touch only a pointer-stable handle, so
+// the hot-path cost of a metric is one relaxed atomic add.
+//
+// Naming scheme: `<layer>.<subsystem>.<metric>`, lower_snake_case leaf,
+// e.g. `storage.disk.reads`, `bufferpool.hits`,
+// `engine.manipulations_issued`, `db.recovery.tables_recovered`,
+// `sim.jobs_submitted`. Counters are cumulative and monotone; gauges
+// are last-written values; histograms have a fixed bucket layout chosen
+// at registration (upper bounds, with an implicit +inf overflow
+// bucket), so snapshots from different runs diff bucket-by-bucket.
+//
+// The instruments use relaxed atomics: the simulator is
+// single-threaded today, but the handles stay valid and race-free if a
+// future PR moves manipulation execution onto real threads
+// (lock-free-friendly by construction). Registration itself
+// (GetCounter/GetGauge/GetHistogram) is not synchronized — do it at
+// setup time, not on hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+/// Monotone cumulative count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a level or a ratio).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets; observations above the last bound land in the
+/// implicit overflow bucket. The layout is fixed at registration so two
+/// snapshots of the same metric always align bucket-for-bucket.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 buckets (last = overflow).
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const { return count() > 0 ? sum() / count() : 0.0; }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One consistent read of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramEntry> histograms;
+
+  /// Value of one counter (0 when absent) — convenience for tests and
+  /// for diffing two snapshots.
+  uint64_t counter(const std::string& name) const;
+
+  /// Aligned text rendering, one instrument per line, sorted by name.
+  std::string Format() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in subsystem reports to.
+  /// Tests that need isolation either ResetAll() around themselves or
+  /// construct a private registry.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned handle is pointer-stable for the
+  /// registry's lifetime; repeated calls with the same name return the
+  /// same handle.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only when the histogram is first created; an
+  /// existing histogram keeps its original layout.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                std::vector<double> bounds = {});
+
+  /// Default fixed layout for simulated-seconds durations.
+  static const std::vector<double>& DefaultDurationBounds();
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zero every instrument; registrations (and handles) survive.
+  void ResetAll();
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace sqp

@@ -1,0 +1,205 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sqp {
+
+Tracer::SpanId Tracer::BeginSpan(std::string name, std::string category,
+                                 double start, std::string lane) {
+  SpanId id = next_id_++;
+  SpanRecord record;
+  record.kind = SpanRecord::Kind::kSpan;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.lane = std::move(lane);
+  record.start = start;
+  record.end = start;
+  open_.emplace(id, std::move(record));
+  return id;
+}
+
+void Tracer::SpanArg(SpanId id, const std::string& key,
+                     const std::string& value) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.args.emplace_back(key, value);
+}
+
+void Tracer::EndSpan(SpanId id, double end, std::string status) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  SpanRecord record = std::move(it->second);
+  open_.erase(it);
+  // A span can never end before it started (clock is simulated and
+  // monotone); clamp defensively so exports stay well-formed.
+  record.end = std::max(end, record.start);
+  record.status = std::move(status);
+  records_.push_back(record);
+  if (sink_ != nullptr) sink_->OnRecord(records_.back());
+}
+
+void Tracer::Instant(std::string name, std::string category, double t,
+                     std::string lane,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  SpanRecord record;
+  record.kind = SpanRecord::Kind::kInstant;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.lane = std::move(lane);
+  record.start = t;
+  record.end = t;
+  record.args = std::move(args);
+  records_.push_back(std::move(record));
+  if (sink_ != nullptr) sink_->OnRecord(records_.back());
+}
+
+void Tracer::Clear() {
+  open_.clear();
+  records_.clear();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorted copy: by start time; at equal starts spans precede instants
+/// and longer spans precede shorter (parents before children).
+std::vector<const SpanRecord*> SortedRecords(
+    const std::vector<SpanRecord>& records) {
+  std::vector<const SpanRecord*> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(&r);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     if (a->kind != b->kind) {
+                       return a->kind == SpanRecord::Kind::kSpan;
+                     }
+                     return a->end > b->end;
+                   });
+  return out;
+}
+
+int64_t Micros(double sim_seconds) {
+  return static_cast<int64_t>(std::llround(sim_seconds * 1e6));
+}
+
+}  // namespace
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<const SpanRecord*> sorted = SortedRecords(records_);
+
+  // Deterministic lane -> tid mapping (alphabetical).
+  std::map<std::string, int> lanes;
+  for (const SpanRecord* r : sorted) lanes.emplace(r->lane, 0);
+  int tid = 1;
+  for (auto& [lane, id] : lanes) id = tid++;
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << event;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"sqp session (simulated time)\"}}");
+  for (const auto& [lane, id] : lanes) {
+    std::ostringstream meta;
+    meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+         << ",\"args\":{\"name\":\"" << JsonEscape(lane) << "\"}}";
+    emit(meta.str());
+  }
+
+  for (const SpanRecord* r : sorted) {
+    std::ostringstream event;
+    event << "{\"name\":\"" << JsonEscape(r->name) << "\",\"cat\":\""
+          << JsonEscape(r->category) << "\",\"pid\":1,\"tid\":"
+          << lanes[r->lane] << ",\"ts\":" << Micros(r->start);
+    if (r->kind == SpanRecord::Kind::kSpan) {
+      event << ",\"ph\":\"X\",\"dur\":" << Micros(r->end - r->start);
+    } else {
+      event << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    event << ",\"args\":{\"status\":\"" << JsonEscape(r->status) << "\"";
+    for (const auto& [key, value] : r->args) {
+      event << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+            << "\"";
+    }
+    event << "}}";
+    emit(event.str());
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::string Tracer::FormatTimeline() const {
+  std::vector<const SpanRecord*> sorted = SortedRecords(records_);
+  std::ostringstream os;
+  for (size_t i = 0; i < sorted.size(); i++) {
+    const SpanRecord& r = *sorted[i];
+    // Nesting depth: spans in the same lane that contain this record.
+    int depth = 0;
+    for (size_t j = 0; j < i; j++) {
+      const SpanRecord& outer = *sorted[j];
+      if (outer.kind != SpanRecord::Kind::kSpan) continue;
+      if (outer.lane != r.lane) continue;
+      if (outer.start <= r.start + 1e-12 && outer.end >= r.end - 1e-12) {
+        depth++;
+      }
+    }
+    char head[96];
+    if (r.kind == SpanRecord::Kind::kSpan) {
+      std::snprintf(head, sizeof(head), "[%10.3f .. %10.3f] %-8s ",
+                    r.start, r.end, r.lane.c_str());
+    } else {
+      std::snprintf(head, sizeof(head), "[%10.3f %13s %-8s ", r.start,
+                    "]", r.lane.c_str());
+    }
+    os << head;
+    for (int d = 0; d < depth; d++) os << "  ";
+    os << r.category << ": " << r.name;
+    if (r.status != "ok") os << " (" << r.status << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqp

@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "exec/aggregate.h"
 #include "exec/materializer.h"
 #include "exec/sort.h"
@@ -350,6 +351,19 @@ Status Database::Reopen() {
   }
   last_recovery_.torn_pages_detected =
       disk_->checksum_failures() - checksum_failures_before;
+  // Mirror this recovery into the unified registry (DESIGN.md §9).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("db.recovery.runs")->Increment();
+  registry.GetCounter("db.recovery.tables_recovered")
+      ->Increment(last_recovery_.tables_recovered);
+  registry.GetCounter("db.recovery.matviews_recovered")
+      ->Increment(last_recovery_.matviews_recovered);
+  registry.GetCounter("db.recovery.corrupt_matviews_dropped")
+      ->Increment(last_recovery_.corrupt_matviews_dropped);
+  registry.GetCounter("db.recovery.torn_pages_detected")
+      ->Increment(last_recovery_.torn_pages_detected);
+  registry.GetCounter("db.recovery.orphan_pages_collected")
+      ->Increment(last_recovery_.orphan_pages_collected);
   SQP_LOG_DEBUG << "Reopen: " << last_recovery_.tables_recovered
                 << " tables, " << last_recovery_.views_registered
                 << " views, " << last_recovery_.orphan_pages_collected

@@ -33,6 +33,7 @@ Result<SingleUserResult> RunSingleUserExperiment(
   std::vector<Trace> traces = BuildTraces(cfg);
 
   SingleUserResult result;
+  std::vector<OverlapStats> per_replay_overlap;
   for (size_t t = 0; t < traces.size(); t++) {
     const Trace& trace = traces[t];
     ReplayOptions normal_opts;
@@ -61,7 +62,9 @@ Result<SingleUserResult> RunSingleUserExperiment(
     result.speculative.insert(result.speculative.end(),
                               spec->queries.begin(), spec->queries.end());
     result.engine_stats.push_back(spec->engine_stats);
+    per_replay_overlap.push_back(spec->overlap);
   }
+  result.overlap = AggregateOverlap(per_replay_overlap);
 
   result.overall_improvement = Improvement(result.normal, result.speculative);
   double mat_total = 0;
@@ -208,6 +211,7 @@ Result<MultiUserResult> RunMultiUserExperiment(const ExperimentConfig& cfg,
   std::vector<Trace> traces = BuildTraces(cfg);
 
   MultiUserResult result;
+  std::vector<OverlapStats> per_user_overlap;
   for (size_t start = 0; start + group_size <= traces.size();
        start += group_size) {
     std::vector<Trace> group(traces.begin() + start,
@@ -233,8 +237,11 @@ Result<MultiUserResult> RunMultiUserExperiment(const ExperimentConfig& cfg,
     result.engine_stats.insert(result.engine_stats.end(),
                                spec->engine_stats.begin(),
                                spec->engine_stats.end());
+    per_user_overlap.insert(per_user_overlap.end(), spec->overlap.begin(),
+                            spec->overlap.end());
   }
   result.overall_improvement = Improvement(result.normal, result.speculative);
+  result.overlap = AggregateOverlap(per_user_overlap);
   return result;
 }
 

@@ -55,6 +55,10 @@ struct SingleUserResult {
 
   size_t manipulations_issued = 0;
   size_t manipulations_completed = 0;
+
+  /// Aggregated think-time-overlap story across the speculative replays
+  /// (DESIGN.md §9).
+  OverlapStats overlap;
 };
 
 /// E3/E4/E5: replay every trace twice (normal, speculative).
@@ -80,6 +84,8 @@ struct MultiUserResult {
   std::vector<QueryRecord> speculative;
   std::vector<EngineStats> engine_stats;
   double overall_improvement = 0;
+  /// Aggregated across all users and groups (DESIGN.md §9).
+  OverlapStats overlap;
 };
 
 /// E7 (Figure 7): traces replayed in groups of `group_size` concurrent

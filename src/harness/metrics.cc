@@ -156,6 +156,7 @@ EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats) {
     total.views_evicted_for_budget += s.views_evicted_for_budget;
     total.views_recovered += s.views_recovered;
     total.views_dropped_at_recovery += s.views_dropped_at_recovery;
+    total.wasted_manipulation_work += s.wasted_manipulation_work;
     total.completed_durations.insert(total.completed_durations.end(),
                                      s.completed_durations.begin(),
                                      s.completed_durations.end());
@@ -187,6 +188,61 @@ std::string FormatEngineStats(const EngineStats& stats) {
                   stats.views_recovered, stats.views_dropped_at_recovery);
     out += line;
   }
+  return out;
+}
+
+OverlapStats ComputeOverlap(const EngineStats& stats, double session_seconds,
+                            double exec_seconds) {
+  OverlapStats overlap;
+  for (double d : stats.completed_durations) overlap.hidden_seconds += d;
+  overlap.wasted_seconds = stats.wasted_manipulation_work;
+  overlap.executed_seconds = overlap.hidden_seconds + overlap.wasted_seconds;
+  overlap.think_seconds = std::max(0.0, session_seconds - exec_seconds);
+  if (overlap.executed_seconds > 0) {
+    overlap.overlap_fraction =
+        overlap.hidden_seconds / overlap.executed_seconds;
+    overlap.wasted_ratio = overlap.wasted_seconds / overlap.executed_seconds;
+  }
+  if (overlap.think_seconds > 0) {
+    overlap.think_utilization =
+        overlap.executed_seconds / overlap.think_seconds;
+  }
+  return overlap;
+}
+
+OverlapStats AggregateOverlap(const std::vector<OverlapStats>& stats) {
+  OverlapStats total;
+  for (const OverlapStats& s : stats) {
+    total.executed_seconds += s.executed_seconds;
+    total.hidden_seconds += s.hidden_seconds;
+    total.wasted_seconds += s.wasted_seconds;
+    total.think_seconds += s.think_seconds;
+  }
+  if (total.executed_seconds > 0) {
+    total.overlap_fraction = total.hidden_seconds / total.executed_seconds;
+    total.wasted_ratio = total.wasted_seconds / total.executed_seconds;
+  }
+  if (total.think_seconds > 0) {
+    total.think_utilization = total.executed_seconds / total.think_seconds;
+  }
+  return total;
+}
+
+std::string FormatOverlapStats(const OverlapStats& overlap) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "  overlap: %.2fs speculative work executed during %.2fs of "
+                "think time (%.2fs hidden, %.2fs wasted)\n",
+                overlap.executed_seconds, overlap.think_seconds,
+                overlap.hidden_seconds, overlap.wasted_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  overlap_fraction: %.3f  wasted_ratio: %.3f  "
+                "think_utilization: %.3f\n",
+                overlap.overlap_fraction, overlap.wasted_ratio,
+                overlap.think_utilization);
+  out += line;
   return out;
 }
 

@@ -76,6 +76,46 @@ std::string FormatBuckets(const std::vector<Bucket>& buckets,
 /// Sum engine counters across replays (one EngineStats per trace).
 EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats);
 
+/// Derived think-time-overlap story (DESIGN.md §9): how much speculative
+/// work the engine hid under the user's think time, and how much it
+/// wasted. The paper's bet is that manipulation work is "free" when it
+/// overlaps think time — these ratios quantify that bet for a replay.
+struct OverlapStats {
+  /// Total simulated seconds of manipulation work executed (completed +
+  /// the executed fraction of cancelled/abandoned work).
+  double executed_seconds = 0;
+  /// Seconds of that work that paid off: completed manipulations whose
+  /// results were adopted (sum of EngineStats::completed_durations).
+  double hidden_seconds = 0;
+  /// Seconds that never paid off: executed fraction of cancellations
+  /// plus results abandoned at completion.
+  double wasted_seconds = 0;
+  /// Think time available for hiding work: session duration minus final
+  /// query execution time.
+  double think_seconds = 0;
+  /// hidden / executed — fraction of manipulation work that completed
+  /// under think time and was adopted.
+  double overlap_fraction = 0;
+  /// wasted / executed — fraction of manipulation work thrown away.
+  double wasted_ratio = 0;
+  /// executed / think — how much of the user's think time the engine
+  /// kept the server busy with speculation.
+  double think_utilization = 0;
+};
+
+/// Derive the overlap story from an engine's counters plus the replay's
+/// wall clock: `session_seconds` is the full simulated session span and
+/// `exec_seconds` the time spent executing final queries (their
+/// difference is think time).
+OverlapStats ComputeOverlap(const EngineStats& stats, double session_seconds,
+                            double exec_seconds);
+
+/// Sum absolute seconds across replays and recompute the ratios.
+OverlapStats AggregateOverlap(const std::vector<OverlapStats>& stats);
+
+/// Two-line rendering: absolute seconds, then the ratios.
+std::string FormatOverlapStats(const OverlapStats& overlap);
+
 /// Two-line summary of an engine's lifecycle and failure counters —
 /// issued/completed/cancelled plus failures, retries, circuit-breaker
 /// suspensions, and budget evictions, so degraded runs are visible in

@@ -29,16 +29,32 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     double go_time = 0;
     QueryRecord pending;
     size_t query_index = 0;
+    std::string lane = "main";
+    double total_exec = 0;  // final-query seconds (user-perceived)
+    double last_time = 0;   // last event/completion on this session
+    Tracer::SpanId session_span = Tracer::kInvalidSpan;
+    Tracer::SpanId query_span = Tracer::kInvalidSpan;
   };
   std::vector<UserState> users(n);
+  Tracer* tracer = options_.tracer;
   for (size_t u = 0; u < n; u++) {
     SpeculationEngineOptions opts = options_.engine;
     opts.enabled = options_.speculation;
     opts.table_prefix = "spec_u" + std::to_string(u) + "_mv_";
     // See the assert below: waiting at GO would break event ordering.
     opts.go_policy = GoPolicy::kCancelIncomplete;
+    users[u].lane = "user" + std::to_string(u);
+    opts.tracer = tracer;
+    opts.trace_lane = users[u].lane;
     users[u].engine =
         std::make_unique<SpeculationEngine>(db_, &server, std::move(opts));
+    if (tracer != nullptr && !traces[u].events.empty()) {
+      users[u].session_span = tracer->BeginSpan(
+          "session user" + std::to_string(traces[u].user_id), "session",
+          traces[u].events.front().timestamp, users[u].lane);
+      tracer->SpanArg(users[u].session_span, "mode",
+                      options_.speculation ? "speculative" : "normal");
+    }
   }
 
   MultiUserReplayResult result;
@@ -77,9 +93,15 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
         double done = server.CompletionTime(user.job);
         double duration = done - user.go_time;
         user.exec_offset += duration;
+        user.total_exec += duration;
+        user.last_time = done;
         user.pending.seconds = duration;
         result.per_user[u].push_back(std::move(user.pending));
         user.waiting = false;
+        if (tracer != nullptr) {
+          tracer->EndSpan(user.query_span, done);
+          user.query_span = Tracer::kInvalidSpan;
+        }
         SQP_RETURN_IF_ERROR(user.engine->OnQueryResult(done));
       }
       continue;
@@ -92,7 +114,12 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     double sim_time = event.timestamp + user.exec_offset;
     server.AdvanceTo(sim_time);
 
+    user.last_time = sim_time;
     if (event.type != TraceEventType::kGo) {
+      if (tracer != nullptr) {
+        tracer->Instant(TraceEventTypeName(event.type), "edit", sim_time,
+                        user.lane);
+      }
       SQP_RETURN_IF_ERROR(user.engine->OnUserEvent(event, sim_time));
       continue;
     }
@@ -114,6 +141,13 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     user.job = server.Submit(query_result->seconds);
     user.go_time = sim_time;
     user.waiting = true;
+    if (tracer != nullptr) {
+      user.query_span =
+          tracer->BeginSpan("query " + std::to_string(user.query_index),
+                            "query", sim_time, user.lane);
+      tracer->SpanArg(user.query_span, "exec_s",
+                      std::to_string(query_result->seconds));
+    }
     user.pending = QueryRecord{};
     user.pending.index = user.query_index++;
     user.pending.user_id = traces[who].user_id;
@@ -127,6 +161,13 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
   for (size_t u = 0; u < n; u++) {
     SQP_RETURN_IF_ERROR(users[u].engine->Shutdown());
     result.engine_stats.push_back(users[u].engine->stats());
+    result.overlap.push_back(ComputeOverlap(users[u].engine->stats(),
+                                            users[u].last_time,
+                                            users[u].total_exec));
+    if (tracer != nullptr &&
+        users[u].session_span != Tracer::kInvalidSpan) {
+      tracer->EndSpan(users[u].session_span, users[u].last_time);
+    }
   }
   result.session_end_time = server.now();
   return result;

@@ -24,6 +24,10 @@ struct MultiUserReplayOptions {
   SpeculationEngineOptions engine;
   ViewMode normal_view_mode = ViewMode::kCostBased;
   bool cold_start = true;
+  /// Optional span tracer (DESIGN.md §9): each user's session, queries,
+  /// and manipulations land on a "user<N>" lane, so the exported Chrome
+  /// trace shows the users' overlap on the shared server.
+  Tracer* tracer = nullptr;
 };
 
 struct MultiUserReplayResult {
@@ -31,6 +35,9 @@ struct MultiUserReplayResult {
   std::vector<std::vector<QueryRecord>> per_user;
   std::vector<EngineStats> engine_stats;
   double session_end_time = 0;
+  /// Per-user overlap stories, index-aligned with engine_stats
+  /// (DESIGN.md §9).
+  std::vector<OverlapStats> overlap;
 
   /// All query records flattened (order: user-major).
   std::vector<QueryRecord> Flatten() const;

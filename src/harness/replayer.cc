@@ -8,6 +8,8 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
   SimServer server;
   SpeculationEngineOptions engine_options = options_.engine;
   engine_options.enabled = options_.speculation;
+  engine_options.tracer = options_.tracer;
+  engine_options.trace_lane = options_.trace_lane;
   SpeculationEngine engine(db_, &server, engine_options);
   // Normal replays still need the partial query tracked (for parity of
   // bookkeeping) but issue no manipulations.
@@ -19,11 +21,28 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
   double exec_offset = 0;  // accumulated query execution delays
   size_t query_index = 0;
 
+  Tracer* tracer = options_.tracer;
+  Tracer::SpanId session_span = Tracer::kInvalidSpan;
+  if (tracer != nullptr && !trace.events.empty()) {
+    session_span =
+        tracer->BeginSpan("session user" + std::to_string(trace.user_id),
+                          "session", trace.events.front().timestamp,
+                          options_.trace_lane);
+    tracer->SpanArg(session_span, "mode",
+                    options_.speculation ? "speculative" : "normal");
+    tracer->SpanArg(session_span, "events",
+                    std::to_string(trace.events.size()));
+  }
+
   for (const auto& event : trace.events) {
     double sim_time = event.timestamp + exec_offset;
     server.AdvanceTo(sim_time);
 
     if (event.type != TraceEventType::kGo) {
+      if (tracer != nullptr) {
+        tracer->Instant(TraceEventTypeName(event.type), "edit", sim_time,
+                        options_.trace_lane);
+      }
       SQP_RETURN_IF_ERROR(engine.OnUserEvent(event, sim_time));
       continue;
     }
@@ -54,6 +73,19 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
     // User-perceived response time: any §7 wait is part of it.
     double duration = done - sim_time;
     exec_offset += duration;
+    if (tracer != nullptr) {
+      Tracer::SpanId query_span =
+          tracer->BeginSpan("query " + std::to_string(query_index), "query",
+                            sim_time, options_.trace_lane);
+      tracer->SpanArg(query_span, "exec_s",
+                      std::to_string(query_result->seconds));
+      tracer->SpanArg(query_span, "rows",
+                      std::to_string(query_result->row_count));
+      for (const auto& view : query_result->views_used) {
+        tracer->SpanArg(query_span, "view", view);
+      }
+      tracer->EndSpan(query_span, done);
+    }
     // Results are on screen; speculation may use the examination pause.
     SQP_RETURN_IF_ERROR(engine.OnQueryResult(done));
 
@@ -74,6 +106,14 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
   SQP_RETURN_IF_ERROR(engine.Shutdown());
   result.engine_stats = engine.stats();
   result.session_end_time = server.now();
+  result.overlap = ComputeOverlap(result.engine_stats,
+                                  result.session_end_time,
+                                  result.total_exec_seconds);
+  if (tracer != nullptr && session_span != Tracer::kInvalidSpan) {
+    tracer->SpanArg(session_span, "queries",
+                    std::to_string(result.queries.size()));
+    tracer->EndSpan(session_span, result.session_end_time);
+  }
   return result;
 }
 

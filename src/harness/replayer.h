@@ -31,6 +31,12 @@ struct ReplayOptions {
   /// (the paper's Learner "observes users over time"; experiments
   /// pretrain on the other users' sessions, leave-one-out).
   const std::vector<Trace>* pretrain_traces = nullptr;
+  /// Optional span tracer (DESIGN.md §9): the replayer records a
+  /// session span, edit instants, a query span per GO, and passes the
+  /// tracer down to the engine for manipulation spans. Null = off.
+  Tracer* tracer = nullptr;
+  /// Display lane for this replay's spans (e.g. "user3").
+  std::string trace_lane = "main";
 };
 
 struct ReplayResult {
@@ -38,6 +44,9 @@ struct ReplayResult {
   EngineStats engine_stats;  // zero-valued for normal replays
   double total_exec_seconds = 0;
   double session_end_time = 0;
+  /// Think-time-overlap story derived from engine_stats and the two
+  /// fields above (DESIGN.md §9); zero-valued for normal replays.
+  OverlapStats overlap;
 };
 
 class TraceReplayer {

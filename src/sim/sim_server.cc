@@ -4,20 +4,33 @@
 #include <cassert>
 #include <vector>
 
+#include "common/metrics_registry.h"
+
 namespace sqp {
+
+SimServer::SimServer() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_submitted_ = registry.GetCounter("sim.jobs_submitted");
+  m_cancelled_ = registry.GetCounter("sim.jobs_cancelled");
+  m_completed_ = registry.GetCounter("sim.jobs_completed");
+}
 
 SimServer::JobId SimServer::Submit(double work) {
   assert(work >= 0);
   JobId id = next_id_++;
   if (work <= 0) {
     completed_[id] = now_;
+    m_completed_->Increment();
   } else {
     active_[id] = work;
   }
+  m_submitted_->Increment();
   return id;
 }
 
-void SimServer::Cancel(JobId id) { active_.erase(id); }
+void SimServer::Cancel(JobId id) {
+  if (active_.erase(id) > 0) m_cancelled_->Increment();
+}
 
 double SimServer::CompletionTime(JobId id) const {
   auto it = completed_.find(id);
@@ -55,6 +68,7 @@ void SimServer::AdvanceTo(double t) {
     for (JobId id : done) {
       active_.erase(id);
       completed_[id] = now_;
+      m_completed_->Increment();
     }
   }
   // Phase 2: burn the remaining interval without completions.

@@ -22,10 +22,14 @@
 
 namespace sqp {
 
+class Counter;
+
 class SimServer {
  public:
   using JobId = uint64_t;
   static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  SimServer();
 
   /// Submit a job needing `work` seconds at full capacity; starts now.
   JobId Submit(double work);
@@ -70,6 +74,10 @@ class SimServer {
   std::map<JobId, double> active_;  // id -> remaining work
   std::map<JobId, double> completed_;  // id -> completion time
   double delivered_ = 0;
+  // Registry handles (DESIGN.md §9), looked up once at construction.
+  Counter* m_submitted_;
+  Counter* m_cancelled_;
+  Counter* m_completed_;
 };
 
 }  // namespace sqp

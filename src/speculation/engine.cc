@@ -16,7 +16,20 @@ SpeculationEngine::SpeculationEngine(Database* db, SimServer* server,
       server_(server),
       options_(std::move(options)),
       cost_model_(db, &learner_, options_.cost_model),
-      speculator_(db, &cost_model_, options_.speculator) {}
+      speculator_(db, &cost_model_, options_.speculator) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_issued_ = registry.GetCounter("engine.manipulations_issued");
+  m_completed_ = registry.GetCounter("engine.manipulations_completed");
+  m_cancelled_edit_ = registry.GetCounter("engine.cancelled_by_edit");
+  m_cancelled_go_ = registry.GetCounter("engine.cancelled_at_go");
+  m_abandoned_ = registry.GetCounter("engine.abandoned_at_completion");
+  m_failed_ = registry.GetCounter("engine.manipulations_failed");
+  m_retries_ = registry.GetCounter("engine.retries");
+  m_suspended_ = registry.GetCounter("engine.speculation_suspended");
+  m_evicted_ = registry.GetCounter("engine.views_evicted_for_budget");
+  m_gc_ = registry.GetCounter("engine.views_garbage_collected");
+  m_durations_ = registry.GetHistogram("engine.manipulation_seconds");
+}
 
 void SpeculationEngine::SyncOutstanding(double sim_time) {
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
@@ -45,6 +58,8 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
                       << "s >= recompute " << it->issue_cost_without << "s)";
         (void)db_->DropTable(it->table_name);
         stats_.abandoned_at_completion++;
+        stats_.wasted_manipulation_work += it->work;
+        m_abandoned_->Increment();
         abandoned = true;
       } else {
         // The result becomes visible to the optimizer now.
@@ -60,9 +75,15 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
     if (!abandoned) {
       stats_.manipulations_completed++;
       stats_.completed_durations.push_back(it->work);
+      m_completed_->Increment();
+      m_durations_->Observe(it->work);
       // A completed manipulation proves the fault burst has passed.
       consecutive_failures_ = 0;
       SQP_LOG_DEBUG << "spec: completed " << m.Describe();
+    }
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(it->span, server_->CompletionTime(it->job),
+                               abandoned ? "abandoned" : "completed");
     }
     it = outstanding_.erase(it);
   }
@@ -83,8 +104,13 @@ bool SpeculationEngine::StillRelevant(const Outstanding& out) const {
   return false;
 }
 
-void SpeculationEngine::CancelOne(Outstanding& out, bool at_go) {
+void SpeculationEngine::CancelOne(Outstanding& out, bool at_go,
+                                  double sim_time) {
   const Manipulation& m = out.manipulation;
+  // Work actually performed before the cancellation is wasted; the
+  // unexecuted remainder never consumed server capacity.
+  stats_.wasted_manipulation_work +=
+      std::max(0.0, out.work - server_->RemainingWork(out.job));
   server_->Cancel(out.job);
   // Roll back the eagerly-applied side effects.
   switch (m.type) {
@@ -103,15 +129,21 @@ void SpeculationEngine::CancelOne(Outstanding& out, bool at_go) {
   }
   if (at_go) {
     stats_.cancelled_at_go++;
+    m_cancelled_go_->Increment();
   } else {
     stats_.cancelled_by_edit++;
+    m_cancelled_edit_->Increment();
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->EndSpan(out.span, sim_time,
+                             at_go ? "cancelled@go" : "cancelled@edit");
   }
   SQP_LOG_DEBUG << "spec: cancelled " << m.Describe()
                 << (at_go ? " (at GO)" : " (edit)");
 }
 
-void SpeculationEngine::CancelOutstanding(bool at_go) {
-  for (auto& out : outstanding_) CancelOne(out, at_go);
+void SpeculationEngine::CancelOutstanding(bool at_go, double sim_time) {
+  for (auto& out : outstanding_) CancelOne(out, at_go, sim_time);
   outstanding_.clear();
 }
 
@@ -123,6 +155,7 @@ void SpeculationEngine::GarbageCollect(double sim_time) {
       (void)db_->DropTable(it->first);  // also unregisters the view
       it = owned_views_.erase(it);
       stats_.views_garbage_collected++;
+      m_gc_->Increment();
     } else {
       it->second.last_use = sim_time;  // still useful right now
       ++it;
@@ -153,12 +186,19 @@ void SpeculationEngine::EnforceBudget() {
     (void)db_->DropTable(victim->first);
     owned_views_.erase(victim);
     stats_.views_evicted_for_budget++;
+    m_evicted_->Increment();
   }
 }
 
 void SpeculationEngine::HandleManipulationFailure(const Status& failure,
                                                   double sim_time) {
   stats_.manipulations_failed++;
+  m_failed_->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant("manipulation failed", "manipulation",
+                             sim_time, options_.trace_lane,
+                             {{"error", failure.ToString()}});
+  }
   SQP_LOG_DEBUG << "spec: manipulation failed (" << failure.ToString()
                 << ")";
   if (failure.IsRetryable() && retry_attempts_ < options_.max_retries) {
@@ -170,7 +210,14 @@ void SpeculationEngine::HandleManipulationFailure(const Status& failure,
             std::pow(2.0, static_cast<double>(retry_attempts_)));
     retry_attempts_++;
     stats_.retries++;
+    m_retries_->Increment();
     retry_not_before_ = sim_time + backoff;
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          "retry scheduled", "manipulation", sim_time, options_.trace_lane,
+          {{"attempt", std::to_string(retry_attempts_)},
+           {"backoff_s", std::to_string(backoff)}});
+    }
     SQP_LOG_DEBUG << "spec: retry " << retry_attempts_ << " in " << backoff
                   << "s";
     return;
@@ -183,7 +230,14 @@ void SpeculationEngine::HandleManipulationFailure(const Status& failure,
     suspended_until_ =
         sim_time + options_.circuit_breaker_cooldown_seconds;
     stats_.speculation_suspended_events++;
+    m_suspended_->Increment();
     consecutive_failures_ = 0;
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          "circuit breaker open", "manipulation", sim_time,
+          options_.trace_lane,
+          {{"until_s", std::to_string(suspended_until_)}});
+    }
     SQP_LOG_DEBUG << "spec: circuit breaker open until "
                   << suspended_until_ << "s";
   }
@@ -237,6 +291,17 @@ Status SpeculationEngine::ExecuteManipulation(
   out.job = server_->Submit(out.work);
   stats_.manipulations_issued++;
   stats_.total_manipulation_work += out.work;
+  m_issued_->Increment();
+  if (options_.tracer != nullptr) {
+    out.span = options_.tracer->BeginSpan(m.Describe(), "manipulation",
+                                          sim_time, options_.trace_lane);
+    options_.tracer->SpanArg(out.span, "type",
+                             ManipulationTypeName(m.type));
+    options_.tracer->SpanArg(out.span, "work_s", std::to_string(out.work));
+    if (!out.table_name.empty()) {
+      options_.tracer->SpanArg(out.span, "table", out.table_name);
+    }
+  }
   SQP_LOG_DEBUG << "spec: issued " << m.Describe() << " (work " << out.work
                 << "s)";
   outstanding_.push_back(std::move(out));
@@ -281,12 +346,13 @@ Status SpeculationEngine::MaybeIssue(double sim_time) {
 
 Status SpeculationEngine::OnUserEvent(const TraceEvent& event,
                                       double sim_time) {
+  last_sim_time_ = sim_time;
   SyncOutstanding(sim_time);
   tracker_.NoteEventTime(sim_time);
   tracker_.ApplyEvent(event);
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     if (!StillRelevant(*it)) {
-      CancelOne(*it, /*at_go=*/false);
+      CancelOne(*it, /*at_go=*/false, sim_time);
       it = outstanding_.erase(it);
     } else {
       ++it;
@@ -297,6 +363,7 @@ Status SpeculationEngine::OnUserEvent(const TraceEvent& event,
 }
 
 Result<double> SpeculationEngine::OnGo(double sim_time) {
+  last_sim_time_ = sim_time;
   SyncOutstanding(sim_time);
 
   double submit_time = sim_time;
@@ -346,7 +413,7 @@ Result<double> SpeculationEngine::OnGo(double sim_time) {
         // Cancel everything else; the waited-for manipulation stays.
         Outstanding waited = std::move(outstanding_[best]);
         for (size_t i = 0; i < outstanding_.size(); i++) {
-          if (i != best) CancelOne(outstanding_[i], /*at_go=*/true);
+          if (i != best) CancelOne(outstanding_[i], /*at_go=*/true, sim_time);
         }
         outstanding_.clear();
         outstanding_.push_back(std::move(waited));
@@ -355,7 +422,12 @@ Result<double> SpeculationEngine::OnGo(double sim_time) {
   }
   if (submit_time <= sim_time) {
     // Conservative convention: whatever is still running is cancelled.
-    CancelOutstanding(/*at_go=*/true);
+    CancelOutstanding(/*at_go=*/true, sim_time);
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant(
+        "GO", "go", sim_time, options_.trace_lane,
+        {{"waited_s", std::to_string(std::max(0.0, submit_time - sim_time))}});
   }
 
   const QueryGraph& final_query = tracker_.current();
@@ -371,15 +443,16 @@ Result<double> SpeculationEngine::OnGo(double sim_time) {
 }
 
 Status SpeculationEngine::ResolveWait(double wait_until) {
+  last_sim_time_ = wait_until;
   SyncOutstanding(wait_until);
   // If the manipulation somehow still isn't done (the wait estimate was
   // optimistic under shifting load), fall back to the conservative rule.
-  CancelOutstanding(/*at_go=*/true);
+  CancelOutstanding(/*at_go=*/true, wait_until);
   return Status::OK();
 }
 
 Status SpeculationEngine::Shutdown() {
-  CancelOutstanding(/*at_go=*/true);
+  CancelOutstanding(/*at_go=*/true, last_sim_time_);
   // Best-effort teardown: one failed drop must not leave the rest of
   // the speculative state behind. Report the first failure at the end.
   Status first_error;
@@ -404,12 +477,18 @@ Status SpeculationEngine::Shutdown() {
 }
 
 Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
+  last_sim_time_ = sim_time;
   // In-flight manipulations died with the crash: their side effects
   // were uncommitted (half-built tables became orphan pages that
   // recovery GC reclaimed; histograms and indexes are volatile), so
   // there is nothing in the database to roll back — just drop the
   // simulated server jobs and the bookkeeping.
-  for (auto& out : outstanding_) server_->Cancel(out.job);
+  for (auto& out : outstanding_) {
+    server_->Cancel(out.job);
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(out.span, sim_time, "lost@crash");
+    }
+  }
   outstanding_.clear();
   owned_views_.clear();
   // Committed speculative indexes/histograms were rebuilt by recovery:
@@ -435,6 +514,8 @@ Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
   retry_not_before_ = 0;
   suspended_until_ = 0;
 
+  uint64_t recovered_before = stats_.views_recovered;
+  uint64_t dropped_before = stats_.views_dropped_at_recovery;
   // Walk the speculative tables that survived recovery. Registered ones
   // are adopted back into ownership so GC and the storage budget resume
   // governing them; a survivor with no registration is unreachable by
@@ -461,12 +542,24 @@ Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
       stats_.views_dropped_at_recovery++;
     }
   }
+  uint64_t recovered = stats_.views_recovered - recovered_before;
+  uint64_t dropped = stats_.views_dropped_at_recovery - dropped_before;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("engine.views_recovered")->Increment(recovered);
+  registry.GetCounter("engine.views_dropped_at_recovery")->Increment(dropped);
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant(
+        "engine re-adoption", "recovery", sim_time, options_.trace_lane,
+        {{"views_recovered", std::to_string(recovered)},
+         {"views_dropped", std::to_string(dropped)}});
+  }
   SQP_LOG_DEBUG << "spec: recovered after crash, adopted "
                 << stats_.views_recovered << " views";
   return Status::OK();
 }
 
 Status SpeculationEngine::OnQueryResult(double sim_time) {
+  last_sim_time_ = sim_time;
   SyncOutstanding(sim_time);
   if (!options_.speculate_on_results) return Status::OK();
   return MaybeIssue(sim_time);

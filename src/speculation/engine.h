@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/tracing.h"
 #include "db/database.h"
 #include "sim/sim_server.h"
 #include "speculation/learner.h"
@@ -93,6 +95,16 @@ struct SpeculationEngineOptions {
   /// total over the cap, the least-recently-useful views are evicted
   /// first, so speculation can never exhaust the store.
   size_t max_speculative_pages = 0;
+
+  // --- observability ----------------------------------------------
+  /// Optional span tracer (DESIGN.md §9). When set, the engine records
+  /// a span per manipulation (issue → complete/cancel/abandon) and
+  /// instants for failures, retries, circuit-breaker opens, and crash
+  /// recovery. Null = no recording, no cost.
+  Tracer* tracer = nullptr;
+  /// Display lane for this engine's spans (one per user in multi-user
+  /// replays).
+  std::string trace_lane = "main";
 };
 
 struct EngineStats {
@@ -128,6 +140,12 @@ struct EngineStats {
   double total_wait_seconds = 0;
   /// Simulated seconds of manipulation work executed (incl. cancelled).
   double total_manipulation_work = 0;
+  /// Simulated seconds of manipulation work that never paid off: the
+  /// executed fraction of cancelled manipulations plus the full work of
+  /// results abandoned at completion. The complement — the sum of
+  /// `completed_durations` — is work fully hidden under think time
+  /// (see ComputeOverlap in harness/metrics.h).
+  double wasted_manipulation_work = 0;
   /// Durations of completed manipulations.
   std::vector<double> completed_durations;
 
@@ -210,6 +228,8 @@ class SpeculationEngine {
     /// cost(q_m, m∅) as estimated at issue time, for the completion-time
     /// benefit re-check.
     double issue_cost_without = 0;
+    /// Open tracing span (kInvalidSpan when no tracer is attached).
+    Tracer::SpanId span = Tracer::kInvalidSpan;
   };
 
   /// Promote outstanding manipulations whose simulated completion time
@@ -220,11 +240,13 @@ class SpeculationEngine {
   /// query?
   bool StillRelevant(const Outstanding& out) const;
 
-  /// Cancel one outstanding entry (rolls back side effects).
-  void CancelOne(Outstanding& out, bool at_go);
+  /// Cancel one outstanding entry (rolls back side effects). `sim_time`
+  /// stamps the cancellation on the span and bounds the wasted-work
+  /// accounting.
+  void CancelOne(Outstanding& out, bool at_go, double sim_time);
 
   /// Cancel every outstanding manipulation.
-  void CancelOutstanding(bool at_go);
+  void CancelOutstanding(bool at_go, double sim_time);
 
   /// Drop completed speculative views no longer implied by the partial;
   /// views that remain implied are touched (LRU bookkeeping for the
@@ -277,6 +299,24 @@ class SpeculationEngine {
   size_t consecutive_failures_ = 0;  // toward the circuit breaker
   double retry_not_before_ = 0;      // backoff gate for the next issue
   double suspended_until_ = 0;       // circuit-breaker cooldown end
+
+  // Observability (DESIGN.md §9). Handles into the global
+  // MetricsRegistry shadowing the EngineStats counters above (EngineStats
+  // stays the per-engine result struct; the registry aggregates across
+  // engines); `last_sim_time_` stamps teardown spans (Shutdown has no
+  // clock of its own).
+  Counter* m_issued_;
+  Counter* m_completed_;
+  Counter* m_cancelled_edit_;
+  Counter* m_cancelled_go_;
+  Counter* m_abandoned_;
+  Counter* m_failed_;
+  Counter* m_retries_;
+  Counter* m_suspended_;
+  Counter* m_evicted_;
+  Counter* m_gc_;
+  HistogramMetric* m_durations_;
+  double last_sim_time_ = 0;
 };
 
 }  // namespace sqp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics_registry.h"
+
 namespace sqp {
 
 namespace {
@@ -134,6 +136,12 @@ void Learner::ObserveGo(
   if (formulation_duration > 0) {
     think_time_.ObserveDuration(formulation_duration);
   }
+  // Once per GO (not a hot path), so registry lookups are fine here.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("learner.go_observations")->Increment();
+  registry.GetCounter("learner.parts_observed")
+      ->Increment(seen_parts.size());
+  registry.GetGauge("learner.think_time_mu")->Set(think_time_.mu());
 }
 
 }  // namespace sqp

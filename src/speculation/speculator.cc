@@ -1,6 +1,18 @@
 #include "speculation/speculator.h"
 
+#include "common/metrics_registry.h"
+
 namespace sqp {
+
+Speculator::Speculator(const Database* db,
+                       const SpeculationCostModel* cost_model,
+                       SpeculatorOptions options)
+    : db_(db), cost_model_(cost_model), options_(options) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_decisions_ = registry.GetCounter("speculator.decisions");
+  m_chosen_ = registry.GetCounter("speculator.decisions_with_choice");
+  m_candidates_ = registry.GetCounter("speculator.candidates_considered");
+}
 
 SpeculationDecision Speculator::Decide(
     const QueryGraph& partial, double elapsed_formulation_seconds,
@@ -23,6 +35,9 @@ SpeculationDecision Speculator::Decide(
     }
     decision.considered.emplace_back(std::move(m), eval);
   }
+  m_decisions_->Increment();
+  m_candidates_->Increment(decision.considered.size());
+  if (decision.chosen.has_value()) m_chosen_->Increment();
   return decision;
 }
 

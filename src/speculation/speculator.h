@@ -12,6 +12,8 @@
 
 namespace sqp {
 
+class Counter;
+
 struct SpeculatorOptions {
   ManipulationSpaceOptions space;
   /// A manipulation is issued only if its Cost⊆ beats m∅'s (0) by this
@@ -30,8 +32,7 @@ struct SpeculationDecision {
 class Speculator {
  public:
   Speculator(const Database* db, const SpeculationCostModel* cost_model,
-             SpeculatorOptions options = {})
-      : db_(db), cost_model_(cost_model), options_(options) {}
+             SpeculatorOptions options = {});
 
   /// Pick the best manipulation for the current partial query.
   /// `exclude_keys` (optional) removes candidates already in flight —
@@ -46,6 +47,10 @@ class Speculator {
   const Database* db_;
   const SpeculationCostModel* cost_model_;
   SpeculatorOptions options_;
+  // Registry handles (DESIGN.md §9), looked up once at construction.
+  Counter* m_decisions_;
+  Counter* m_chosen_;
+  Counter* m_candidates_;
 };
 
 }  // namespace sqp

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/metrics_registry.h"
+
 namespace sqp {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
@@ -12,6 +14,10 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
   for (size_t i = 0; i < capacity_; i++) {
     free_frames_.push_back(capacity_ - 1 - i);  // hand out 0 first
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_hits_ = registry.GetCounter("bufferpool.hits");
+  m_misses_ = registry.GetCounter("bufferpool.misses");
+  m_evictions_ = registry.GetCounter("bufferpool.evictions");
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
@@ -36,6 +42,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   lru_.pop_front();
   f.in_lru = false;
   table_.erase(f.page_id);
+  m_evictions_->Increment();
   return idx;
 }
 
@@ -43,6 +50,7 @@ Result<Page*> BufferPool::FetchPage(page_id_t page_id) {
   auto it = table_.find(page_id);
   if (it != table_.end()) {
     hits_++;
+    m_hits_->Increment();
     Frame& f = frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -52,6 +60,7 @@ Result<Page*> BufferPool::FetchPage(page_id_t page_id) {
     return &f.page;
   }
   misses_++;
+  m_misses_->Increment();
   auto victim = GetVictimFrame();
   if (!victim.ok()) return victim.status();
   size_t idx = *victim;

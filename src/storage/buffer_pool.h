@@ -15,6 +15,8 @@
 
 namespace sqp {
 
+class Counter;
+
 class BufferPool {
  public:
   /// `capacity_pages` frames of kPageSize each (32 MB -> 4096 frames).
@@ -78,6 +80,12 @@ class BufferPool {
   std::unordered_map<page_id_t, size_t> table_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Registry handles (DESIGN.md §9), looked up once at construction.
+  // Unlike hits_/misses_ these are cumulative: Reset() (cold start)
+  // zeroes the per-replay tallies but not the registry counters.
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_evictions_;
 };
 
 /// RAII pin guard.

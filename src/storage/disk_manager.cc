@@ -4,6 +4,7 @@
 
 #include "common/checksum.h"
 #include "common/fault_injector.h"
+#include "common/metrics_registry.h"
 
 namespace sqp {
 
@@ -12,6 +13,16 @@ Status CrashedError() {
   return Status::DataLoss("disk crashed; Reopen() required");
 }
 }  // namespace
+
+DiskManager::DiskManager(CostMeter* meter) : meter_(meter) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_reads_ = registry.GetCounter("storage.disk.reads");
+  m_writes_ = registry.GetCounter("storage.disk.writes");
+  m_syncs_ = registry.GetCounter("storage.disk.syncs");
+  m_checksum_failures_ = registry.GetCounter("storage.disk.checksum_failures");
+  m_torn_pages_ = registry.GetCounter("storage.disk.torn_pages");
+  m_crashes_ = registry.GetCounter("storage.disk.crashes");
+}
 
 Result<page_id_t> DiskManager::AllocatePage() {
   if (crashed_) return CrashedError();
@@ -54,6 +65,7 @@ Status DiskManager::ReadPage(page_id_t page_id, Page* out) {
   }
   SQP_INJECT_FAULT("disk.read");
   meter_->ChargeBlockRead();
+  m_reads_->Increment();
   auto cached = unsynced_.find(page_id);
   if (cached != unsynced_.end()) {
     // Unsynced writes are served from the cache (OS page cache
@@ -64,6 +76,7 @@ Status DiskManager::ReadPage(page_id_t page_id, Page* out) {
   const Page& durable = *store_[page_id];
   if (Crc32(durable.raw(), kPageSize) != checksums_[page_id]) {
     checksum_failures_++;
+    m_checksum_failures_->Increment();
     return Status::DataLoss("torn page " + std::to_string(page_id) +
                             ": checksum mismatch");
   }
@@ -101,6 +114,7 @@ Status DiskManager::WritePage(page_id_t page_id, const Page& in) {
   std::memcpy(cached->second->raw(), in.raw(), kPageSize);
   last_unsynced_write_ = page_id;
   meter_->ChargeBlockWrite();
+  m_writes_->Increment();
   return Status::OK();
 }
 
@@ -128,6 +142,7 @@ Status DiskManager::Sync() {
   }
   last_unsynced_write_ = kInvalidPageId;
   sync_count_++;
+  m_syncs_->Increment();
   return Status::OK();
 }
 
@@ -142,11 +157,13 @@ void DiskManager::SimulateCrash() {
     if (Crc32(store_[torn->first]->raw(), kPageSize) !=
         checksums_[torn->first]) {
       torn_pages_++;
+      m_torn_pages_->Increment();
     }
   }
   unsynced_.clear();
   last_unsynced_write_ = kInvalidPageId;
   crashed_ = true;
+  m_crashes_->Increment();
 }
 
 void DiskManager::Restart() {

@@ -34,9 +34,11 @@
 
 namespace sqp {
 
+class Counter;
+
 class DiskManager {
  public:
-  explicit DiskManager(CostMeter* meter) : meter_(meter) {}
+  explicit DiskManager(CostMeter* meter);
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -104,6 +106,13 @@ class DiskManager {
   uint64_t checksum_failures_ = 0;
   uint64_t torn_pages_ = 0;
   uint64_t sync_count_ = 0;
+  // Registry handles (DESIGN.md §9), looked up once at construction.
+  Counter* m_reads_;
+  Counter* m_writes_;
+  Counter* m_syncs_;
+  Counter* m_checksum_failures_;
+  Counter* m_torn_pages_;
+  Counter* m_crashes_;
 };
 
 }  // namespace sqp

@@ -108,6 +108,78 @@ TEST(MetricsTest, AutoBucketsEmptyInput) {
   EXPECT_GT(opts.hi, opts.lo);
 }
 
+TEST(MetricsTest, AggregateEngineStatsSumsMigratedCounters) {
+  EngineStats a, b;
+  a.manipulations_issued = 3;
+  a.manipulations_completed = 2;
+  a.completed_durations = {1.0, 2.0};
+  a.wasted_manipulation_work = 0.5;
+  a.views_recovered = 1;
+  b.manipulations_issued = 1;
+  b.cancelled_at_go = 1;
+  b.wasted_manipulation_work = 1.5;
+  EngineStats total = AggregateEngineStats({a, b});
+  EXPECT_EQ(total.manipulations_issued, 4u);
+  EXPECT_EQ(total.manipulations_completed, 2u);
+  EXPECT_EQ(total.cancelled_at_go, 1u);
+  EXPECT_EQ(total.views_recovered, 1u);
+  EXPECT_DOUBLE_EQ(total.wasted_manipulation_work, 2.0);
+  EXPECT_EQ(total.completed_durations.size(), 2u);
+}
+
+TEST(MetricsTest, ComputeOverlapDerivesRatios) {
+  EngineStats stats;
+  stats.completed_durations = {3.0, 1.0};  // hidden = 4
+  stats.wasted_manipulation_work = 1.0;    // executed = 5
+  // Session 100 s, queries 20 s -> think 80 s.
+  OverlapStats overlap = ComputeOverlap(stats, 100.0, 20.0);
+  EXPECT_DOUBLE_EQ(overlap.hidden_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(overlap.wasted_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(overlap.executed_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(overlap.think_seconds, 80.0);
+  EXPECT_DOUBLE_EQ(overlap.overlap_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(overlap.wasted_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(overlap.think_utilization, 5.0 / 80.0);
+}
+
+TEST(MetricsTest, ComputeOverlapZeroWorkIsAllZeroRatios) {
+  OverlapStats overlap = ComputeOverlap(EngineStats{}, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(overlap.overlap_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(overlap.wasted_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(overlap.think_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(overlap.think_seconds, 0.0);
+}
+
+TEST(MetricsTest, AggregateOverlapRecomputesRatiosFromTotals) {
+  OverlapStats a, b;
+  a.executed_seconds = 4;
+  a.hidden_seconds = 4;
+  a.think_seconds = 10;
+  b.executed_seconds = 6;
+  b.wasted_seconds = 6;
+  b.think_seconds = 10;
+  OverlapStats total = AggregateOverlap({a, b});
+  EXPECT_DOUBLE_EQ(total.executed_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(total.overlap_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(total.wasted_ratio, 0.6);
+  EXPECT_DOUBLE_EQ(total.think_utilization, 0.5);
+}
+
+TEST(MetricsTest, FormatOverlapStatsRendersRatios) {
+  OverlapStats overlap;
+  overlap.executed_seconds = 5;
+  overlap.hidden_seconds = 4;
+  overlap.wasted_seconds = 1;
+  overlap.think_seconds = 80;
+  overlap.overlap_fraction = 0.8;
+  overlap.wasted_ratio = 0.2;
+  overlap.think_utilization = 0.063;
+  std::string text = FormatOverlapStats(overlap);
+  EXPECT_NE(text.find("overlap_fraction: 0.800"), std::string::npos);
+  EXPECT_NE(text.find("wasted_ratio: 0.200"), std::string::npos);
+  EXPECT_NE(text.find("think_utilization: 0.063"), std::string::npos);
+}
+
 TEST(MetricsTest, FormatBucketsRendersRows) {
   std::vector<Bucket> buckets(1);
   buckets[0].lo = 0;
