@@ -6,13 +6,23 @@
 # Every schedule must leave final query results bit-identical to a
 # no-speculation run and restore the disk's live-page count.
 #
-# Usage: scripts/check_chaos.sh [path-to-chaos_test-binary]
+# When a second binary is given (exec_batch_test), each seed also runs
+# the batch-vs-tuple differential under the same fault schedules,
+# asserting the two execution interfaces stay bit-identical (results
+# AND simulated charges) while storage faults fire.
+#
+# Usage: scripts/check_chaos.sh [chaos_test-binary] [exec_batch_test-binary]
 set -euo pipefail
 
 BIN="${1:-build/tests/chaos_test}"
+BATCH_BIN="${2:-}"
 if [ ! -x "$BIN" ]; then
   echo "error: chaos_test binary not found at '$BIN'" >&2
   echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+if [ -n "$BATCH_BIN" ] && [ ! -x "$BATCH_BIN" ]; then
+  echo "error: exec_batch_test binary not found at '$BATCH_BIN'" >&2
   exit 1
 fi
 
@@ -20,5 +30,9 @@ for seed in 1 101 201 301 401 501 601 701 801 901; do
   echo "=== chaos sweep: base seed $seed ==="
   SQP_CHAOS_SEED="$seed" "$BIN" \
     --gtest_filter='ChaosReplayTest.*' --gtest_brief=1
+  if [ -n "$BATCH_BIN" ]; then
+    SQP_CHAOS_SEED="$seed" "$BATCH_BIN" \
+      --gtest_filter='*FaultScheduleBitIdentical*' --gtest_brief=1
+  fi
 done
 echo "check_chaos: all 10 seed sweeps passed"

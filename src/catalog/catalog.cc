@@ -72,11 +72,13 @@ Status Catalog::AnalyzeTable(const std::string& name) {
   TableStats stats;
   stats.Begin(info->schema);
   auto iter = info->heap->Scan();
+  std::vector<Tuple> page_rows;
   for (;;) {
-    auto row = iter.Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    stats.Observe(**row);
+    page_rows.clear();
+    auto more = iter.NextPage(&page_rows);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (const Tuple& row : page_rows) stats.Observe(row);
   }
   stats.Finish(info->heap->page_count());
   info->stats = std::move(stats);
@@ -154,11 +156,13 @@ Status Catalog::CreateHistogram(const std::string& table,
   std::vector<Value> values;
   values.reserve(info->heap->tuple_count());
   auto iter = info->heap->Scan();
+  std::vector<Tuple> page_rows;
   for (;;) {
-    auto row = iter.Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    values.push_back((**row)[*col_idx]);
+    page_rows.clear();
+    auto more = iter.NextPage(&page_rows);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (const Tuple& row : page_rows) values.push_back(row[*col_idx]);
   }
   histograms_[Key(table, column)] = Histogram::Build(std::move(values));
   return Status::OK();

@@ -18,24 +18,10 @@ const char* TypeName(TypeId type) {
   return "?";
 }
 
-double Value::NumericValue() const {
-  if (type() == TypeId::kInt64) return static_cast<double>(AsInt64());
-  assert(type() == TypeId::kDouble && "NumericValue on string");
-  return AsDouble();
-}
+double Value::NumericValue() const { return NumericValueInline(); }
 
 int Value::Compare(const Value& other) const {
-  if (type() == TypeId::kString || other.type() == TypeId::kString) {
-    assert(type() == TypeId::kString && other.type() == TypeId::kString &&
-           "comparing string with numeric");
-    return AsString().compare(other.AsString());
-  }
-  if (type() == TypeId::kInt64 && other.type() == TypeId::kInt64) {
-    int64_t a = AsInt64(), b = other.AsInt64();
-    return a < b ? -1 : (a > b ? 1 : 0);
-  }
-  double a = NumericValue(), b = other.NumericValue();
-  return a < b ? -1 : (a > b ? 1 : 0);
+  return CompareInline(other);
 }
 
 std::string Value::ToString() const {
@@ -53,24 +39,7 @@ std::string Value::ToString() const {
   return "?";
 }
 
-size_t Value::Hash() const {
-  switch (type()) {
-    case TypeId::kInt64:
-      return std::hash<int64_t>{}(AsInt64());
-    case TypeId::kDouble: {
-      // Hash doubles through their numeric value so 3 and 3.0 (which
-      // compare equal) hash equal too.
-      double d = AsDouble();
-      if (d == static_cast<int64_t>(d)) {
-        return std::hash<int64_t>{}(static_cast<int64_t>(d));
-      }
-      return std::hash<double>{}(d);
-    }
-    case TypeId::kString:
-      return std::hash<std::string>{}(AsString());
-  }
-  return 0;
-}
+size_t Value::Hash() const { return HashInline(); }
 
 size_t Value::StorageSize() const {
   switch (type()) {

@@ -5,7 +5,9 @@
 // (prices, balances), and short strings (segments, manufacturers).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -35,9 +37,60 @@ class Value {
   /// Numeric view of an int64 or double value (asserts on strings).
   double NumericValue() const;
 
+  double NumericValueInline() const {
+    if (type() == TypeId::kInt64) return static_cast<double>(AsInt64());
+    assert(type() == TypeId::kDouble && "NumericValue on string");
+    return AsDouble();
+  }
+
   /// Three-way comparison; totally ordered within numeric and string
   /// domains. Asserts when comparing string with numeric.
   int Compare(const Value& other) const;
+
+  /// Same comparison, defined inline for batch-kernel inner loops
+  /// where the out-of-line call (and its un-inlined type dispatch)
+  /// shows up per row. Compare() delegates here — one definition.
+  int CompareInline(const Value& other) const {
+    if (type() == TypeId::kString || other.type() == TypeId::kString) {
+      assert(type() == TypeId::kString && other.type() == TypeId::kString &&
+             "comparing string with numeric");
+      return AsString().compare(other.AsString());
+    }
+    if (type() == TypeId::kInt64 && other.type() == TypeId::kInt64) {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericValueInline(), b = other.NumericValueInline();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+
+  /// Overwrite this value from `other`, reusing existing storage when
+  /// the active type matches (a string slot assigned a string keeps
+  /// its heap buffer). For batch kernels recycling output rows.
+  void AssignFrom(const Value& other) {
+    switch (other.v_.index()) {
+      case 0:
+        v_ = *std::get_if<int64_t>(&other.v_);
+        break;
+      case 1:
+        v_ = *std::get_if<double>(&other.v_);
+        break;
+      default:
+        v_ = *std::get_if<std::string>(&other.v_);
+        break;
+    }
+  }
+
+  /// In-place setters for deserializing into recycled tuples.
+  void Set(int64_t v) { v_ = v; }
+  void Set(double v) { v_ = v; }
+  void SetString(const char* data, size_t len) {
+    if (std::string* s = std::get_if<std::string>(&v_)) {
+      s->assign(data, len);  // reuse the existing buffer
+    } else {
+      v_ = std::string(data, len);
+    }
+  }
 
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator!=(const Value& other) const { return Compare(other) != 0; }
@@ -50,6 +103,27 @@ class Value {
 
   /// Stable hash for hash joins and duplicate detection.
   size_t Hash() const;
+
+  /// Same hash, inline for batch-kernel inner loops. Hash() delegates
+  /// here — one definition.
+  size_t HashInline() const {
+    switch (type()) {
+      case TypeId::kInt64:
+        return std::hash<int64_t>{}(AsInt64());
+      case TypeId::kDouble: {
+        // Hash doubles through their numeric value so 3 and 3.0 (which
+        // compare equal) hash equal too.
+        double d = AsDouble();
+        if (d == static_cast<int64_t>(d)) {
+          return std::hash<int64_t>{}(static_cast<int64_t>(d));
+        }
+        return std::hash<double>{}(d);
+      }
+      case TypeId::kString:
+        return std::hash<std::string>{}(AsString());
+    }
+    return 0;
+  }
 
   /// Approximate in-memory/on-page footprint in bytes, used by the
   /// storage layer to translate tuples into page counts.

@@ -1,5 +1,7 @@
 #include "db/database.h"
 
+#include <iterator>
+
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "exec/aggregate.h"
@@ -104,11 +106,13 @@ Status Database::DropTable(const std::string& name) {
 }
 
 namespace {
-/// Drain `exec` into a QueryResult, timing against `meter`.
+/// Drain `exec` into a QueryResult batch at a time, timing against
+/// `meter`.
 Result<QueryResult> RunToResult(Executor* exec, CostMeter& meter,
                                 const ExecuteOptions& options,
                                 std::string plan_explain,
-                                std::vector<std::string> views_used) {
+                                std::vector<std::string> views_used,
+                                size_t batch_size) {
   CostScope scope(meter);
   QueryResult result;
   result.plan_explain = std::move(plan_explain);
@@ -116,12 +120,17 @@ Result<QueryResult> RunToResult(Executor* exec, CostMeter& meter,
   result.schema = exec->output_schema();
 
   SQP_RETURN_IF_ERROR(exec->Init());
+  TupleBatch batch(batch_size);
   for (;;) {
-    auto row = exec->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    result.row_count++;
-    if (options.keep_rows) result.rows.push_back(std::move(**row));
+    auto more = exec->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) break;
+    result.row_count += batch.size();
+    if (options.keep_rows) {
+      result.rows.insert(result.rows.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+    }
   }
   result.seconds = scope.ElapsedSeconds();
   result.blocks = scope.ElapsedBlocks();
@@ -136,7 +145,7 @@ Result<QueryResult> Database::Execute(const QueryGraph& query,
   auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
   if (!exec.ok()) return exec.status();
   auto result = RunToResult(exec->get(), meter_, options, plan->Explain(),
-                            plan->views_used);
+                            plan->views_used, options_.exec_batch_size);
   if (result.ok()) {
     SQP_LOG_DEBUG << "Execute " << query.ToSql() << " -> "
                   << result->row_count << " rows in " << result->seconds
@@ -207,7 +216,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
   }
 
   return RunToResult(exec.get(), meter_, options, plan->Explain(),
-                     plan->views_used);
+                     plan->views_used, options_.exec_batch_size);
 }
 
 Result<double> Database::EstimateCost(const QueryGraph& query,

@@ -47,6 +47,9 @@ struct DatabaseOptions {
   /// setting; the multi-user experiment uses 96 MiB = 12288).
   size_t buffer_pool_pages = 4096;
   CostConfig cost;
+  /// Rows per executor batch when draining query results (DESIGN.md
+  /// §10). Affects real wall-clock only, never simulated charges.
+  size_t exec_batch_size = 1024;
 };
 
 struct QueryResult {

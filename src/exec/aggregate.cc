@@ -30,36 +30,39 @@ HashAggregateExecutor::HashAggregateExecutor(std::unique_ptr<Executor> child,
 
 Status HashAggregateExecutor::Init() {
   SQP_RETURN_IF_ERROR(child_->Init());
+  TupleBatch batch;
   for (;;) {
-    auto row = child_->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    meter_->ChargeTuples();
-    const Tuple& t = **row;
-
-    std::string key;
-    for (size_t idx : group_by_) {
-      key += t[idx].ToString();
-      key += "|";
-    }
-    Group& group = groups_[key];
-    if (group.states.empty()) {
-      group.states.resize(aggregates_.size());
-      for (size_t idx : group_by_) group.keys.push_back(t[idx]);
-    }
-    for (size_t a = 0; a < aggregates_.size(); a++) {
-      const AggSpec& spec = aggregates_[a];
-      AggState& state = group.states[a];
-      state.count++;
-      if (spec.column_index == AggSpec::kStar) continue;
-      const Value& v = t[spec.column_index];
-      if (v.is_numeric()) state.sum += v.NumericValue();
-      if (!state.min.has_value() || v < *state.min) state.min = v;
-      if (!state.max.has_value() || v > *state.max) state.max = v;
-    }
+    auto more = child_->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) break;
+    meter_->ChargeTuples(batch.size());
+    for (const Tuple& t : batch) Accumulate(t);
   }
   out_it_ = groups_.begin();
   return Status::OK();
+}
+
+void HashAggregateExecutor::Accumulate(const Tuple& t) {
+  std::string key;
+  for (size_t idx : group_by_) {
+    key += t[idx].ToString();
+    key += "|";
+  }
+  Group& group = groups_[key];
+  if (group.states.empty()) {
+    group.states.resize(aggregates_.size());
+    for (size_t idx : group_by_) group.keys.push_back(t[idx]);
+  }
+  for (size_t a = 0; a < aggregates_.size(); a++) {
+    const AggSpec& spec = aggregates_[a];
+    AggState& state = group.states[a];
+    state.count++;
+    if (spec.column_index == AggSpec::kStar) continue;
+    const Value& v = t[spec.column_index];
+    if (v.is_numeric()) state.sum += v.NumericValue();
+    if (!state.min.has_value() || v < *state.min) state.min = v;
+    if (!state.max.has_value() || v > *state.max) state.max = v;
+  }
 }
 
 Value HashAggregateExecutor::Finalize(const AggSpec& spec,
@@ -79,7 +82,7 @@ Value HashAggregateExecutor::Finalize(const AggSpec& spec,
   return Value(0.0);
 }
 
-Result<std::optional<Tuple>> HashAggregateExecutor::Next() {
+std::optional<Tuple> HashAggregateExecutor::EmitNext() {
   if (groups_.empty() && group_by_.empty() && !emitted_global_empty_) {
     // Global aggregate over an empty input: one row of zero counts.
     emitted_global_empty_ = true;
@@ -88,17 +91,33 @@ Result<std::optional<Tuple>> HashAggregateExecutor::Next() {
     for (const AggSpec& spec : aggregates_) {
       out.push_back(Finalize(spec, empty));
     }
-    return std::optional<Tuple>(std::move(out));
+    return out;
   }
-  if (out_it_ == groups_.end()) return std::optional<Tuple>();
+  if (out_it_ == groups_.end()) return std::nullopt;
   meter_->ChargeTuples();
   const Group& group = out_it_->second;
   ++out_it_;
-  Tuple out = group.keys;
+  Tuple out;
+  out.reserve(group.keys.size() + aggregates_.size());
+  out.insert(out.end(), group.keys.begin(), group.keys.end());
   for (size_t a = 0; a < aggregates_.size(); a++) {
     out.push_back(Finalize(aggregates_[a], group.states[a]));
   }
-  return std::optional<Tuple>(std::move(out));
+  return out;
+}
+
+Result<std::optional<Tuple>> HashAggregateExecutor::Next() {
+  return std::optional<Tuple>(EmitNext());
+}
+
+Result<bool> HashAggregateExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (out->size() < out->target_rows()) {
+    auto row = EmitNext();
+    if (!row.has_value()) break;
+    out->PushRow(std::move(*row));
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 }  // namespace sqp

@@ -38,6 +38,7 @@ class HashAggregateExecutor : public Executor {
 
   Status Init() override;
   Result<std::optional<Tuple>> Next() override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   const Schema& output_schema() const override { return schema_; }
 
  private:
@@ -53,6 +54,8 @@ class HashAggregateExecutor : public Executor {
   };
 
   Value Finalize(const AggSpec& spec, const AggState& state) const;
+  void Accumulate(const Tuple& t);
+  std::optional<Tuple> EmitNext();
 
   std::unique_ptr<Executor> child_;
   std::vector<size_t> group_by_;
@@ -66,6 +69,12 @@ class HashAggregateExecutor : public Executor {
 };
 
 /// LIMIT n on top of any child.
+///
+/// Deliberately tuple-driven: LIMIT must stop pulling (and charging)
+/// its child after exactly `limit` rows, so it keeps the base-class
+/// NextBatch adapter, which loops this Next(). A native batch pull
+/// would over-produce child rows and change simulated CostMeter totals
+/// relative to the tuple engine (DESIGN.md §10).
 class LimitExecutor : public Executor {
  public:
   LimitExecutor(std::unique_ptr<Executor> child, uint64_t limit)

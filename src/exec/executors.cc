@@ -1,8 +1,82 @@
 #include "exec/executors.h"
 
 #include <cassert>
+#include <cstring>
+#include <iterator>
 
 namespace sqp {
+
+namespace {
+
+// Decode only column `col` from a serialized record (storage/tuple.cc
+// layout: arity byte, then per column a type tag plus an 8-byte numeric
+// or a u32-length string). Fixed-width columns are skipped with pointer
+// arithmetic, so evaluating a predicate needs no full-row decode.
+Value DecodeColumn(const uint8_t* rec, size_t col) {
+  size_t off = 1;  // arity byte
+  for (size_t i = 0; i < col; i++) {
+    TypeId type = static_cast<TypeId>(rec[off++]);
+    if (type == TypeId::kString) {
+      uint32_t slen;
+      std::memcpy(&slen, rec + off, sizeof(slen));
+      off += sizeof(slen) + slen;
+    } else {
+      off += 8;
+    }
+  }
+  TypeId type = static_cast<TypeId>(rec[off++]);
+  switch (type) {
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, rec + off, sizeof(v));
+      return Value(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, rec + off, sizeof(v));
+      return Value(v);
+    }
+    case TypeId::kString:
+    default: {
+      uint32_t slen;
+      std::memcpy(&slen, rec + off, sizeof(slen));
+      return Value(std::string(
+          reinterpret_cast<const char*>(rec + off + sizeof(slen)), slen));
+    }
+  }
+}
+
+// EvalConjunction against the serialized record instead of a decoded
+// tuple. DecodeColumn yields exactly the Value DeserializeTuple would,
+// and the comparison is the same Value::Compare, so the verdict is
+// bit-identical to the tuple path's.
+bool EvalConjunctionOnRecord(const std::vector<BoundSelection>& preds,
+                             const uint8_t* rec) {
+  for (const BoundSelection& p : preds) {
+    Value v = DecodeColumn(rec, p.column_index);
+    if (!EvalCompare(v.CompareInline(p.constant), p.op)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- Executor (adapter)
+
+// Default batch shim: loop Next(). Used by executors with no native
+// batch loop (LIMIT keeps it deliberately — pulling tuple-at-a-time is
+// what guarantees its child is charged for exactly `limit` rows, same
+// as the tuple engine).
+Result<bool> Executor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (out->size() < out->target_rows()) {
+    auto row = Next();
+    if (!row.ok()) return row.status();
+    if (!row->has_value()) break;
+    out->PushRow(std::move(**row));
+  }
+  return exec_internal::FinishBatch(*out);
+}
 
 // ---------------------------------------------------------------- SeqScan
 
@@ -15,18 +89,79 @@ SeqScanExecutor::SeqScanExecutor(const TableInfo* table, BufferPool* pool,
       predicates_(std::move(predicates)) {}
 
 Status SeqScanExecutor::Init() {
-  iter_.emplace(table_->heap->Scan());
+  page_index_ = 0;
+  slot_ = 0;
+  guard_.Release();
+  page_loaded_ = false;
   return Status::OK();
+}
+
+Result<bool> SeqScanExecutor::LoadCurrentPage() {
+  if (page_index_ >= table_->heap->pages().size()) return false;
+  if (!page_loaded_) {
+    page_id_t page_id = table_->heap->pages()[page_index_];
+    auto page = pool_->FetchPage(page_id);
+    if (!page.ok()) return page.status();
+    guard_ = PageGuard(pool_, page_id, *page);
+    page_loaded_ = true;
+    slot_ = 0;
+    exec_internal::NotePagePinned();
+  }
+  return true;
 }
 
 Result<std::optional<Tuple>> SeqScanExecutor::Next() {
   for (;;) {
-    auto row = iter_->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) return std::optional<Tuple>();
-    meter_->ChargeTuples();
-    if (EvalConjunction(predicates_, **row)) return std::move(*row);
+    auto loaded = LoadCurrentPage();
+    if (!loaded.ok()) return loaded.status();
+    if (!*loaded) return std::optional<Tuple>();
+    const Page* page = guard_.get();
+    while (slot_ < page->slot_count()) {
+      uint16_t len = 0;
+      const uint8_t* rec = page->Record(slot_, &len);
+      slot_++;
+      meter_->ChargeTuples();
+      Tuple row = DeserializeTuple(rec, len);
+      if (EvalConjunction(predicates_, row)) {
+        return std::optional<Tuple>(std::move(row));
+      }
+    }
+    guard_.Release();
+    page_loaded_ = false;
+    page_index_++;
   }
+}
+
+Result<bool> SeqScanExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (out->size() < out->target_rows()) {
+    auto loaded = LoadCurrentPage();
+    if (!loaded.ok()) return loaded.status();
+    if (!*loaded) break;
+    const Page* page = guard_.get();
+    uint16_t nslots = page->slot_count();
+    if (slot_ < nslots) {
+      // Every slot on the page flows through the scan: one bulk CPU
+      // charge equals the tuple path's per-row charges.
+      meter_->ChargeTuples(nslots - slot_);
+      // Late materialization: evaluate the predicates against the
+      // serialized record and decode only the survivors, into recycled
+      // batch slots (allocation-free once the batch's pool is warm).
+      for (; slot_ < nslots; slot_++) {
+        uint16_t len = 0;
+        const uint8_t* rec = page->Record(slot_, &len);
+        if (!predicates_.empty() &&
+            !EvalConjunctionOnRecord(predicates_, rec)) {
+          continue;
+        }
+        DeserializeTupleInto(rec, len, &out->AppendSlot());
+      }
+    }
+    guard_.Release();
+    page_loaded_ = false;
+    page_index_++;
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 // -------------------------------------------------------------- IndexScan
@@ -64,6 +199,22 @@ Result<std::optional<Tuple>> IndexScanExecutor::Next() {
   return std::optional<Tuple>();
 }
 
+Result<bool> IndexScanExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  // Heap fetches stay rid-by-rid (each may touch a different page, and
+  // the fetch order is what chaos schedules key on), but the batch
+  // amortizes the virtual dispatch above them.
+  while (out->size() < out->target_rows() && pos_ < rids_.size()) {
+    auto row = table_->heap->Fetch(rids_[pos_++]);
+    if (!row.ok()) return row.status();
+    meter_->ChargeTuples();
+    if (EvalConjunction(residual_, *row)) {
+      out->PushRow(std::move(*row));
+    }
+  }
+  return exec_internal::FinishBatch(*out);
+}
+
 // ----------------------------------------------------------------- Filter
 
 FilterExecutor::FilterExecutor(std::unique_ptr<Executor> child,
@@ -83,6 +234,23 @@ Result<std::optional<Tuple>> FilterExecutor::Next() {
     meter_->ChargeTuples();
     if (EvalConjunction(predicates_, **row)) return std::move(*row);
   }
+}
+
+Result<bool> FilterExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  child_batch_.set_target_rows(out->target_rows());
+  while (out->size() < out->target_rows()) {
+    auto more = child_->NextBatch(&child_batch_);
+    if (!more.ok()) return more.status();
+    if (child_batch_.empty()) break;
+    meter_->ChargeTuples(child_batch_.size());
+    EvalConjunctionBatch(predicates_, child_batch_.begin(),
+                         child_batch_.size(), &selection_);
+    for (uint32_t idx : selection_) {
+      out->PushRow(std::move(child_batch_[idx]));
+    }
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 // ---------------------------------------------------------------- Project
@@ -114,17 +282,36 @@ Result<std::optional<Tuple>> ProjectExecutor::Next() {
   return std::optional<Tuple>(std::move(out));
 }
 
+Result<bool> ProjectExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  child_batch_.set_target_rows(out->target_rows());
+  while (out->size() < out->target_rows()) {
+    auto more = child_->NextBatch(&child_batch_);
+    if (!more.ok()) return more.status();
+    if (child_batch_.empty()) break;
+    meter_->ChargeTuples(child_batch_.size());
+    for (Tuple& row : child_batch_) {
+      Tuple& projected = out->AppendSlot();
+      projected.clear();  // recycled slots may hold stale values
+      projected.reserve(indices_.size());
+      for (size_t idx : indices_) projected.push_back(std::move(row[idx]));
+    }
+  }
+  return exec_internal::FinishBatch(*out);
+}
+
 // --------------------------------------------------------------- HashJoin
 
 HashJoinExecutor::HashJoinExecutor(std::unique_ptr<Executor> build,
                                    std::unique_ptr<Executor> probe,
                                    size_t build_key, size_t probe_key,
-                                   CostMeter* meter)
+                                   CostMeter* meter, size_t build_rows_hint)
     : build_(std::move(build)),
       probe_(std::move(probe)),
       build_key_(build_key),
       probe_key_(probe_key),
-      meter_(meter) {
+      meter_(meter),
+      build_rows_hint_(build_rows_hint) {
   schema_ = build_->output_schema().Concat(probe_->output_schema());
 }
 
@@ -132,14 +319,35 @@ Status HashJoinExecutor::Init() {
   SQP_RETURN_IF_ERROR(build_->Init());
   SQP_RETURN_IF_ERROR(probe_->Init());
   size_t build_bytes = 0;
+  if (build_rows_hint_ > 0) {
+    build_rows_.reserve(build_rows_hint_);
+  }
+  TupleBatch batch;
   for (;;) {
-    auto row = build_->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    meter_->ChargeTuples();
-    build_bytes += SerializedTupleSize(**row);
-    size_t h = (**row)[build_key_].Hash();
-    table_[h].push_back(std::move(**row));
+    auto more = build_->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) break;
+    meter_->ChargeTuples(batch.size());
+    for (Tuple& row : batch) {
+      build_bytes += SerializedTupleSize(row);
+      build_rows_.push_back(std::move(row));
+    }
+  }
+  // Build the flat table in one pass now that the row count is known:
+  // power-of-two buckets at ~2x occupancy headroom. Inserting in
+  // reverse makes each chain run in insertion order, so matches emit
+  // in the same order the per-bucket vectors used to.
+  if (!build_rows_.empty()) {
+    size_t buckets = 1;
+    while (buckets < build_rows_.size() * 2) buckets <<= 1;
+    bucket_mask_ = buckets - 1;
+    heads_.assign(buckets, -1);
+    next_.resize(build_rows_.size());
+    for (size_t i = build_rows_.size(); i-- > 0;) {
+      size_t b = build_rows_[i][build_key_].HashInline() & bucket_mask_;
+      next_[i] = heads_[b];
+      heads_[b] = static_cast<int32_t>(i);
+    }
   }
   // Grace spill: build side over budget means both inputs take an extra
   // partition-write + re-read pass. The build side is charged here; the
@@ -155,38 +363,87 @@ Status HashJoinExecutor::Init() {
   return Status::OK();
 }
 
+void HashJoinExecutor::ChargeProbeRow(const Tuple& row) {
+  meter_->ChargeTuples();
+  if (spilled_) {
+    probe_spill_bytes_ += SerializedTupleSize(row);
+    while (probe_spill_bytes_ >= kPageSize) {
+      meter_->ChargeBlockWrite();
+      meter_->ChargeBlockRead();
+      probe_spill_bytes_ -= kPageSize;
+    }
+  }
+}
+
+Tuple HashJoinExecutor::ConcatRows(const Tuple& build_row,
+                                   const Tuple& probe_row) {
+  Tuple out;
+  out.reserve(build_row.size() + probe_row.size());
+  out.insert(out.end(), build_row.begin(), build_row.end());
+  out.insert(out.end(), probe_row.begin(), probe_row.end());
+  return out;
+}
+
 Result<std::optional<Tuple>> HashJoinExecutor::Next() {
   for (;;) {
     // Emit pending matches for the current probe tuple.
-    if (probe_tuple_.has_value() && matches_ != nullptr) {
-      while (match_pos_ < matches_->size()) {
-        const Tuple& build_row = (*matches_)[match_pos_++];
+    if (probe_tuple_.has_value()) {
+      while (match_cursor_ >= 0) {
+        const Tuple& build_row = build_rows_[match_cursor_];
+        match_cursor_ = next_[match_cursor_];
         if (build_row[build_key_].Compare((*probe_tuple_)[probe_key_]) != 0) {
-          continue;  // hash collision
+          continue;  // bucket shared by a different key
         }
         meter_->ChargeTuples();
-        Tuple out = build_row;
-        out.insert(out.end(), probe_tuple_->begin(), probe_tuple_->end());
-        return std::optional<Tuple>(std::move(out));
+        return std::optional<Tuple>(ConcatRows(build_row, *probe_tuple_));
       }
     }
     auto row = probe_->Next();
     if (!row.ok()) return row.status();
     if (!row->has_value()) return std::optional<Tuple>();
-    meter_->ChargeTuples();
-    if (spilled_) {
-      probe_spill_bytes_ += SerializedTupleSize(**row);
-      while (probe_spill_bytes_ >= kPageSize) {
-        meter_->ChargeBlockWrite();
-        meter_->ChargeBlockRead();
-        probe_spill_bytes_ -= kPageSize;
+    ChargeProbeRow(**row);
+    probe_tuple_ = std::move(*row);
+    match_cursor_ = BucketHead((*probe_tuple_)[probe_key_]);
+  }
+}
+
+Result<bool> HashJoinExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (out->size() < out->target_rows()) {
+    if (probe_pos_ >= probe_batch_.size()) {
+      probe_batch_.set_target_rows(out->target_rows());
+      auto more = probe_->NextBatch(&probe_batch_);
+      if (!more.ok()) return more.status();
+      if (probe_batch_.empty()) break;
+      probe_pos_ = 0;
+      if (!spilled_) {
+        // One bulk CPU charge for the pulled rows: the tuple path
+        // charges the same rows one by one before the next fault
+        // opportunity (a page fetch), so totals agree at every
+        // abort point too.
+        meter_->ChargeTuples(probe_batch_.size());
       }
     }
-    probe_tuple_ = std::move(*row);
-    auto it = table_.find((*probe_tuple_)[probe_key_].Hash());
-    matches_ = it == table_.end() ? nullptr : &it->second;
-    match_pos_ = 0;
+    // A probe row's matches are flushed in full (batches may overshoot
+    // their soft target), so no partial-match cursor is needed here.
+    const Tuple& probe = probe_batch_[probe_pos_++];
+    if (spilled_) ChargeProbeRow(probe);  // per-row spill-byte stream
+    for (int32_t idx = BucketHead(probe[probe_key_]); idx >= 0;
+         idx = next_[idx]) {
+      const Tuple& build_row = build_rows_[idx];
+      if (build_row[build_key_].CompareInline(probe[probe_key_]) != 0) {
+        continue;  // bucket shared by a different key
+      }
+      meter_->ChargeTuples();
+      // Concat into a recycled slot with inlined per-value copies —
+      // the per-output-row malloc and the variant copy visitation are
+      // the two dominant costs of the tuple path's ConcatRows. A
+      // recycled slot of the right width is overwritten in place so
+      // its element storage is reused too.
+      exec_internal::ConcatInto(out->AppendSlot(), build_row, probe);
+    }
   }
+  return exec_internal::FinishBatch(*out);
 }
 
 // --------------------------------------------------------- NestedLoopJoin
@@ -204,14 +461,27 @@ NestedLoopJoinExecutor::NestedLoopJoinExecutor(
 Status NestedLoopJoinExecutor::Init() {
   SQP_RETURN_IF_ERROR(outer_->Init());
   SQP_RETURN_IF_ERROR(inner_->Init());
+  TupleBatch batch;
   for (;;) {
-    auto row = inner_->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    meter_->ChargeTuples();
-    inner_rows_.push_back(std::move(**row));
+    auto more = inner_->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) break;
+    meter_->ChargeTuples(batch.size());
+    inner_rows_.insert(inner_rows_.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
   }
   return Status::OK();
+}
+
+bool NestedLoopJoinExecutor::MatchesConditions(const Tuple& outer_row,
+                                               const Tuple& inner_row) const {
+  for (const auto& c : conditions_) {
+    int cmp = outer_row[c.left_index].Compare(
+        inner_row[c.right_index - outer_row.size()]);
+    if (!EvalCompare(cmp, c.op)) return false;
+  }
+  return true;
 }
 
 Result<std::optional<Tuple>> NestedLoopJoinExecutor::Next() {
@@ -227,16 +497,7 @@ Result<std::optional<Tuple>> NestedLoopJoinExecutor::Next() {
     while (inner_pos_ < inner_rows_.size()) {
       const Tuple& inner_row = inner_rows_[inner_pos_++];
       meter_->ChargeTuples();
-      bool match = true;
-      for (const auto& c : conditions_) {
-        int cmp = (*outer_tuple_)[c.left_index].Compare(
-            inner_row[c.right_index - outer_tuple_->size()]);
-        if (!EvalCompare(cmp, c.op)) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
+      if (MatchesConditions(*outer_tuple_, inner_row)) {
         Tuple out = *outer_tuple_;
         out.insert(out.end(), inner_row.begin(), inner_row.end());
         return std::optional<Tuple>(std::move(out));
@@ -244,6 +505,30 @@ Result<std::optional<Tuple>> NestedLoopJoinExecutor::Next() {
     }
     outer_tuple_.reset();
   }
+}
+
+Result<bool> NestedLoopJoinExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (out->size() < out->target_rows()) {
+    if (outer_pos_ >= outer_batch_.size()) {
+      outer_batch_.set_target_rows(out->target_rows());
+      auto more = outer_->NextBatch(&outer_batch_);
+      if (!more.ok()) return more.status();
+      if (outer_batch_.empty()) break;
+      outer_pos_ = 0;
+    }
+    // Each outer row runs the full inner loop before the next one, so
+    // the examined-tuple charge total matches the tuple path.
+    const Tuple& outer_row = outer_batch_[outer_pos_++];
+    meter_->ChargeTuples();
+    meter_->ChargeTuples(inner_rows_.size());
+    for (const Tuple& inner_row : inner_rows_) {
+      if (MatchesConditions(outer_row, inner_row)) {
+        exec_internal::ConcatInto(out->AppendSlot(), outer_row, inner_row);
+      }
+    }
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 // ----------------------------------------------------------- ColumnFilter
@@ -257,34 +542,53 @@ ColumnFilterExecutor::ColumnFilterExecutor(std::unique_ptr<Executor> child,
 
 Status ColumnFilterExecutor::Init() { return child_->Init(); }
 
+bool ColumnFilterExecutor::Passes(const Tuple& row) const {
+  for (const auto& c : conditions_) {
+    int cmp = row[c.left_index].Compare(row[c.right_index]);
+    if (!EvalCompare(cmp, c.op)) return false;
+  }
+  return true;
+}
+
 Result<std::optional<Tuple>> ColumnFilterExecutor::Next() {
   for (;;) {
     auto row = child_->Next();
     if (!row.ok()) return row.status();
     if (!row->has_value()) return std::optional<Tuple>();
     meter_->ChargeTuples();
-    bool pass = true;
-    for (const auto& c : conditions_) {
-      int cmp = (**row)[c.left_index].Compare((**row)[c.right_index]);
-      if (!EvalCompare(cmp, c.op)) {
-        pass = false;
-        break;
-      }
-    }
-    if (pass) return std::move(*row);
+    if (Passes(**row)) return std::move(*row);
   }
+}
+
+Result<bool> ColumnFilterExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  child_batch_.set_target_rows(out->target_rows());
+  while (out->size() < out->target_rows()) {
+    auto more = child_->NextBatch(&child_batch_);
+    if (!more.ok()) return more.status();
+    if (child_batch_.empty()) break;
+    meter_->ChargeTuples(child_batch_.size());
+    for (Tuple& row : child_batch_) {
+      if (Passes(row)) out->PushRow(std::move(row));
+    }
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 // ------------------------------------------------------------------ Drain
 
-Result<std::vector<Tuple>> DrainExecutor(Executor* exec) {
+Result<std::vector<Tuple>> DrainExecutor(Executor* exec, size_t batch_size) {
   SQP_RETURN_IF_ERROR(exec->Init());
   std::vector<Tuple> out;
+  TupleBatch batch(batch_size);
   for (;;) {
-    auto row = exec->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) return out;
-    out.push_back(std::move(**row));
+    auto more = exec->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) return out;
+    // insert() grows geometrically, so the drain stays amortized O(n)
+    // without knowing the result size up front.
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
   }
 }
 

@@ -22,25 +22,31 @@ Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
 
   TableStats stats;
   stats.Begin(info->schema);
+  // Batch pull, but strictly row-at-a-time appends: the per-row
+  // "materialize.append" fault check must fire in the same hit-count
+  // order as the tuple engine so chaos schedules stay bit-identical.
+  TupleBatch batch;
   for (;;) {
-    auto row = source->Next();
-    if (!row.ok()) {
+    auto more = source->NextBatch(&batch);
+    if (!more.ok()) {
       (void)catalog->DropTable(table_name);
-      return row.status();
+      return more.status();
     }
-    if (!row->has_value()) break;
-    if (FaultInjector::Global().armed()) {
-      Status injected = FaultInjector::Global().Check("materialize.append");
-      if (!injected.ok()) {
-        (void)catalog->DropTable(table_name);
-        return injected;
+    if (batch.empty()) break;
+    for (const Tuple& row : batch) {
+      if (FaultInjector::Global().armed()) {
+        Status injected = FaultInjector::Global().Check("materialize.append");
+        if (!injected.ok()) {
+          (void)catalog->DropTable(table_name);
+          return injected;
+        }
       }
-    }
-    stats.Observe(**row);
-    auto rid = info->heap->Append(**row);
-    if (!rid.ok()) {
-      (void)catalog->DropTable(table_name);
-      return rid.status();
+      stats.Observe(row);
+      auto rid = info->heap->Append(row);
+      if (!rid.ok()) {
+        (void)catalog->DropTable(table_name);
+        return rid.status();
+      }
     }
   }
   stats.Finish(info->heap->page_count());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 
 namespace sqp {
 
@@ -15,13 +16,16 @@ SortExecutor::SortExecutor(std::unique_ptr<Executor> child,
 Status SortExecutor::Init() {
   SQP_RETURN_IF_ERROR(child_->Init());
   size_t bytes = 0;
+  TupleBatch batch;
   for (;;) {
-    auto row = child_->Next();
-    if (!row.ok()) return row.status();
-    if (!row->has_value()) break;
-    meter_->ChargeTuples();
-    bytes += SerializedTupleSize(**row);
-    rows_.push_back(std::move(**row));
+    auto more = child_->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (batch.empty()) break;
+    meter_->ChargeTuples(batch.size());
+    for (Tuple& row : batch) {
+      bytes += SerializedTupleSize(row);
+      rows_.push_back(std::move(row));
+    }
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Tuple& a, const Tuple& b) {
@@ -65,7 +69,21 @@ Status SortExecutor::Init() {
 Result<std::optional<Tuple>> SortExecutor::Next() {
   if (pos_ >= rows_.size()) return std::optional<Tuple>();
   meter_->ChargeTuples();
-  return std::optional<Tuple>(rows_[pos_++]);
+  // The sorted buffer is consumed exactly once: move, don't copy.
+  return std::optional<Tuple>(std::move(rows_[pos_++]));
+}
+
+Result<bool> SortExecutor::NextBatch(TupleBatch* out) {
+  out->Clear();
+  size_t n = std::min(out->target_rows(), rows_.size() - pos_);
+  if (n > 0) {
+    meter_->ChargeTuples(n);
+    for (size_t i = 0; i < n; i++) {
+      out->PushRow(std::move(rows_[pos_ + i]));
+    }
+    pos_ += n;
+  }
+  return exec_internal::FinishBatch(*out);
 }
 
 // -------------------------------------------------------- SortMergeJoin

@@ -27,6 +27,7 @@ class SortExecutor : public Executor {
 
   Status Init() override;
   Result<std::optional<Tuple>> Next() override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   const Schema& output_schema() const override {
     return child_->output_schema();
   }

@@ -1,0 +1,48 @@
+#include "exec/tuple_batch.h"
+
+#include "common/metrics_registry.h"
+
+namespace sqp {
+namespace exec_internal {
+
+namespace {
+// Handles resolved once; the hot path is one relaxed atomic add each.
+struct BatchMetrics {
+  Counter* batches;
+  Counter* rows;
+  Counter* pages_pinned;
+  Gauge* avg_fill;
+
+  BatchMetrics()
+      : batches(MetricsRegistry::Global().GetCounter("exec.batch.batches")),
+        rows(MetricsRegistry::Global().GetCounter("exec.batch.rows")),
+        pages_pinned(
+            MetricsRegistry::Global().GetCounter("exec.batch.pages_pinned")),
+        avg_fill(MetricsRegistry::Global().GetGauge("exec.batch.avg_fill")) {}
+};
+
+BatchMetrics& Metrics() {
+  static BatchMetrics metrics;
+  return metrics;
+}
+}  // namespace
+
+bool FinishBatch(const TupleBatch& out) {
+  if (out.empty()) return false;
+  BatchMetrics& m = Metrics();
+  m.batches->Increment();
+  m.rows->Increment(out.size());
+  // Running average rows-per-batch. ResetAll() zeroes the counters, so
+  // the gauge self-heals to the post-reset average on the next batch.
+  uint64_t batches = m.batches->value();
+  if (batches > 0) {
+    m.avg_fill->Set(static_cast<double>(m.rows->value()) /
+                    static_cast<double>(batches));
+  }
+  return true;
+}
+
+void NotePagePinned() { Metrics().pages_pinned->Increment(); }
+
+}  // namespace exec_internal
+}  // namespace sqp

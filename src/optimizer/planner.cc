@@ -488,8 +488,15 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
         return Status::Internal("join column not found: " + lcol0 + "/" +
                                 rcol0);
       }
+      // The optimizer's build-side cardinality estimate pre-sizes the
+      // join's hash table (a hint only — never affects results/costs).
+      size_t build_rows_hint =
+          node->left->est_rows > 0
+              ? static_cast<size_t>(node->left->est_rows)
+              : 0;
       std::unique_ptr<Executor> join(new HashJoinExecutor(
-          std::move(*left), std::move(*right), *lidx, *ridx, meter));
+          std::move(*left), std::move(*right), *lidx, *ridx, meter,
+          build_rows_hint));
       if (node->join_columns.size() > 1) {
         std::vector<ColumnFilterExecutor::Condition> conds;
         for (size_t i = 1; i < node->join_columns.size(); i++) {

@@ -85,4 +85,27 @@ Result<std::optional<Tuple>> HeapFile::Iterator::Next() {
   }
 }
 
+Result<bool> HeapFile::Iterator::NextPage(std::vector<Tuple>* out) {
+  if (page_index_ >= file_->pages_.size()) return false;
+  if (!page_loaded_) {
+    auto page = pool_->FetchPage(file_->pages_[page_index_]);
+    if (!page.ok()) return page.status();
+    guard_ = PageGuard(pool_, file_->pages_[page_index_], *page);
+    page_loaded_ = true;
+    slot_ = 0;
+  }
+  const Page* page = guard_.get();
+  uint16_t nslots = page->slot_count();
+  out->reserve(out->size() + (nslots - slot_));
+  for (; slot_ < nslots; slot_++) {
+    uint16_t len = 0;
+    const uint8_t* rec = page->Record(slot_, &len);
+    out->push_back(DeserializeTuple(rec, len));
+  }
+  guard_.Release();
+  page_loaded_ = false;
+  page_index_++;
+  return true;
+}
+
 }  // namespace sqp

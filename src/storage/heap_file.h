@@ -35,6 +35,9 @@ class HeapFile {
   const std::vector<page_id_t>& pages() const { return pages_; }
 
   /// Forward scan over every tuple, page at a time through the pool.
+  /// Pin discipline: a page is fetched once, held pinned (guard_) while
+  /// its slots are walked, and released before the next page — never
+  /// re-pinned per tuple.
   class Iterator {
    public:
     Iterator(const HeapFile* file, BufferPool* pool)
@@ -42,6 +45,12 @@ class HeapFile {
 
     /// Next tuple, or nullopt at end. Errors surface as Status.
     Result<std::optional<Tuple>> Next();
+
+    /// Bulk decode: append every remaining tuple of the current page to
+    /// *out and advance past it. Returns false at end of file (nothing
+    /// appended). Mixing with Next() is fine — NextPage picks up at the
+    /// cursor's slot.
+    Result<bool> NextPage(std::vector<Tuple>* out);
 
    private:
     const HeapFile* file_;

@@ -44,33 +44,61 @@ void SerializeTuple(const Tuple& tuple, std::vector<uint8_t>* out) {
 }
 
 Tuple DeserializeTuple(const uint8_t* data, size_t len) {
+  Tuple tuple;
+  DeserializeTupleInto(data, len, &tuple);
+  return tuple;
+}
+
+void DeserializeTupleInto(const uint8_t* data, size_t len, Tuple* out) {
   size_t off = 0;
   assert(len >= 1);
   uint8_t n = data[off++];
-  Tuple tuple;
-  tuple.reserve(n);
+  // When the target already has the right arity (a recycled slot from
+  // the same scan), assign elements in place so even string columns
+  // reuse their buffers; otherwise rebuild it.
+  const bool in_place = out->size() == n;
+  if (!in_place) {
+    out->clear();
+    out->reserve(n);
+  }
   for (uint8_t i = 0; i < n; i++) {
     assert(off < len);
     TypeId type = static_cast<TypeId>(data[off++]);
     switch (type) {
-      case TypeId::kInt64:
-        tuple.emplace_back(ReadRaw<int64_t>(data, &off));
+      case TypeId::kInt64: {
+        int64_t v = ReadRaw<int64_t>(data, &off);
+        if (in_place) {
+          (*out)[i].Set(v);
+        } else {
+          out->emplace_back(v);
+        }
         break;
-      case TypeId::kDouble:
-        tuple.emplace_back(ReadRaw<double>(data, &off));
+      }
+      case TypeId::kDouble: {
+        double v = ReadRaw<double>(data, &off);
+        if (in_place) {
+          (*out)[i].Set(v);
+        } else {
+          out->emplace_back(v);
+        }
         break;
+      }
       case TypeId::kString: {
         uint32_t slen = ReadRaw<uint32_t>(data, &off);
         assert(off + slen <= len);
-        tuple.emplace_back(
-            std::string(reinterpret_cast<const char*>(data + off), slen));
+        const char* s = reinterpret_cast<const char*>(data + off);
+        if (in_place) {
+          (*out)[i].SetString(s, slen);
+        } else {
+          out->emplace_back(std::string(s, slen));
+        }
         off += slen;
         break;
       }
     }
   }
   assert(off <= len);
-  return tuple;
+  (void)len;
 }
 
 size_t SerializedTupleSize(const Tuple& tuple) {

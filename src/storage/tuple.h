@@ -18,6 +18,11 @@ void SerializeTuple(const Tuple& tuple, std::vector<uint8_t>* out);
 /// (pages are produced only by SerializeTuple).
 Tuple DeserializeTuple(const uint8_t* data, size_t len);
 
+/// Parse one tuple from `data[0..len)` into `*out` (cleared first).
+/// Reuses out's existing heap capacity, so decoding into a recycled
+/// TupleBatch slot is allocation-free for numeric rows.
+void DeserializeTupleInto(const uint8_t* data, size_t len, Tuple* out);
+
 /// Serialized size of a tuple, for page-fit checks.
 size_t SerializedTupleSize(const Tuple& tuple);
 
