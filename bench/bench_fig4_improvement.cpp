@@ -46,6 +46,16 @@ int main() {
                 result->manipulations_completed);
     std::printf("  queries rewritten via views: %5.1f %%\n",
                 100 * result->rewritten_query_fraction);
+    // Introspection columns (DESIGN.md §11): planner estimate quality
+    // and learner calibration, diffable via bench_compare.py.
+    std::printf("  plan q-error (mean):         %5.2f\n",
+                MeanRootQError(result->speculative));
+    EngineStats agg = AggregateEngineStats(result->engine_stats);
+    if (agg.predictions_scored > 0) {
+      std::printf("  learner brier:               %6.4f\n",
+                  agg.brier_sum /
+                      static_cast<double>(agg.predictions_scored));
+    }
     // Think-time-overlap story (DESIGN.md §9): how much speculative
     // work was hidden under think time vs thrown away.
     std::printf("%s", FormatOverlapStats(result->overlap).c_str());

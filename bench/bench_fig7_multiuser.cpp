@@ -38,6 +38,14 @@ int main() {
     std::printf("  overall improvement: %5.1f %%\n",
                 100 * result->overall_improvement);
     std::printf("%s", FormatOverlapStats(result->overlap).c_str());
+    std::printf("  plan q-error (mean): %5.2f\n",
+                MeanRootQError(result->speculative));
+    EngineStats agg = AggregateEngineStats(result->engine_stats);
+    if (agg.predictions_scored > 0) {
+      std::printf("  learner brier: %6.4f\n",
+                  agg.brier_sum /
+                      static_cast<double>(agg.predictions_scored));
+    }
 
     // §7 extension: load-aware issuing (speculate only when the server
     // is idle) — the paper's proposed fix for the 1GB penalties.

@@ -4,12 +4,21 @@
 //
 // Usage: replay_trace <trace-dir> [scale: small|medium|large]
 //                     [--trace-json <file>] [--timeline] [--metrics]
+//                     [--explain] [--decisions]
 //
 //   --trace-json <file>  export the speculative replays as Chrome
 //                        trace_event JSON (open in chrome://tracing or
 //                        https://ui.perfetto.dev) — DESIGN.md §9
 //   --timeline           print the compact text timeline
 //   --metrics            dump the unified metrics registry at the end
+//   --explain            run final queries under EXPLAIN ANALYZE and
+//                        print each annotated plan (est vs. actual
+//                        rows, Q-error, batches, pages, simulated
+//                        cost) — DESIGN.md §11
+//   --decisions          dump the speculation flight recorder: every
+//                        Speculator round with its Cost⊆ decomposition,
+//                        chosen minimizer, terminal outcome, and the
+//                        learner calibration report — DESIGN.md §11
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +27,7 @@
 #include "common/metrics_registry.h"
 #include "common/tracing.h"
 #include "harness/experiment.h"
+#include "speculation/flight_recorder.h"
 
 using namespace sqp;
 
@@ -26,13 +36,16 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: replay_trace <trace-dir> [small|medium|large]\n"
         "                    [--trace-json <file>] [--timeline] "
-        "[--metrics]\n");
+        "[--metrics]\n"
+        "                    [--explain] [--decisions]\n");
     return 1;
   }
   tpch::Scale scale = tpch::Scale::kSmall;
   std::string trace_json;
   bool print_timeline = false;
   bool print_metrics = false;
+  bool print_explain = false;
+  bool print_decisions = false;
   for (int i = 2; i < argc; i++) {
     if (std::strcmp(argv[i], "medium") == 0) scale = tpch::Scale::kMedium;
     if (std::strcmp(argv[i], "large") == 0) scale = tpch::Scale::kLarge;
@@ -41,6 +54,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--timeline") == 0) print_timeline = true;
     if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
+    if (std::strcmp(argv[i], "--explain") == 0) print_explain = true;
+    if (std::strcmp(argv[i], "--decisions") == 0) print_decisions = true;
   }
 
   auto traces = LoadTraces(argv[1]);
@@ -69,6 +84,8 @@ int main(int argc, char** argv) {
   double total_normal = 0, total_spec = 0;
   std::vector<EngineStats> all_stats;
   std::vector<OverlapStats> all_overlap;
+  std::string explain_out;    // --explain: annotated plans, per user
+  std::string decisions_out;  // --decisions: flight-recorder dumps
   for (const Trace& trace : *traces) {
     ReplayOptions normal_opts;
     normal_opts.speculation = false;
@@ -80,6 +97,7 @@ int main(int argc, char** argv) {
     }
     ReplayOptions spec_opts;
     spec_opts.speculation = true;
+    spec_opts.explain = print_explain;
     if (want_trace) {
       spec_opts.tracer = &tracer;
       spec_opts.trace_lane = "user" + std::to_string(trace.user_id);
@@ -88,6 +106,27 @@ int main(int argc, char** argv) {
     if (!spec.ok()) {
       std::printf("replay failed: %s\n", spec.status().ToString().c_str());
       return 1;
+    }
+    if (print_explain) {
+      for (const auto& record : spec->queries) {
+        char head[128];
+        std::snprintf(head, sizeof(head),
+                      "user %llu query %zu: rows=%llu est=%.0f\n",
+                      static_cast<unsigned long long>(trace.user_id),
+                      record.index,
+                      static_cast<unsigned long long>(record.row_count),
+                      record.est_rows);
+        explain_out += head;
+        explain_out += record.plan_profile;
+      }
+    }
+    if (print_decisions) {
+      decisions_out +=
+          "user " + std::to_string(trace.user_id) + " decision log:\n";
+      for (const auto& record : spec->decisions) {
+        decisions_out += FormatDecisionRecord(record);
+      }
+      decisions_out += spec->calibration.Format();
     }
     double gain = normal->total_exec_seconds > 0
                       ? 100 * (1 - spec->total_exec_seconds /
@@ -114,6 +153,14 @@ int main(int argc, char** argv) {
               FormatEngineStats(AggregateEngineStats(all_stats)).c_str());
   std::printf("%s", FormatOverlapStats(AggregateOverlap(all_overlap)).c_str());
 
+  if (print_explain) {
+    std::printf("\nexplain analyze (speculative replays):\n%s",
+                explain_out.c_str());
+  }
+  if (print_decisions) {
+    std::printf("\nspeculation flight recorder:\n%s",
+                decisions_out.c_str());
+  }
   if (print_timeline) {
     std::printf("\ntimeline (speculative replays):\n%s",
                 tracer.FormatTimeline().c_str());

@@ -22,6 +22,12 @@ Gated metrics (--gate, default "improvement") are treated as
 higher-is-better; a drop of more than --threshold percent (absolute
 percentage-points for %-valued metrics, relative otherwise) fails the
 comparison. Everything else is reported but never fails the run.
+
+One-sided metrics are tolerated: a non-gated metric present only in the
+baseline is reported under "removed metrics", one present only in the
+current run under "added metrics" — neither fails the comparison, so
+benches may grow or drop informational lines between runs. A *gated*
+metric missing from the current run still fails.
 """
 
 import argparse
@@ -114,6 +120,7 @@ def main():
         print(f"== {bench} ==")
         b_metrics, c_metrics = base[bench], curr[bench]
         shown = 0
+        removed = []
         for key in sorted(b_metrics):
             b_val, is_pct = b_metrics[key]
             gated = bool(gate.search(key))
@@ -121,6 +128,8 @@ def main():
                 if gated:
                     failures.append(f"{bench}: '{key}' missing from current")
                     print(f"  {key}: {b_val:g} -> MISSING")
+                else:
+                    removed.append(key)
                 continue
             c_val, _ = c_metrics[key]
             # %-valued metrics diff in absolute points; others relatively.
@@ -142,6 +151,12 @@ def main():
                     f"{bench}: '{key}' {b_val:g} -> {c_val:g} ({delta_str})")
         if shown == 0:
             print("  (no gated or changed metrics)")
+        added = sorted(set(c_metrics) - set(b_metrics))
+        if removed:
+            print(f"  removed metrics ({len(removed)}): "
+                  f"{', '.join(removed)}")
+        if added:
+            print(f"  added metrics ({len(added)}): {', '.join(added)}")
 
     extra = sorted(set(curr) - set(base))
     if extra:

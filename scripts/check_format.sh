@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check_format.sh — report clang-format drift across the C++ sources.
+#
+# Usage: scripts/check_format.sh [--strict]
+#
+# Default mode only warns (exit 0) so environments without clang-format,
+# or with a different clang-format major version, never break the build;
+# --strict exits 1 when any file needs reformatting (the CI format job
+# runs strict but is itself marked non-blocking).
+set -u
+
+strict=0
+[[ "${1:-}" == "--strict" ]] && strict=1
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping"
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  -name '*.cc' -o -name '*.h' -o -name '*.cpp' | sort)
+
+dirty=()
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    dirty+=("$f")
+  fi
+done
+
+if [[ ${#dirty[@]} -eq 0 ]]; then
+  echo "check_format: ${#files[@]} files clean"
+  exit 0
+fi
+
+echo "check_format: ${#dirty[@]} of ${#files[@]} files need reformatting:"
+printf '  %s\n' "${dirty[@]}"
+echo "run: clang-format -i <file> (style: .clang-format)"
+[[ $strict -eq 1 ]] && exit 1
+exit 0

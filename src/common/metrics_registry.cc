@@ -44,6 +44,31 @@ uint64_t MetricsSnapshot::counter(const std::string& name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+double MetricsSnapshot::HistogramEntry::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); i++) {
+    if (counts[i] == 0) continue;
+    double below = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: open-ended, so the best the layout can say is
+      // "at least the last finite bound".
+      return bounds.back();
+    }
+    double lower = i == 0 ? 0.0 : bounds[i - 1];
+    double upper = bounds[i];
+    double fraction =
+        std::min(1.0, std::max(0.0, (target - below) /
+                                        static_cast<double>(counts[i])));
+    return lower + fraction * (upper - lower);
+  }
+  return bounds.back();
+}
+
 std::string MetricsSnapshot::Format() const {
   std::ostringstream os;
   char line[256];
@@ -59,9 +84,11 @@ std::string MetricsSnapshot::Format() const {
   }
   for (const auto& [name, h] : histograms) {
     std::snprintf(line, sizeof(line),
-                  "  %-44s n=%llu sum=%.4f mean=%.4f\n", name.c_str(),
-                  static_cast<unsigned long long>(h.count), h.sum,
-                  h.count > 0 ? h.sum / h.count : 0.0);
+                  "  %-44s n=%llu sum=%.4f mean=%.4f p50=%.4f p90=%.4f "
+                  "p99=%.4f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum, h.count > 0 ? h.sum / h.count : 0.0,
+                  h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99));
     os << line;
   }
   return os.str();

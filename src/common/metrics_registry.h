@@ -92,6 +92,14 @@ struct MetricsSnapshot {
     std::vector<uint64_t> counts;  // bounds.size() + 1 (overflow last)
     uint64_t count = 0;
     double sum = 0;
+
+    /// Quantile estimate interpolated from the fixed buckets: walk to
+    /// the bucket holding rank q·count, then interpolate linearly
+    /// within its [lower, upper] bound range (first bucket's lower
+    /// edge is 0). Observations in the open-ended overflow bucket are
+    /// pinned to the last finite bound — the layout cannot resolve
+    /// beyond it. Returns 0 for an empty histogram; `q` in [0, 1].
+    double Quantile(double q) const;
   };
 
   std::map<std::string, uint64_t> counters;

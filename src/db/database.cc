@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <iterator>
 
 #include "common/logging.h"
@@ -138,15 +139,36 @@ Result<QueryResult> RunToResult(Executor* exec, CostMeter& meter,
 }
 }  // namespace
 
+namespace {
+/// Fold a finished profile's root Q-error into the global registry so
+/// long replays expose estimation accuracy without keeping profiles.
+void ObserveProfile(const std::shared_ptr<PlanProfile>& profile) {
+  if (profile == nullptr || profile->root == nullptr) return;
+  // Q-error is >= 1 by construction; a bound at exactly 1.0 anchors
+  // quantile interpolation so p50 never reads below the floor.
+  static const std::vector<double> kQErrorBounds = {1.0, 1.5, 2,   4,  8,
+                                                    16,  64,  256, 1024};
+  MetricsRegistry::Global()
+      .GetHistogram("exec.plan.q_error", kQErrorBounds)
+      ->Observe(profile->root->QError());
+}
+}  // namespace
+
 Result<QueryResult> Database::Execute(const QueryGraph& query,
                                       const ExecuteOptions& options) {
   auto plan = planner_->Plan(query, &views_, options.view_mode);
   if (!plan.ok()) return plan.status();
-  auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
+  std::shared_ptr<PlanProfile> profile;
+  if (options.explain_analyze) profile = std::make_shared<PlanProfile>();
+  auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_,
+                              profile.get());
   if (!exec.ok()) return exec.status();
   auto result = RunToResult(exec->get(), meter_, options, plan->Explain(),
                             plan->views_used, options_.exec_batch_size);
   if (result.ok()) {
+    result->est_rows = plan->est_rows;
+    ObserveProfile(profile);
+    result->profile = std::move(profile);
     SQP_LOG_DEBUG << "Execute " << query.ToSql() << " -> "
                   << result->row_count << " rows in " << result->seconds
                   << "s";
@@ -162,9 +184,15 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
 
   auto plan = planner_->Plan(bound->graph, &views_, options.view_mode);
   if (!plan.ok()) return plan.status();
-  auto built = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
+  std::shared_ptr<PlanProfile> profile;
+  if (options.explain_analyze) profile = std::make_shared<PlanProfile>();
+  auto built = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_,
+                               profile.get());
   if (!built.ok()) return built.status();
   std::unique_ptr<Executor> exec = std::move(*built);
+  // Decorations stacked below re-root the profile as they wrap the
+  // executor; `cur_est` tracks the running output-cardinality estimate.
+  double cur_est = plan->est_rows;
 
   // Aggregation / grouping on top of the SPJ core.
   if (!bound->aggregates.empty() || !bound->group_by.empty()) {
@@ -193,8 +221,21 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
       }
       specs.push_back(std::move(spec));
     }
+    std::string agg_detail;
+    for (const auto& name : bound->group_by) {
+      if (!agg_detail.empty()) agg_detail += ", ";
+      agg_detail += name;
+    }
     exec = std::make_unique<HashAggregateExecutor>(
         std::move(exec), std::move(group_idx), std::move(specs), &meter_);
+    // No group-count estimate exists; ungrouped aggregation provably
+    // yields one row, grouped output is bounded by the input.
+    cur_est = bound->group_by.empty() ? 1 : cur_est;
+    if (profile != nullptr) {
+      exec = MakeProfiled(
+          std::move(exec), &meter_,
+          profile->PushRoot("Aggregate", agg_detail, cur_est));
+    }
   }
 
   if (!bound->order_by.empty()) {
@@ -207,16 +248,38 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
       }
       keys.push_back(SortKey{*idx, order.descending});
     }
+    std::string sort_detail;
+    for (const auto& order : bound->order_by) {
+      if (!sort_detail.empty()) sort_detail += ", ";
+      sort_detail += order.column;
+      if (order.descending) sort_detail += " DESC";
+    }
     exec = std::make_unique<SortExecutor>(std::move(exec), std::move(keys),
                                           &meter_);
+    if (profile != nullptr) {
+      exec = MakeProfiled(std::move(exec), &meter_,
+                          profile->PushRoot("Sort", sort_detail, cur_est));
+    }
   }
 
   if (bound->limit.has_value()) {
     exec = std::make_unique<LimitExecutor>(std::move(exec), *bound->limit);
+    cur_est = std::min(cur_est, static_cast<double>(*bound->limit));
+    if (profile != nullptr) {
+      exec = MakeProfiled(
+          std::move(exec), &meter_,
+          profile->PushRoot("Limit", std::to_string(*bound->limit), cur_est));
+    }
   }
 
-  return RunToResult(exec.get(), meter_, options, plan->Explain(),
-                     plan->views_used, options_.exec_batch_size);
+  auto result = RunToResult(exec.get(), meter_, options, plan->Explain(),
+                            plan->views_used, options_.exec_batch_size);
+  if (result.ok()) {
+    result->est_rows = cur_est;
+    ObserveProfile(profile);
+    result->profile = std::move(profile);
+  }
+  return result;
 }
 
 Result<double> Database::EstimateCost(const QueryGraph& query,

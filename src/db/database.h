@@ -59,6 +59,12 @@ struct QueryResult {
   uint64_t blocks = 0;
   std::string plan_explain;
   std::vector<std::string> views_used;
+  /// Planner's root-cardinality estimate (always populated; root
+  /// Q-error = max(est/act, act/est) is cheap even without profiling).
+  double est_rows = 0;
+  /// Per-operator EXPLAIN ANALYZE profile; populated only when
+  /// ExecuteOptions::explain_analyze is set (DESIGN.md §11).
+  std::shared_ptr<PlanProfile> profile;
   /// Populated only when ExecuteOptions::keep_rows is set.
   std::vector<Tuple> rows;
   Schema schema;
@@ -67,6 +73,9 @@ struct QueryResult {
 struct ExecuteOptions {
   bool keep_rows = false;
   ViewMode view_mode = ViewMode::kCostBased;
+  /// Collect per-operator actuals (rows, batches, pages, charges) into
+  /// QueryResult::profile. Never affects simulated charges or results.
+  bool explain_analyze = false;
 };
 
 struct MaterializeResult {

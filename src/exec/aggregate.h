@@ -70,11 +70,14 @@ class HashAggregateExecutor : public Executor {
 
 /// LIMIT n on top of any child.
 ///
-/// Deliberately tuple-driven: LIMIT must stop pulling (and charging)
-/// its child after exactly `limit` rows, so it keeps the base-class
-/// NextBatch adapter, which loops this Next(). A native batch pull
-/// would over-produce child rows and change simulated CostMeter totals
-/// relative to the tuple engine (DESIGN.md §10).
+/// NextBatch is native (fills the output batch directly and reports
+/// `exec.batch.*` metrics via FinishBatch) but pulls its *child* at
+/// tuple grain: LIMIT must stop pulling — and charging — the child
+/// after exactly `limit` rows, and a batch-grain child pull would
+/// over-produce (page-at-a-time scans finish the page they pinned),
+/// changing simulated CostMeter totals relative to the tuple engine.
+/// Tuple-grain child pulls are the charge-parity-preserving strategy
+/// (DESIGN.md §10); exec_batch_test's differential harness enforces it.
 class LimitExecutor : public Executor {
  public:
   LimitExecutor(std::unique_ptr<Executor> child, uint64_t limit)
@@ -87,6 +90,17 @@ class LimitExecutor : public Executor {
     if (!row.ok()) return row.status();
     if (row->has_value()) produced_++;
     return row;
+  }
+  Result<bool> NextBatch(TupleBatch* out) override {
+    out->Clear();
+    while (out->size() < out->target_rows() && produced_ < limit_) {
+      auto row = child_->Next();
+      if (!row.ok()) return row.status();
+      if (!row->has_value()) break;
+      produced_++;
+      out->PushRow(std::move(**row));
+    }
+    return exec_internal::FinishBatch(*out);
   }
   const Schema& output_schema() const override {
     return child_->output_schema();

@@ -63,10 +63,11 @@ bool EvalConjunctionOnRecord(const std::vector<BoundSelection>& preds,
 
 // ----------------------------------------------------- Executor (adapter)
 
-// Default batch shim: loop Next(). Used by executors with no native
-// batch loop (LIMIT keeps it deliberately — pulling tuple-at-a-time is
-// what guarantees its child is charged for exactly `limit` rows, same
-// as the tuple engine).
+// Default batch shim: loop Next(). Kept as the fallback for executors
+// with no native batch loop (every shipped executor now overrides
+// NextBatch; LIMIT's override still pulls its child tuple-at-a-time,
+// which is what guarantees the child is charged for exactly `limit`
+// rows, same as the tuple engine).
 Result<bool> Executor::NextBatch(TupleBatch* out) {
   out->Clear();
   while (out->size() < out->target_rows()) {

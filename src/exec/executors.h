@@ -7,7 +7,7 @@
 //
 // Execution model (DESIGN.md §10): the primary interface is
 // NextBatch(), which moves ~kDefaultExecBatchSize rows per virtual
-// call; Next() remains for tuple-driven consumers (LIMIT subtrees,
+// call; Next() remains for tuple-driven consumers (LIMIT's child pulls,
 // legacy tests). Simulated charges are identical on both paths — only
 // real wall-clock differs. An executor instance must be driven through
 // ONE of the two interfaces; interleaving Next() and NextBatch() calls

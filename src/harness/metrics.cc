@@ -157,11 +157,24 @@ EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats) {
     total.views_recovered += s.views_recovered;
     total.views_dropped_at_recovery += s.views_dropped_at_recovery;
     total.wasted_manipulation_work += s.wasted_manipulation_work;
+    total.predictions_scored += s.predictions_scored;
+    total.brier_sum += s.brier_sum;
     total.completed_durations.insert(total.completed_durations.end(),
                                      s.completed_durations.begin(),
                                      s.completed_durations.end());
   }
   return total;
+}
+
+double MeanRootQError(const std::vector<QueryRecord>& records) {
+  if (records.empty()) return 1.0;
+  double sum = 0;
+  for (const auto& q : records) {
+    double act = std::max(1.0, static_cast<double>(q.row_count));
+    double est = std::max(1.0, q.est_rows);
+    sum += std::max(est / act, act / est);
+  }
+  return sum / static_cast<double>(records.size());
 }
 
 std::string FormatEngineStats(const EngineStats& stats) {
@@ -186,6 +199,15 @@ std::string FormatEngineStats(const EngineStats& stats) {
     std::snprintf(line, sizeof(line),
                   "  recovery: %zu views adopted, %zu dropped\n",
                   stats.views_recovered, stats.views_dropped_at_recovery);
+    out += line;
+  }
+  if (stats.predictions_scored > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  calibration: %zu f_sub predictions scored, "
+                  "brier %.4f\n",
+                  stats.predictions_scored,
+                  stats.brier_sum /
+                      static_cast<double>(stats.predictions_scored));
     out += line;
   }
   return out;

@@ -25,6 +25,12 @@ struct QueryRecord {
   double go_sim_time = 0;
   /// Physical plan rendering (for diagnostics).
   std::string plan_explain;
+  /// Planner's root-cardinality estimate for the executed plan; with
+  /// row_count it gives the root Q-error (DESIGN.md §11).
+  double est_rows = 0;
+  /// Rendered EXPLAIN ANALYZE profile (empty unless the replay ran with
+  /// explain enabled).
+  std::string plan_profile;
 };
 
 /// Paper metric over matched query sets.
@@ -75,6 +81,11 @@ std::string FormatBuckets(const std::vector<Bucket>& buckets,
 
 /// Sum engine counters across replays (one EngineStats per trace).
 EngineStats AggregateEngineStats(const std::vector<EngineStats>& stats);
+
+/// Mean root Q-error (max(est/act, act/est), clamped to ≥ 1 row on both
+/// sides) over a set of executed queries — the bench-level cardinality-
+/// accuracy figure (DESIGN.md §11). Returns 1 for an empty set.
+double MeanRootQError(const std::vector<QueryRecord>& records);
 
 /// Derived think-time-overlap story (DESIGN.md §9): how much speculative
 /// work the engine hid under the user's think time, and how much it

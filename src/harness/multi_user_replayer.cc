@@ -135,6 +135,7 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     ExecuteOptions exec;
     exec.view_mode = options_.speculation ? user.engine->final_view_mode()
                                           : options_.normal_view_mode;
+    exec.explain_analyze = options_.explain || tracer != nullptr;
     auto query_result = db_->Execute(final_query, exec);
     if (!query_result.ok()) return query_result.status();
 
@@ -147,6 +148,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
                             "query", sim_time, user.lane);
       tracer->SpanArg(user.query_span, "exec_s",
                       std::to_string(query_result->seconds));
+      if (query_result->profile != nullptr) {
+        tracer->SpanArg(user.query_span, "plan_profile",
+                        query_result->profile->FormatJson());
+      }
     }
     user.pending = QueryRecord{};
     user.pending.index = user.query_index++;
@@ -156,6 +161,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     user.pending.views_used = query_result->views_used;
     user.pending.go_sim_time = sim_time;
     user.pending.plan_explain = query_result->plan_explain;
+    user.pending.est_rows = query_result->est_rows;
+    if (query_result->profile != nullptr) {
+      user.pending.plan_profile = query_result->profile->FormatText();
+    }
   }
 
   for (size_t u = 0; u < n; u++) {

@@ -28,6 +28,9 @@ struct MultiUserReplayOptions {
   /// and manipulations land on a "user<N>" lane, so the exported Chrome
   /// trace shows the users' overlap on the shared server.
   Tracer* tracer = nullptr;
+  /// Run every final query with EXPLAIN ANALYZE (DESIGN.md §11); also
+  /// implied by an attached tracer. Never affects simulated time.
+  bool explain = false;
 };
 
 struct MultiUserReplayResult {

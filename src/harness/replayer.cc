@@ -62,6 +62,7 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
     ExecuteOptions exec;
     exec.view_mode =
         options_.speculation ? engine.final_view_mode() : options_.normal_view_mode;
+    exec.explain_analyze = options_.explain || tracer != nullptr;
     auto query_result = db_->Execute(final_query, exec);
     if (!query_result.ok()) return query_result.status();
 
@@ -84,6 +85,12 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
       for (const auto& view : query_result->views_used) {
         tracer->SpanArg(query_span, "view", view);
       }
+      if (query_result->profile != nullptr) {
+        // Perfetto renders span args inline, so the per-operator
+        // profile shows up on the query span itself (DESIGN.md §11).
+        tracer->SpanArg(query_span, "plan_profile",
+                        query_result->profile->FormatJson());
+      }
       tracer->EndSpan(query_span, done);
     }
     // Results are on screen; speculation may use the examination pause.
@@ -98,13 +105,22 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
     record.views_used = query_result->views_used;
     record.go_sim_time = sim_time;
     record.plan_explain = query_result->plan_explain;
+    record.est_rows = query_result->est_rows;
+    if (query_result->profile != nullptr) {
+      record.plan_profile = query_result->profile->FormatText();
+    }
     result.total_exec_seconds += duration;
     result.queries.push_back(std::move(record));
   }
 
-  // Leave the database as we found it.
+  // Leave the database as we found it. Shutdown stamps terminal
+  // outcomes on everything the flight recorder still has pending, so
+  // copy the decision log after it.
   SQP_RETURN_IF_ERROR(engine.Shutdown());
   result.engine_stats = engine.stats();
+  result.decisions.assign(engine.flight_recorder().records().begin(),
+                          engine.flight_recorder().records().end());
+  result.calibration = engine.flight_recorder().calibration();
   result.session_end_time = server.now();
   result.overlap = ComputeOverlap(result.engine_stats,
                                   result.session_end_time,

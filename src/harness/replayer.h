@@ -37,6 +37,11 @@ struct ReplayOptions {
   Tracer* tracer = nullptr;
   /// Display lane for this replay's spans (e.g. "user3").
   std::string trace_lane = "main";
+  /// Run every final query with EXPLAIN ANALYZE (DESIGN.md §11): each
+  /// QueryRecord carries a rendered per-operator profile and the
+  /// profile JSON attaches to the query's trace span. Profiling is
+  /// also implied by an attached tracer. Never affects simulated time.
+  bool explain = false;
 };
 
 struct ReplayResult {
@@ -47,6 +52,12 @@ struct ReplayResult {
   /// Think-time-overlap story derived from engine_stats and the two
   /// fields above (DESIGN.md §9); zero-valued for normal replays.
   OverlapStats overlap;
+  /// Flight-recorder decision log (DESIGN.md §11), copied after
+  /// Shutdown so every recorded round has a terminal outcome. Empty
+  /// for normal replays (a disabled engine never evaluates candidates).
+  std::vector<DecisionRecord> decisions;
+  /// Learner calibration (Brier + reliability buckets) at session end.
+  CalibrationReport calibration;
 };
 
 class TraceReplayer {

@@ -439,18 +439,72 @@ Result<double> Planner::EstimateCost(const QueryGraph& query,
 
 // ------------------------------------------------------------------ Build
 
-Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
-                                                     Catalog* catalog,
-                                                     BufferPool* pool,
-                                                     CostMeter* meter) const {
+namespace {
+
+/// Deterministic one-line description of a scan/join node for the plan
+/// profile (same vocabulary as PlanNode::Explain, minus the estimates
+/// which OperatorProfile carries separately).
+std::string NodeDetail(const PlanNode* node) {
+  std::ostringstream os;
+  switch (node->kind) {
+    case PlanNode::Kind::kSeqScan:
+    case PlanNode::Kind::kIndexScan:
+      os << node->table;
+      if (node->kind == PlanNode::Kind::kIndexScan) {
+        os << " via " << node->index_column;
+      }
+      for (const auto& p : node->predicates) os << ", " << p.ToString();
+      if (node->index_pred.has_value()) {
+        os << ", [" << node->index_pred->ToString() << "]";
+      }
+      break;
+    case PlanNode::Kind::kHashJoin:
+    case PlanNode::Kind::kNestedLoopJoin: {
+      bool first = true;
+      for (const auto& [l, r] : node->join_columns) {
+        if (!first) os << " AND ";
+        os << l << "=" << r;
+        first = false;
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+/// When profiling, wrap `exec` in a MakeProfiled decorator under a new
+/// OperatorProfile node placed into `*profile`. No-op without profile.
+std::unique_ptr<Executor> MaybeProfile(
+    std::unique_ptr<Executor> exec, std::string op, std::string detail,
+    double est_rows, const CostMeter* meter,
+    std::vector<std::unique_ptr<OperatorProfile>> children,
+    std::unique_ptr<OperatorProfile>* profile) {
+  if (profile == nullptr) return exec;
+  auto node = std::make_unique<OperatorProfile>();
+  node->op = std::move(op);
+  node->detail = std::move(detail);
+  node->est_rows = est_rows;
+  node->children = std::move(children);
+  exec = MakeProfiled(std::move(exec), meter, node.get());
+  *profile = std::move(node);
+  return exec;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Executor>> Planner::BuildNode(
+    const PlanNode* node, Catalog* catalog, BufferPool* pool, CostMeter* meter,
+    std::unique_ptr<OperatorProfile>* profile) const {
   switch (node->kind) {
     case PlanNode::Kind::kSeqScan: {
       TableInfo* info = catalog->GetTable(node->table);
       if (info == nullptr) return Status::NotFound("table " + node->table);
       auto preds = BindSelections(node->predicates, info->schema);
       if (!preds.ok()) return preds.status();
-      return std::unique_ptr<Executor>(
+      std::unique_ptr<Executor> scan(
           new SeqScanExecutor(info, pool, meter, std::move(*preds)));
+      return MaybeProfile(std::move(scan), "SeqScan", NodeDetail(node),
+                          node->est_rows, meter, {}, profile);
     }
     case PlanNode::Kind::kIndexScan: {
       TableInfo* info = catalog->GetTable(node->table);
@@ -463,22 +517,35 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
       auto preds = BindSelections(node->predicates, info->schema);
       if (!preds.ok()) return preds.status();
       assert(node->index_pred.has_value());
-      return std::unique_ptr<Executor>(new IndexScanExecutor(
+      std::unique_ptr<Executor> scan(new IndexScanExecutor(
           info, index, RangeFromPred(*node->index_pred), pool, meter,
           std::move(*preds)));
+      return MaybeProfile(std::move(scan), "IndexScan", NodeDetail(node),
+                          node->est_rows, meter, {}, profile);
     }
     case PlanNode::Kind::kHashJoin:
     case PlanNode::Kind::kNestedLoopJoin: {
-      auto left = BuildNode(node->left.get(), catalog, pool, meter);
+      std::unique_ptr<OperatorProfile> lprof, rprof;
+      auto left = BuildNode(node->left.get(), catalog, pool, meter,
+                            profile != nullptr ? &lprof : nullptr);
       if (!left.ok()) return left.status();
-      auto right = BuildNode(node->right.get(), catalog, pool, meter);
+      auto right = BuildNode(node->right.get(), catalog, pool, meter,
+                             profile != nullptr ? &rprof : nullptr);
       if (!right.ok()) return right.status();
       const Schema& lschema = (*left)->output_schema();
       const Schema& rschema = (*right)->output_schema();
 
+      std::vector<std::unique_ptr<OperatorProfile>> kids;
+      if (profile != nullptr) {
+        kids.push_back(std::move(lprof));
+        kids.push_back(std::move(rprof));
+      }
       if (node->kind == PlanNode::Kind::kNestedLoopJoin) {
-        return std::unique_ptr<Executor>(new NestedLoopJoinExecutor(
+        std::unique_ptr<Executor> nlj(new NestedLoopJoinExecutor(
             std::move(*left), std::move(*right), {}, meter));
+        return MaybeProfile(std::move(nlj), "NestedLoopJoin",
+                            NodeDetail(node), node->est_rows, meter,
+                            std::move(kids), profile);
       }
       assert(!node->join_columns.empty());
       auto [lcol0, rcol0] = node->join_columns.front();
@@ -497,8 +564,16 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
       std::unique_ptr<Executor> join(new HashJoinExecutor(
           std::move(*left), std::move(*right), *lidx, *ridx, meter,
           build_rows_hint));
+      // The planner costs the whole multi-edge join as one unit, so the
+      // HashJoin and its residual ColumnFilter both carry the composite
+      // output estimate (there is no per-edge estimate to split out).
+      join = MaybeProfile(std::move(join), "HashJoin",
+                          lcol0 + "=" + rcol0, node->est_rows, meter,
+                          std::move(kids), profile);
       if (node->join_columns.size() > 1) {
         std::vector<ColumnFilterExecutor::Condition> conds;
+        std::ostringstream residual;
+        bool first = true;
         for (size_t i = 1; i < node->join_columns.size(); i++) {
           auto [lcol, rcol] = node->join_columns[i];
           auto li = lschema.ColumnIndex(lcol);
@@ -509,9 +584,19 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
           }
           conds.push_back(ColumnFilterExecutor::Condition{
               *li, lschema.size() + *ri, CompareOp::kEq});
+          if (!first) residual << " AND ";
+          residual << lcol << "=" << rcol;
+          first = false;
         }
         join = std::unique_ptr<Executor>(
             new ColumnFilterExecutor(std::move(join), std::move(conds), meter));
+        if (profile != nullptr) {
+          std::vector<std::unique_ptr<OperatorProfile>> jkids;
+          jkids.push_back(std::move(*profile));
+          join = MaybeProfile(std::move(join), "ColumnFilter", residual.str(),
+                              node->est_rows, meter, std::move(jkids),
+                              profile);
+        }
       }
       return join;
     }
@@ -522,22 +607,36 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(const PlanNode* node,
 Result<std::unique_ptr<Executor>> Planner::Build(const PhysicalPlan& plan,
                                                  Catalog* catalog,
                                                  BufferPool* pool,
-                                                 CostMeter* meter) const {
-  auto exec = BuildNode(plan.root.get(), catalog, pool, meter);
+                                                 CostMeter* meter,
+                                                 PlanProfile* profile) const {
+  std::unique_ptr<OperatorProfile> prof;
+  auto exec = BuildNode(plan.root.get(), catalog, pool, meter,
+                        profile != nullptr ? &prof : nullptr);
   if (!exec.ok()) return exec.status();
+  if (profile != nullptr) profile->root = std::move(prof);
   if (plan.projections.empty()) return exec;
   const Schema& schema = (*exec)->output_schema();
   std::vector<size_t> indices;
   indices.reserve(plan.projections.size());
+  std::ostringstream cols;
   for (const auto& name : plan.projections) {
     auto idx = schema.ColumnIndex(name);
     if (!idx.has_value()) {
       return Status::NotFound("projection column " + name);
     }
+    if (!indices.empty()) cols << ", ";
+    cols << name;
     indices.push_back(*idx);
   }
-  return std::unique_ptr<Executor>(
+  std::unique_ptr<Executor> project(
       new ProjectExecutor(std::move(*exec), std::move(indices), meter));
+  if (profile != nullptr) {
+    // Project preserves cardinality; it inherits the root estimate.
+    OperatorProfile* node =
+        profile->PushRoot("Project", cols.str(), plan.est_rows);
+    project = MakeProfiled(std::move(project), meter, node);
+  }
+  return project;
 }
 
 }  // namespace sqp

@@ -21,6 +21,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/executors.h"
+#include "exec/plan_profile.h"
 #include "optimizer/cost.h"
 #include "optimizer/query_graph.h"
 #include "optimizer/view_matcher.h"
@@ -84,10 +85,16 @@ class Planner {
                               const ViewRegistry* views = nullptr,
                               ViewMode mode = ViewMode::kNone) const;
 
-  /// Turn a plan into an executor tree.
+  /// Turn a plan into an executor tree. With `profile` set, every
+  /// operator is wrapped in an EXPLAIN ANALYZE decorator (DESIGN.md
+  /// §11) and `profile->root` mirrors the executor tree; estimates come
+  /// from the PlanNode tree (a multi-edge join's composite estimate is
+  /// assigned to both the HashJoin and its residual ColumnFilter; the
+  /// cardinality-preserving Project inherits the root estimate).
   Result<std::unique_ptr<Executor>> Build(const PhysicalPlan& plan,
                                           Catalog* catalog, BufferPool* pool,
-                                          CostMeter* meter) const;
+                                          CostMeter* meter,
+                                          PlanProfile* profile = nullptr) const;
 
   const CardinalityEstimator& estimator() const { return estimator_; }
 
@@ -97,10 +104,10 @@ class Planner {
   /// Best scan plan for one unit.
   Result<std::unique_ptr<PlanNode>> PlanScan(const RewriteUnit& unit) const;
 
-  Result<std::unique_ptr<Executor>> BuildNode(const PlanNode* node,
-                                              Catalog* catalog,
-                                              BufferPool* pool,
-                                              CostMeter* meter) const;
+  /// `profile` (nullable) receives this node's OperatorProfile subtree.
+  Result<std::unique_ptr<Executor>> BuildNode(
+      const PlanNode* node, Catalog* catalog, BufferPool* pool,
+      CostMeter* meter, std::unique_ptr<OperatorProfile>* profile) const;
 
   const Catalog* catalog_;
   CardinalityEstimator estimator_;

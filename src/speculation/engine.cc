@@ -16,7 +16,8 @@ SpeculationEngine::SpeculationEngine(Database* db, SimServer* server,
       server_(server),
       options_(std::move(options)),
       cost_model_(db, &learner_, options_.cost_model),
-      speculator_(db, &cost_model_, options_.speculator) {
+      speculator_(db, &cost_model_, options_.speculator),
+      recorder_(options_.flight_recorder_capacity) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   m_issued_ = registry.GetCounter("engine.manipulations_issued");
   m_completed_ = registry.GetCounter("engine.manipulations_completed");
@@ -60,19 +61,22 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
         stats_.abandoned_at_completion++;
         stats_.wasted_manipulation_work += it->work;
         m_abandoned_->Increment();
+        recorder_.SetOutcome(it->record_id, DecisionOutcome::kAbandoned);
         abandoned = true;
       } else {
         // The result becomes visible to the optimizer now.
         db_->RegisterView(m.target_query, it->table_name);
         owned_views_[it->table_name] =
-            OwnedView{m.target_query, sim_time};
+            OwnedView{m.target_query, sim_time, it->record_id};
       }
     } else if (m.type == ManipulationType::kHistogramCreation) {
-      owned_histograms_.emplace_back(m.table, m.column);
+      owned_histograms_.push_back(
+          OwnedStat{m.table, m.column, it->record_id});
     } else if (m.type == ManipulationType::kIndexCreation) {
-      owned_indexes_.emplace_back(m.table, m.column);
+      owned_indexes_.push_back(OwnedStat{m.table, m.column, it->record_id});
     }
     if (!abandoned) {
+      recorder_.SetOutcome(it->record_id, DecisionOutcome::kCompleted);
       stats_.manipulations_completed++;
       stats_.completed_durations.push_back(it->work);
       m_completed_->Increment();
@@ -134,6 +138,9 @@ void SpeculationEngine::CancelOne(Outstanding& out, bool at_go,
     stats_.cancelled_by_edit++;
     m_cancelled_edit_->Increment();
   }
+  recorder_.SetOutcome(out.record_id,
+                       at_go ? DecisionOutcome::kCancelledAtGo
+                             : DecisionOutcome::kCancelledOnEdit);
   if (options_.tracer != nullptr) {
     options_.tracer->EndSpan(out.span, sim_time,
                              at_go ? "cancelled@go" : "cancelled@edit");
@@ -153,6 +160,8 @@ void SpeculationEngine::GarbageCollect(double sim_time) {
     if (!partial.ContainsSubgraph(it->second.definition)) {
       SQP_LOG_DEBUG << "spec: GC " << it->first;
       (void)db_->DropTable(it->first);  // also unregisters the view
+      recorder_.SetOutcome(it->second.record_id,
+                           DecisionOutcome::kGarbageCollected);
       it = owned_views_.erase(it);
       stats_.views_garbage_collected++;
       m_gc_->Increment();
@@ -184,6 +193,8 @@ void SpeculationEngine::EnforceBudget() {
     SQP_LOG_DEBUG << "spec: budget eviction of " << victim->first
                   << " (last use " << victim->second.last_use << "s)";
     (void)db_->DropTable(victim->first);
+    recorder_.SetOutcome(victim->second.record_id,
+                         DecisionOutcome::kEvictedForBudget);
     owned_views_.erase(victim);
     stats_.views_evicted_for_budget++;
     m_evicted_->Increment();
@@ -245,11 +256,12 @@ void SpeculationEngine::HandleManipulationFailure(const Status& failure,
 
 Status SpeculationEngine::ExecuteManipulation(
     const Manipulation& m, const ManipulationEvaluation& eval,
-    double sim_time) {
+    double sim_time, uint64_t record_id) {
   Outstanding out;
   out.manipulation = m;
   out.issue_time = sim_time;
   out.issue_cost_without = eval.cost_without;
+  out.record_id = record_id;
 
   // All eagerly-applied side effects happen inside a fault region:
   // injected faults target speculative work here, never final queries.
@@ -328,13 +340,22 @@ Status SpeculationEngine::MaybeIssue(double sim_time) {
     }
     SpeculationDecision decision =
         speculator_.Decide(tracker_.current(), elapsed, &in_flight);
+    // Audit the round (DESIGN.md §11) and queue every candidate's f⊆
+    // prediction for scoring against the final query at GO.
+    uint64_t round = recorder_.RecordRound(
+        sim_time, tracker_.current().ToSql(), decision);
+    for (const auto& [m, eval] : decision.considered) {
+      pending_predictions_[m.Key()] = {m, eval.containment_probability};
+    }
     if (!decision.chosen.has_value()) return Status::OK();
-    Status executed =
-        ExecuteManipulation(*decision.chosen, decision.evaluation, sim_time);
+    Status executed = ExecuteManipulation(*decision.chosen,
+                                          decision.evaluation, sim_time,
+                                          round);
     if (!executed.ok()) {
       // Best-effort invariant: a failed manipulation costs us the
       // speculation opportunity, never the session. Side effects were
       // rolled back by ExecuteManipulation.
+      recorder_.SetOutcome(round, DecisionOutcome::kFailed);
       HandleManipulationFailure(executed, sim_time);
       return Status::OK();
     }
@@ -431,6 +452,53 @@ Result<double> SpeculationEngine::OnGo(double sim_time) {
   }
 
   const QueryGraph& final_query = tracker_.current();
+  // Flight-recorder bookkeeping (DESIGN.md §11): owned results the
+  // final query can actually use were the speculation wins.
+  for (const auto& [name, view] : owned_views_) {
+    if (final_query.ContainsSubgraph(view.definition)) {
+      recorder_.SetOutcome(view.record_id, DecisionOutcome::kUsedAtGo);
+    }
+  }
+  auto stat_used = [&](const OwnedStat& stat) {
+    for (const auto& sel : final_query.SelectionsOn(stat.table)) {
+      if (sel.column == stat.column) return true;
+    }
+    return false;
+  };
+  for (const auto& stat : owned_histograms_) {
+    if (stat_used(stat)) {
+      recorder_.SetOutcome(stat.record_id, DecisionOutcome::kUsedAtGo);
+    }
+  }
+  for (const auto& stat : owned_indexes_) {
+    if (stat_used(stat)) {
+      recorder_.SetOutcome(stat.record_id, DecisionOutcome::kUsedAtGo);
+    }
+  }
+  // Close the learning loop: score every queued f⊆ prediction against
+  // whether the final query actually contained the candidate's part.
+  for (const auto& [key, pred] : pending_predictions_) {
+    const Manipulation& m = pred.first;
+    bool survived;
+    if (m.is_materialization()) {
+      survived = final_query.ContainsSubgraph(m.target_query);
+    } else {
+      survived = false;
+      for (const auto& sel : final_query.SelectionsOn(m.table)) {
+        if (sel.column == m.column) {
+          survived = true;
+          break;
+        }
+      }
+    }
+    double p = std::clamp(pred.second, 0.0, 1.0);
+    double y = survived ? 1.0 : 0.0;
+    stats_.predictions_scored++;
+    stats_.brier_sum += (p - y) * (p - y);
+    recorder_.Score(pred.second, survived);
+  }
+  pending_predictions_.clear();
+
   double start = tracker_.formulation_start();
   double duration = start >= 0 ? sim_time - start : 0;
   learner_.ObserveGo(tracker_.seen_parts(), final_query,
@@ -459,14 +527,20 @@ Status SpeculationEngine::Shutdown() {
   for (const auto& [name, view] : owned_views_) {
     Status dropped = db_->DropTable(name);
     if (!dropped.ok() && first_error.ok()) first_error = dropped;
+    recorder_.SetOutcome(view.record_id,
+                         DecisionOutcome::kDroppedAtShutdown);
   }
   owned_views_.clear();
-  for (const auto& [table, column] : owned_histograms_) {
-    (void)db_->DropHistogram(table, column);
+  for (const auto& stat : owned_histograms_) {
+    (void)db_->DropHistogram(stat.table, stat.column);
+    recorder_.SetOutcome(stat.record_id,
+                         DecisionOutcome::kDroppedAtShutdown);
   }
   owned_histograms_.clear();
-  for (const auto& [table, column] : owned_indexes_) {
-    (void)db_->DropIndex(table, column);
+  for (const auto& stat : owned_indexes_) {
+    (void)db_->DropIndex(stat.table, stat.column);
+    recorder_.SetOutcome(stat.record_id,
+                         DecisionOutcome::kDroppedAtShutdown);
   }
   owned_indexes_.clear();
   retry_attempts_ = 0;
@@ -485,18 +559,28 @@ Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
   // simulated server jobs and the bookkeeping.
   for (auto& out : outstanding_) {
     server_->Cancel(out.job);
+    recorder_.SetOutcome(out.record_id, DecisionOutcome::kLostAtCrash);
     if (options_.tracer != nullptr) {
       options_.tracer->EndSpan(out.span, sim_time, "lost@crash");
     }
   }
   outstanding_.clear();
+  // Remember which flight-recorder round built each previously owned
+  // view: survivors re-adopted below keep their round id; the rest are
+  // stamped lost-at-crash.
+  std::map<std::string, uint64_t> prior_view_rounds;
+  for (const auto& [name, view] : owned_views_) {
+    prior_view_rounds[name] = view.record_id;
+  }
   owned_views_.clear();
   // Committed speculative indexes/histograms were rebuilt by recovery:
   // keep owning those (so Shutdown still drops them) and forget the
   // ones that did not survive.
   auto erase_missing = [&](auto& owned, auto exists) {
     for (size_t i = owned.size(); i-- > 0;) {
-      if (!exists(owned[i].first, owned[i].second)) {
+      if (!exists(owned[i].table, owned[i].column)) {
+        recorder_.SetOutcome(owned[i].record_id,
+                             DecisionOutcome::kLostAtCrash);
         owned.erase(owned.begin() + static_cast<ptrdiff_t>(i));
       }
     }
@@ -535,12 +619,22 @@ Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
     if (numeric && suffix >= next_table_id_) next_table_id_ = suffix + 1;
     const ViewDefinition* def = db_->views().Get(name);
     if (def != nullptr) {
-      owned_views_[name] = OwnedView{def->definition, sim_time};
+      uint64_t round = 0;
+      auto prior = prior_view_rounds.find(name);
+      if (prior != prior_view_rounds.end()) {
+        round = prior->second;
+        prior_view_rounds.erase(prior);
+      }
+      owned_views_[name] = OwnedView{def->definition, sim_time, round};
       stats_.views_recovered++;
     } else {
       (void)db_->DropTable(name);
       stats_.views_dropped_at_recovery++;
     }
+  }
+  // Whatever was owned before the crash and not re-adopted is gone.
+  for (const auto& [name, round] : prior_view_rounds) {
+    recorder_.SetOutcome(round, DecisionOutcome::kLostAtCrash);
   }
   uint64_t recovered = stats_.views_recovered - recovered_before;
   uint64_t dropped = stats_.views_dropped_at_recovery - dropped_before;

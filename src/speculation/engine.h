@@ -27,6 +27,7 @@
 #include "common/tracing.h"
 #include "db/database.h"
 #include "sim/sim_server.h"
+#include "speculation/flight_recorder.h"
 #include "speculation/learner.h"
 #include "speculation/speculator.h"
 #include "trace/trace.h"
@@ -105,6 +106,9 @@ struct SpeculationEngineOptions {
   /// Display lane for this engine's spans (one per user in multi-user
   /// replays).
   std::string trace_lane = "main";
+  /// Speculator evaluation rounds kept in the flight recorder's ring
+  /// buffer (DESIGN.md §11); oldest rounds are evicted first.
+  size_t flight_recorder_capacity = 256;
 };
 
 struct EngineStats {
@@ -137,6 +141,12 @@ struct EngineStats {
   /// Half-built or unregistered speculative tables dropped by
   /// RecoverAfterCrash (recovery kept the pages but no registration).
   size_t views_dropped_at_recovery = 0;
+  /// Learner-calibration tallies (DESIGN.md §11): every candidate's
+  /// predicted f⊆ is scored at GO against whether the final query
+  /// actually contained its part. brier_sum / predictions_scored is the
+  /// Brier score in [0, 1].
+  size_t predictions_scored = 0;
+  double brier_sum = 0;
   double total_wait_seconds = 0;
   /// Simulated seconds of manipulation work executed (incl. cancelled).
   double total_manipulation_work = 0;
@@ -194,6 +204,8 @@ class SpeculationEngine {
   const EngineStats& stats() const { return stats_; }
   Learner& learner() { return learner_; }
   const Learner& learner() const { return learner_; }
+  /// Decision audit log + learner calibration (DESIGN.md §11).
+  const FlightRecorder& flight_recorder() const { return recorder_; }
 
   /// Names of completed speculative views currently alive.
   std::vector<std::string> live_views() const;
@@ -230,6 +242,8 @@ class SpeculationEngine {
     double issue_cost_without = 0;
     /// Open tracing span (kInvalidSpan when no tracer is attached).
     Tracer::SpanId span = Tracer::kInvalidSpan;
+    /// Flight-recorder round that issued this manipulation (0 = none).
+    uint64_t record_id = 0;
   };
 
   /// Promote outstanding manipulations whose simulated completion time
@@ -267,7 +281,7 @@ class SpeculationEngine {
 
   Status ExecuteManipulation(const Manipulation& m,
                              const ManipulationEvaluation& eval,
-                             double sim_time);
+                             double sim_time, uint64_t record_id);
 
   Database* db_;
   SimServer* server_;
@@ -284,14 +298,28 @@ class SpeculationEngine {
     /// Last simulated time the current partial query implied this view
     /// (refreshed on every event; the budget evicts the stalest first).
     double last_use = 0;
+    /// Flight-recorder round that built this view (0 = none).
+    uint64_t record_id = 0;
   };
   /// Completed speculative views: table name -> definition + LRU stamp.
   std::map<std::string, OwnedView> owned_views_;
-  /// Completed speculative histograms / indexes: (table, column).
-  std::vector<std::pair<std::string, std::string>> owned_histograms_;
-  std::vector<std::pair<std::string, std::string>> owned_indexes_;
+  /// A completed speculative histogram or index on (table, column).
+  struct OwnedStat {
+    std::string table;
+    std::string column;
+    /// Flight-recorder round that built it (0 = none).
+    uint64_t record_id = 0;
+  };
+  std::vector<OwnedStat> owned_histograms_;
+  std::vector<OwnedStat> owned_indexes_;
   std::optional<QueryGraph> previous_final_;
   EngineStats stats_;
+  FlightRecorder recorder_;
+  /// f⊆ predictions awaiting ground truth: candidate key -> the
+  /// candidate and its predicted containment probability (latest
+  /// evaluation wins). Scored against the final query at GO.
+  std::map<std::string, std::pair<Manipulation, double>>
+      pending_predictions_;
   uint64_t next_table_id_ = 0;
 
   // Failure-handling state (simulated-time clocks).

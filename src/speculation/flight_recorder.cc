@@ -1,0 +1,155 @@
+#include "speculation/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+const char* DecisionOutcomeName(DecisionOutcome outcome) {
+  switch (outcome) {
+    case DecisionOutcome::kNone: return "none";
+    case DecisionOutcome::kPending: return "pending";
+    case DecisionOutcome::kCompleted: return "completed";
+    case DecisionOutcome::kUsedAtGo: return "used-at-go";
+    case DecisionOutcome::kCancelledOnEdit: return "cancelled-on-edit";
+    case DecisionOutcome::kCancelledAtGo: return "cancelled-at-go";
+    case DecisionOutcome::kAbandoned: return "abandoned";
+    case DecisionOutcome::kGarbageCollected: return "garbage-collected";
+    case DecisionOutcome::kEvictedForBudget: return "evicted-for-budget";
+    case DecisionOutcome::kFailed: return "failed";
+    case DecisionOutcome::kLostAtCrash: return "lost-at-crash";
+    case DecisionOutcome::kDroppedAtShutdown: return "dropped-at-shutdown";
+  }
+  return "unknown";
+}
+
+bool IsTerminalOutcome(DecisionOutcome outcome) {
+  return outcome != DecisionOutcome::kPending &&
+         outcome != DecisionOutcome::kCompleted;
+}
+
+std::string CalibrationReport::Format() const {
+  std::ostringstream os;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "calibration: scored=%zu brier=%.4f\n",
+                scored, brier());
+  os << buf;
+  for (size_t i = 0; i < bucket_counts.size(); i++) {
+    if (bucket_counts[i] == 0) continue;
+    double lo = static_cast<double>(i) / 10.0;
+    double hi = lo + 0.1;
+    double observed = static_cast<double>(bucket_survived[i]) /
+                      static_cast<double>(bucket_counts[i]);
+    std::snprintf(buf, sizeof(buf),
+                  "  f_sub in [%.1f,%.1f): n=%llu survived=%llu "
+                  "observed=%.2f\n",
+                  lo, hi, static_cast<unsigned long long>(bucket_counts[i]),
+                  static_cast<unsigned long long>(bucket_survived[i]),
+                  observed);
+    os << buf;
+  }
+  return os.str();
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  auto& reg = MetricsRegistry::Global();
+  m_rounds_ = reg.GetCounter("spec.recorder.rounds");
+  m_issued_ = reg.GetCounter("spec.recorder.records");
+  m_scored_ = reg.GetCounter("spec.recorder.scored");
+  m_brier_ = reg.GetGauge("spec.learner.brier");
+  // One bucket per predicted-probability decile (overflow holds [0.9,1]).
+  m_calibration_ = reg.GetHistogram(
+      "spec.learner.calibration",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+}
+
+uint64_t FlightRecorder::RecordRound(double sim_time,
+                                     const std::string& partial_sql,
+                                     const SpeculationDecision& decision) {
+  DecisionRecord record;
+  record.round = next_round_++;
+  record.sim_time = sim_time;
+  record.partial_sql = partial_sql;
+  const std::string chosen_key =
+      decision.chosen.has_value() ? decision.chosen->Key() : std::string();
+  record.candidates.reserve(decision.considered.size());
+  for (const auto& [m, eval] : decision.considered) {
+    CandidateLog log;
+    log.key = m.Key();
+    log.describe = m.Describe();
+    log.eval = eval;
+    log.chosen = !chosen_key.empty() && log.key == chosen_key;
+    if (log.chosen) {
+      record.chosen_index = static_cast<int>(record.candidates.size());
+    }
+    record.candidates.push_back(std::move(log));
+  }
+  record.outcome = record.chosen_index >= 0 ? DecisionOutcome::kPending
+                                            : DecisionOutcome::kNone;
+  m_rounds_->Increment();
+  if (record.chosen_index >= 0) m_issued_->Increment();
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+  return next_round_ - 1;
+}
+
+void FlightRecorder::SetOutcome(uint64_t round, DecisionOutcome outcome) {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->round != round) continue;
+    if (it->outcome == DecisionOutcome::kUsedAtGo) return;  // sticky
+    it->outcome = outcome;
+    return;
+  }
+  // Evicted from the ring: the update is dropped by design.
+}
+
+void FlightRecorder::Score(double predicted, bool survived) {
+  double p = std::clamp(predicted, 0.0, 1.0);
+  double y = survived ? 1.0 : 0.0;
+  calibration_.scored++;
+  calibration_.brier_sum += (p - y) * (p - y);
+  size_t bucket = std::min<size_t>(9, static_cast<size_t>(p * 10.0));
+  calibration_.bucket_counts[bucket]++;
+  if (survived) calibration_.bucket_survived[bucket]++;
+  m_scored_->Increment();
+  m_brier_->Set(calibration_.brier());
+  m_calibration_->Observe(p);
+}
+
+std::string FormatDecisionRecord(const DecisionRecord& record) {
+  std::ostringstream os;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "round=%llu t=%.2f outcome=%s",
+                static_cast<unsigned long long>(record.round),
+                record.sim_time, DecisionOutcomeName(record.outcome));
+  os << buf << " partial=\"" << record.partial_sql << "\"\n";
+  if (record.candidates.empty()) {
+    os << "  (no candidates)\n";
+    return os.str();
+  }
+  for (const auto& cand : record.candidates) {
+    os << (cand.chosen ? "  * " : "    ") << cand.describe;
+    std::snprintf(buf, sizeof(buf),
+                  " cost_sub=%.4f f_sub=%.3f p_done=%.3f uses=%.2f"
+                  " cost_with=%.4f cost_without=%.4f dur=%.4f",
+                  cand.eval.score, cand.eval.containment_probability,
+                  cand.eval.completion_probability,
+                  cand.eval.expected_uses, cand.eval.cost_with,
+                  cand.eval.cost_without, cand.eval.estimated_duration);
+    os << buf << "\n";
+  }
+  return os.str();
+}
+
+std::string FlightRecorder::FormatLog() const {
+  std::ostringstream os;
+  for (const auto& record : records_) os << FormatDecisionRecord(record);
+  os << calibration_.Format();
+  return os.str();
+}
+
+}  // namespace sqp

@@ -1,0 +1,149 @@
+// Speculation flight recorder (DESIGN.md §11).
+//
+// A ring-buffer audit log of every Speculator evaluation round: the
+// candidate manipulation set, each candidate's Cost⊆ decomposition
+// (f⊆ estimate, cost(q_m, m), cost(q_m, m∅), completion probability,
+// expected uses — the terms of Theorem 3.1), the chosen minimizer, and
+// the manipulation's eventual outcome (used-at-GO / cancelled-on-edit /
+// garbage-collected / failed / ...). The engine stamps outcomes as its
+// lifecycle hooks fire, so a dumped log answers "why did speculation do
+// that" for any round still in the buffer.
+//
+// The recorder also closes the learning loop: at every GO the engine
+// scores each considered candidate's predicted f⊆ against the ground
+// truth (did the final query actually contain q_m?), folding the
+// results into a Brier score and a 10-bucket reliability histogram
+// (predicted-probability deciles vs. observed survival rates) surfaced
+// via MetricsRegistry as `spec.learner.brier` / `spec.recorder.*` and
+// dumped by `replay_trace --decisions`.
+//
+// Everything here is driven by simulated time and deterministic inputs,
+// so two replays of the same trace produce byte-identical FormatLog
+// output (the acceptance bar for ISSUE 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "speculation/cost_model.h"
+#include "speculation/manipulation.h"
+#include "speculation/speculator.h"
+
+namespace sqp {
+
+class Counter;
+class Gauge;
+class HistogramMetric;
+
+/// Lifecycle state of one recorded round's chosen manipulation.
+/// kPending and kCompleted are transient; everything else is terminal
+/// (kUsedAtGo is sticky — later drops never overwrite it).
+enum class DecisionOutcome {
+  kNone,              // m∅ chosen: nothing issued (terminal)
+  kPending,           // issued, still in flight
+  kCompleted,         // finished; result owned, awaiting its fate
+  kUsedAtGo,          // result rewrote / informed the final query
+  kCancelledOnEdit,   // partial query stopped implying it
+  kCancelledAtGo,     // still running at GO (conservative §3.1 cancel)
+  kAbandoned,         // completion-time benefit re-check said no
+  kGarbageCollected,  // owned result no longer implied by the partial
+  kEvictedForBudget,  // LRU-evicted to respect max_speculative_pages
+  kFailed,            // execution failed (I/O error / injected fault)
+  kLostAtCrash,       // did not survive crash + RecoverAfterCrash
+  kDroppedAtShutdown, // still owned at session end
+};
+
+const char* DecisionOutcomeName(DecisionOutcome outcome);
+bool IsTerminalOutcome(DecisionOutcome outcome);
+
+struct DecisionRecord;
+
+/// Deterministic text rendering of one round: header line plus one
+/// Cost⊆ decomposition line per candidate (chosen one starred).
+std::string FormatDecisionRecord(const DecisionRecord& record);
+
+/// One candidate's Cost⊆ decomposition as evaluated in one round.
+struct CandidateLog {
+  std::string key;       // Manipulation::Key()
+  std::string describe;  // Manipulation::Describe()
+  ManipulationEvaluation eval;
+  bool chosen = false;
+};
+
+/// One Speculator evaluation round.
+struct DecisionRecord {
+  uint64_t round = 0;  // 1-based id; monotonic across the session
+  double sim_time = 0;
+  std::string partial_sql;
+  std::vector<CandidateLog> candidates;
+  int chosen_index = -1;  // index into candidates; -1 = m∅
+  DecisionOutcome outcome = DecisionOutcome::kNone;
+};
+
+/// Learner-calibration aggregate: predicted f⊆ vs. actual part
+/// survival at GO.
+struct CalibrationReport {
+  size_t scored = 0;
+  double brier_sum = 0;  // Σ (predicted − survived)²
+  /// Reliability histogram: predictions bucketed by predicted
+  /// probability decile ([0,0.1), ..., [0.9,1]), with the survivor
+  /// count per bucket. Σ bucket_counts == scored.
+  std::array<uint64_t, 10> bucket_counts{};
+  std::array<uint64_t, 10> bucket_survived{};
+
+  /// Mean squared error of the survival predictions, in [0, 1]
+  /// (0 = perfect; 0.25 = uninformed coin flip). 0 when nothing scored.
+  double brier() const {
+    return scored > 0 ? brier_sum / static_cast<double>(scored) : 0.0;
+  }
+  std::string Format() const;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity`: rounds kept in the ring (oldest evicted first).
+  explicit FlightRecorder(size_t capacity = 256);
+
+  /// Log one Speculator round. Returns the round id for later
+  /// SetOutcome calls (ids stay valid after ring eviction — outcome
+  /// updates for evicted rounds are simply dropped).
+  uint64_t RecordRound(double sim_time, const std::string& partial_sql,
+                       const SpeculationDecision& decision);
+
+  /// Stamp the chosen manipulation's current lifecycle state.
+  /// kUsedAtGo is sticky; unknown (evicted) ids are ignored.
+  void SetOutcome(uint64_t round, DecisionOutcome outcome);
+
+  /// Fold one prediction into the calibration report: the learner said
+  /// f⊆ = `predicted`, the final query at GO did (`survived`) or did
+  /// not contain the candidate's part.
+  void Score(double predicted, bool survived);
+
+  const std::deque<DecisionRecord>& records() const { return records_; }
+  const CalibrationReport& calibration() const { return calibration_; }
+  uint64_t rounds_recorded() const { return next_round_ - 1; }
+
+  /// Deterministic text dump: one block per buffered round with every
+  /// candidate's Cost⊆ decomposition, the chosen minimizer and the
+  /// outcome, followed by the calibration report.
+  std::string FormatLog() const;
+
+ private:
+  size_t capacity_;
+  uint64_t next_round_ = 1;
+  std::deque<DecisionRecord> records_;
+  CalibrationReport calibration_;
+
+  // Registry handles (DESIGN.md §9), looked up once at construction.
+  Counter* m_rounds_;
+  Counter* m_issued_;
+  Counter* m_scored_;
+  Gauge* m_brier_;
+  HistogramMetric* m_calibration_;
+};
+
+}  // namespace sqp

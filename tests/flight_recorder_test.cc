@@ -1,0 +1,269 @@
+// Speculation flight recorder (DESIGN.md §11): deterministic decision
+// logs, Cost⊆ decompositions on every recorded round, terminal outcome
+// classification across the full manipulation lifecycle (including
+// injected faults and crash-restart), and learner calibration.
+#include "speculation/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/fault_injector.h"
+#include "common/metrics_registry.h"
+#include "speculation/engine.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Sel;
+
+TraceEvent SelAdd(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent SelDel(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kRemoveSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    MetricsRegistry::Global().ResetAll();
+    Reset();
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  void Reset(SpeculationEngineOptions options = {}) {
+    engine_.reset();
+    db_.reset(testutil::MakeTwoTableDb(2000, 6000));
+    db_->ColdStart();
+    server_ = std::make_unique<SimServer>();
+    engine_ = std::make_unique<SpeculationEngine>(db_.get(), server_.get(),
+                                                  std::move(options));
+  }
+
+  SelectionPred SelectiveSel() {
+    return Sel("r", "r_a", CompareOp::kLt, Value(int64_t{5}));
+  }
+
+  /// Drive one complete formulation: edit at t=0, completion by t=50,
+  /// GO at t=50, then shutdown. Returns the recorder's full log.
+  std::string RunScriptedSession() {
+    EXPECT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+    server_->AdvanceTo(50.0);
+    EXPECT_TRUE(engine_->OnGo(50.0).ok());
+    EXPECT_TRUE(engine_->OnQueryResult(51.0).ok());
+    EXPECT_TRUE(engine_->Shutdown().ok());
+    return engine_->flight_recorder().FormatLog();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SimServer> server_;
+  std::unique_ptr<SpeculationEngine> engine_;
+};
+
+TEST_F(FlightRecorderTest, RecordsRoundWithCostDecomposition) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  const FlightRecorder& recorder = engine_->flight_recorder();
+  ASSERT_GE(recorder.records().size(), 1u);
+  const DecisionRecord& record = recorder.records().front();
+  EXPECT_EQ(record.round, 1u);
+  EXPECT_NE(record.partial_sql.find("FROM r"), std::string::npos);
+  EXPECT_NE(record.partial_sql.find("r_a"), std::string::npos);
+  ASSERT_FALSE(record.candidates.empty());
+  ASSERT_GE(record.chosen_index, 0);
+  EXPECT_EQ(record.outcome, DecisionOutcome::kPending);
+  const CandidateLog& chosen =
+      record.candidates[static_cast<size_t>(record.chosen_index)];
+  EXPECT_TRUE(chosen.chosen);
+  // The Cost⊆ decomposition (Theorem 3.1 terms) is present and sane.
+  EXPECT_GT(chosen.eval.cost_without, 0.0);
+  EXPECT_GT(chosen.eval.cost_with, 0.0);
+  EXPECT_GE(chosen.eval.containment_probability, 0.0);
+  EXPECT_LE(chosen.eval.containment_probability, 1.0);
+  EXPECT_GT(chosen.eval.estimated_duration, 0.0);
+}
+
+TEST_F(FlightRecorderTest, LifecycleOutcomesAreStamped) {
+  // Cancel-on-edit.
+  SelectionPred sel = SelectiveSel();
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.0).ok());
+  ASSERT_TRUE(engine_->OnUserEvent(SelDel(sel), 0.1).ok());
+  const auto& records = engine_->flight_recorder().records();
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records.front().outcome, DecisionOutcome::kCancelledOnEdit);
+
+  // Cancel-at-GO: re-add and GO before the simulated completion.
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), 0.2).ok());
+  ASSERT_TRUE(engine_->OnGo(0.3).ok());
+  bool saw_cancelled_at_go = false;
+  for (const auto& record : engine_->flight_recorder().records()) {
+    saw_cancelled_at_go |=
+        record.outcome == DecisionOutcome::kCancelledAtGo;
+  }
+  EXPECT_TRUE(saw_cancelled_at_go);
+}
+
+TEST_F(FlightRecorderTest, UsedAtGoIsStickyThroughShutdown) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_->AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  const auto& records = engine_->flight_recorder().records();
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records.front().outcome, DecisionOutcome::kUsedAtGo);
+  // Shutdown drops the view, but the "win" classification survives.
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  EXPECT_EQ(records.front().outcome, DecisionOutcome::kUsedAtGo);
+}
+
+TEST_F(FlightRecorderTest, EveryRecordTerminalAfterShutdown) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  ASSERT_TRUE(
+      engine_->OnUserEvent(
+                  SelAdd(Sel("s", "s_c", CompareOp::kLt, Value(int64_t{3}))),
+                  5.0)
+          .ok());
+  server_->AdvanceTo(60.0);
+  ASSERT_TRUE(engine_->OnGo(60.0).ok());
+  ASSERT_TRUE(engine_->OnQueryResult(61.0).ok());
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  const auto& records = engine_->flight_recorder().records();
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_TRUE(IsTerminalOutcome(record.outcome))
+        << "round " << record.round << " left as "
+        << DecisionOutcomeName(record.outcome);
+    // Any round that issued something has its decomposition on file.
+    if (record.chosen_index >= 0) {
+      const auto& chosen =
+          record.candidates[static_cast<size_t>(record.chosen_index)];
+      EXPECT_GT(chosen.eval.cost_without, 0.0);
+      EXPECT_GT(chosen.eval.cost_with, 0.0);
+    }
+  }
+}
+
+TEST_F(FlightRecorderTest, InjectedFaultYieldsFailedOutcome) {
+  FaultSpec spec = FaultSpec::OneShot(1, StatusCode::kInternal);
+  FaultInjector::Global().Arm("engine.manipulation", spec);
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  EXPECT_EQ(engine_->stats().manipulations_failed, 1u);
+  const auto& records = engine_->flight_recorder().records();
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records.front().outcome, DecisionOutcome::kFailed);
+  EXPECT_TRUE(IsTerminalOutcome(records.front().outcome));
+}
+
+TEST_F(FlightRecorderTest, CrashStampsLostAndRecorderSurvivesRestart) {
+  // First manipulation completes and registers its view.
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_->AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnQueryResult(50.0).ok());
+  ASSERT_EQ(engine_->stats().manipulations_completed, 1u);
+  // Second one is still in flight when the machine dies.
+  ASSERT_TRUE(
+      engine_->OnUserEvent(
+                  SelAdd(Sel("s", "s_c", CompareOp::kLt, Value(int64_t{3}))),
+                  50.5)
+          .ok());
+  ASSERT_EQ(engine_->stats().manipulations_issued, 2u);
+
+  db_->SimulateCrash();
+  ASSERT_TRUE(db_->Reopen().ok());
+  ASSERT_TRUE(engine_->RecoverAfterCrash(51.0).ok());
+
+  const auto& records = engine_->flight_recorder().records();
+  ASSERT_GE(records.size(), 2u);
+  // The recorder itself is session state: it survives the restart with
+  // its history intact, and the in-flight round is stamped lost.
+  bool saw_lost = false;
+  for (const auto& record : records) {
+    saw_lost |= record.outcome == DecisionOutcome::kLostAtCrash;
+  }
+  EXPECT_TRUE(saw_lost);
+  // The adopted survivor keeps its round: using it at GO still lands on
+  // the original record.
+  ASSERT_EQ(engine_->stats().views_recovered, 1u);
+  server_->AdvanceTo(52.0);
+  ASSERT_TRUE(engine_->OnGo(52.0).ok());
+  EXPECT_EQ(records.front().outcome, DecisionOutcome::kUsedAtGo);
+  ASSERT_TRUE(engine_->Shutdown().ok());
+  for (const auto& record : records) {
+    EXPECT_TRUE(IsTerminalOutcome(record.outcome));
+  }
+}
+
+TEST_F(FlightRecorderTest, IdenticalSessionsProduceIdenticalLogs) {
+  std::string first = RunScriptedSession();
+  MetricsRegistry::Global().ResetAll();
+  Reset();
+  std::string second = RunScriptedSession();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The log carries the decomposition and the calibration trailer.
+  EXPECT_NE(first.find("cost_sub="), std::string::npos);
+  EXPECT_NE(first.find("f_sub="), std::string::npos);
+  EXPECT_NE(first.find("calibration: scored="), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, CalibrationIsConsistent) {
+  ASSERT_TRUE(engine_->OnUserEvent(SelAdd(SelectiveSel()), 0.0).ok());
+  server_->AdvanceTo(50.0);
+  ASSERT_TRUE(engine_->OnGo(50.0).ok());
+  const CalibrationReport& report =
+      engine_->flight_recorder().calibration();
+  ASSERT_GT(report.scored, 0u);
+  EXPECT_GE(report.brier(), 0.0);
+  EXPECT_LE(report.brier(), 1.0);
+  uint64_t total = 0, survived = 0;
+  for (size_t i = 0; i < report.bucket_counts.size(); i++) {
+    EXPECT_LE(report.bucket_survived[i], report.bucket_counts[i]);
+    total += report.bucket_counts[i];
+    survived += report.bucket_survived[i];
+  }
+  EXPECT_EQ(total, report.scored);
+  EXPECT_LE(survived, total);
+  // Engine stats mirror the recorder's tallies.
+  EXPECT_EQ(engine_->stats().predictions_scored, report.scored);
+  EXPECT_DOUBLE_EQ(engine_->stats().brier_sum, report.brier_sum);
+  // And the registry sees them (spec.learner.brier ∈ [0,1]).
+  auto snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("spec.recorder.scored"), report.scored);
+  auto brier = snapshot.gauges.find("spec.learner.brier");
+  ASSERT_NE(brier, snapshot.gauges.end());
+  EXPECT_GE(brier->second, 0.0);
+  EXPECT_LE(brier->second, 1.0);
+  auto hist = snapshot.histograms.find("spec.learner.calibration");
+  ASSERT_NE(hist, snapshot.histograms.end());
+  EXPECT_EQ(hist->second.count, report.scored);
+}
+
+TEST_F(FlightRecorderTest, RingBufferEvictsOldestRounds) {
+  SpeculationEngineOptions options;
+  options.flight_recorder_capacity = 2;
+  Reset(std::move(options));
+  SelectionPred sel = SelectiveSel();
+  // Each add/remove pair runs at least one Speculator round.
+  for (int i = 0; i < 4; i++) {
+    double t = i * 1.0;
+    ASSERT_TRUE(engine_->OnUserEvent(SelAdd(sel), t).ok());
+    ASSERT_TRUE(engine_->OnUserEvent(SelDel(sel), t + 0.5).ok());
+  }
+  const FlightRecorder& recorder = engine_->flight_recorder();
+  EXPECT_LE(recorder.records().size(), 2u);
+  EXPECT_GT(recorder.rounds_recorded(), 2u);
+  // Outcome updates for evicted rounds are dropped, not crashes.
+  ASSERT_TRUE(engine_->Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace sqp
