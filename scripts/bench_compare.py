@@ -3,7 +3,7 @@
 
 Usage:
   scripts/bench_compare.py BASELINE CURRENT [--threshold PCT]
-                           [--gate REGEX] [--verbose]
+                           [--gate REGEX] [--gate-lower REGEX] [--verbose]
 
 BASELINE and CURRENT are either directories holding BENCH_*.json files
 (as written by scripts/run_bench_json.sh) or two individual BENCH_*.json
@@ -21,7 +21,10 @@ Exit status:
 Gated metrics (--gate, default "improvement") are treated as
 higher-is-better; a drop of more than --threshold percent (absolute
 percentage-points for %-valued metrics, relative otherwise) fails the
-comparison. Everything else is reported but never fails the run.
+comparison. Metrics matching --gate-lower (default "^recovery\\.",
+the simulated recovery times bench_recovery prints) are gated
+lower-is-better instead: an *increase* past the threshold fails.
+Everything else is reported but never fails the run.
 
 One-sided metrics are tolerated: a non-gated metric present only in the
 baseline is reported under "removed metrics", one present only in the
@@ -98,6 +101,10 @@ def main():
         help="regex selecting higher-is-better metrics that can fail the "
              "run (default: 'improvement')")
     ap.add_argument(
+        "--gate-lower", default=r"^recovery\.",
+        help="regex selecting lower-is-better metrics (times, waste) that "
+             r"fail the run when they *rise* (default: '^recovery\.')")
+    ap.add_argument(
         "--verbose", action="store_true",
         help="print every parsed metric, not just gated and changed ones")
     args = ap.parse_args()
@@ -110,6 +117,7 @@ def main():
         return 2
 
     gate = re.compile(args.gate)
+    gate_lower = re.compile(args.gate_lower)
     failures = []
 
     for bench in sorted(base):
@@ -123,7 +131,9 @@ def main():
         removed = []
         for key in sorted(b_metrics):
             b_val, is_pct = b_metrics[key]
-            gated = bool(gate.search(key))
+            gated_hi = bool(gate.search(key))
+            gated_lo = bool(gate_lower.search(key))
+            gated = gated_hi or gated_lo
             if key not in c_metrics:
                 if gated:
                     failures.append(f"{bench}: '{key}' missing from current")
@@ -133,14 +143,18 @@ def main():
                 continue
             c_val, _ = c_metrics[key]
             # %-valued metrics diff in absolute points; others relatively.
+            # Lower-is-better metrics regress on a rise; a baseline of
+            # exactly zero regresses on any rise at all (relative delta
+            # is undefined, and 0 -> anything is a real slowdown).
             if is_pct:
                 delta = c_val - b_val
                 delta_str = f"{delta:+.2f} pts"
-                regressed = gated and delta < -args.threshold
             else:
                 delta = (c_val - b_val) / abs(b_val) * 100 if b_val else 0.0
                 delta_str = f"{delta:+.2f} %"
-                regressed = gated and delta < -args.threshold
+            regressed = (gated_hi and delta < -args.threshold) or (
+                gated_lo and (delta > args.threshold
+                              or (b_val == 0 and c_val > 0)))
             changed = abs(c_val - b_val) > 1e-12
             if gated or args.verbose or changed:
                 flag = "  <-- REGRESSION" if regressed else ""

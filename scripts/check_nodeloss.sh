@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the node-loss chaos harness under distinct base seeds.
+#
+# Each node_loss_test invocation internally replays 10 randomized
+# schedules starting at SQP_NODELOSS_SEED, each on a fresh 4-node
+# (quorum-3) database: per-node transient partitions and disk faults
+# fire inside speculative work throughout, one randomly chosen storage
+# node is permanently killed at a random event boundary, and random
+# plug-pull crashes land on the survivors. The default sweep of 10 base
+# seeds covers 100 schedules (SQP_SWEEP_SEEDS scales the base-seed
+# count; the nightly CI uses 100 -> 1000 schedules). Every schedule
+# must (a) return final-query results bit-identical to a fault-free
+# run, (b) recover the manifest from a quorum of surviving replicas,
+# and (c) leave zero orphan pages on every surviving node.
+#
+# Every seed runs even after a failure; failed seeds are listed at the
+# end and the script exits non-zero, so one failure cannot mask another.
+#
+# Usage: scripts/check_nodeloss.sh [path-to-node_loss_test-binary]
+set -euo pipefail
+
+BIN="${1:-build/tests/node_loss_test}"
+if [ ! -x "$BIN" ]; then
+  echo "error: node_loss_test binary not found at '$BIN'" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+SWEEP_SEEDS="${SQP_SWEEP_SEEDS:-10}"
+failed_seeds=()
+for ((i = 0; i < SWEEP_SEEDS; i++)); do
+  seed=$((1 + i * 100))
+  echo "=== node-loss sweep: base seed $seed ==="
+  if ! SQP_NODELOSS_SEED="$seed" "$BIN" \
+      --gtest_filter='NodeLossChaosTest.*' --gtest_brief=1; then
+    failed_seeds+=("$seed")
+  fi
+done
+
+if [ "${#failed_seeds[@]}" -gt 0 ]; then
+  echo "check_nodeloss: FAILED seeds: ${failed_seeds[*]}" >&2
+  exit 1
+fi
+echo "check_nodeloss: all $SWEEP_SEEDS seed sweeps passed"

@@ -16,6 +16,16 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
   info->name = name;
   info->schema = schema;
   info->heap = std::make_unique<HeapFile>(pool_);
+  if (disk_->shard_count() > 1 && !is_materialized) {
+    // Base tables must survive node loss: hash-shard them over every
+    // storage node and shadow each page on a second node. Materialized
+    // results stay single-copy — they are disposable by contract, so a
+    // node loss just drops them (DESIGN.md §12).
+    HeapPlacement placement;
+    placement.replicated = true;
+    placement.shards = disk_->shard_count();
+    info->heap->SetPlacement(placement);
+  }
   info->is_materialized = is_materialized;
   TableInfo* raw = info.get();
   tables_[name] = std::move(info);

@@ -33,7 +33,10 @@ struct TableInfo {
 
 class Catalog {
  public:
-  Catalog(DiskManager* disk, BufferPool* pool) : disk_(disk), pool_(pool) {}
+  /// `disk` may be a single DiskManager or a ShardedStorageRouter; on a
+  /// sharded store base tables are created replicated + hash-sharded
+  /// over every node, materialized results single-copy (disposable).
+  Catalog(PageStore* disk, BufferPool* pool) : disk_(disk), pool_(pool) {}
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -90,7 +93,7 @@ class Catalog {
     return table + "." + column;
   }
 
-  DiskManager* disk_;
+  PageStore* disk_;
   BufferPool* pool_;
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, std::unique_ptr<BPlusTree>> indexes_;

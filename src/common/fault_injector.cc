@@ -2,8 +2,41 @@
 
 namespace sqp {
 
+namespace {
+// Canonical fault points, including ones whose declaring object may
+// never be constructed in a given process (e.g. multi-node points in a
+// single-node test binary). "<k>" stands for a storage-node index; the
+// runtime registrations use concrete indices ("node0.disk.read") and
+// the drift test normalizes both sides before comparing against
+// docs/FAULT_POINTS.md.
+constexpr const char* kBuiltinFaultPoints[] = {
+    "disk.allocate",
+    "disk.read",
+    "disk.write",
+    "disk.crash",
+    "disk.sync_delay",
+    "node<k>.disk.allocate",
+    "node<k>.disk.read",
+    "node<k>.disk.write",
+    "node<k>.disk.crash",
+    "node<k>.disk.sync_delay",
+    "node<k>.partition",
+    "node<k>.manifest.replicate",
+    "materialize.append",
+    "catalog.index_build",
+    "catalog.histogram_build",
+    "engine.manipulation",
+};
+}  // namespace
+
 FaultInjector& FaultInjector::Global() {
-  static FaultInjector injector;
+  static FaultInjector injector = [] {
+    FaultInjector built;
+    for (const char* point : kBuiltinFaultPoints) {
+      built.RegisterPoint(point);
+    }
+    return built;
+  }();
   return injector;
 }
 

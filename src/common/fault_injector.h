@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/rng.h"
@@ -88,6 +89,17 @@ class FaultInjector {
   /// Evaluate one fault point. OK unless the point is armed and fires.
   Status Check(const std::string& point);
 
+  /// Record `point` in the catalogue of declared fault points. Fault
+  /// sites register at construction (DiskManager, router, manifest) or
+  /// through the canonical builtin list; the drift test compares this
+  /// set against docs/FAULT_POINTS.md so the catalogue stays honest.
+  void RegisterPoint(const std::string& point) {
+    registered_points_.insert(point);
+  }
+  const std::set<std::string>& RegisteredPoints() const {
+    return registered_points_;
+  }
+
   uint64_t hits(const std::string& point) const;
   uint64_t fires(const std::string& point) const;
   uint64_t total_fires() const { return total_fires_; }
@@ -105,6 +117,8 @@ class FaultInjector {
   };
 
   std::map<std::string, PointState> points_;
+  /// Every declared fault point (survives Reset(); doc-drift check).
+  std::set<std::string> registered_points_;
   Rng rng_{0};
   int region_depth_ = 0;
   uint64_t total_fires_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <set>
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -13,8 +14,13 @@
 namespace sqp {
 
 Database::Database(DatabaseOptions options)
-    : options_(options), meter_(options.cost) {
-  disk_ = std::make_unique<DiskManager>(&meter_);
+    : options_(options),
+      meter_(options.cost),
+      manifest_(options.storage_nodes == 0 ? 1 : options.storage_nodes,
+                options.manifest_quorum) {
+  disk_ = std::make_unique<ShardedStorageRouter>(
+      &meter_, options_.storage_nodes == 0 ? 1 : options_.storage_nodes,
+      options_.replication_factor);
   pool_ = std::make_unique<BufferPool>(disk_.get(),
                                        options_.buffer_pool_pages);
   catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
@@ -26,7 +32,12 @@ Status Database::CreateTable(const std::string& name, const Schema& schema) {
   if (!table.ok()) return table.status();
   manifest_.Append(ManifestRecord::CreateTable(name, schema,
                                                /*is_materialized=*/false));
-  manifest_.Commit();
+  Status committed = manifest_.Commit();
+  if (!committed.ok()) {
+    // Quorum failed: the table must not outlive its missing record.
+    (void)catalog_->DropTable(name);
+    return committed;
+  }
   return Status::OK();
 }
 
@@ -56,8 +67,10 @@ Status Database::BulkLoad(const std::string& name,
   SQP_RETURN_IF_ERROR(disk_->Sync());
   manifest_.Append(ManifestRecord::BulkLoadCommit(
       name, info->heap->pages(), info->heap->tuple_count()));
-  manifest_.Commit();
-  return Status::OK();
+  // A failed quorum here leaves the loaded rows uncommitted: after the
+  // next Reopen they fold away as orphans. Surface the failure so the
+  // caller knows the load did not commit.
+  return manifest_.Commit();
 }
 
 Status Database::CreateIndex(const std::string& table,
@@ -65,7 +78,11 @@ Status Database::CreateIndex(const std::string& table,
   auto index = catalog_->CreateIndex(table, column);
   if (!index.ok()) return index.status();
   manifest_.Append(ManifestRecord::CreateIndex(table, column));
-  manifest_.Commit();
+  Status committed = manifest_.Commit();
+  if (!committed.ok()) {
+    (void)catalog_->DropIndex(table, column);
+    return committed;
+  }
   return Status::OK();
 }
 
@@ -73,24 +90,34 @@ Status Database::CreateHistogram(const std::string& table,
                                  const std::string& column) {
   SQP_RETURN_IF_ERROR(catalog_->CreateHistogram(table, column));
   manifest_.Append(ManifestRecord::CreateHistogram(table, column));
-  manifest_.Commit();
+  Status committed = manifest_.Commit();
+  if (!committed.ok()) {
+    (void)catalog_->DropHistogram(table, column);
+    return committed;
+  }
   return Status::OK();
 }
 
 Status Database::DropIndex(const std::string& table,
                            const std::string& column) {
-  SQP_RETURN_IF_ERROR(catalog_->DropIndex(table, column));
+  if (!catalog_->HasIndex(table, column)) {
+    return Status::NotFound("index on " + table + "." + column);
+  }
+  // Log-before-action (an index cannot be un-dropped if the commit
+  // fails afterwards).
   manifest_.Append(ManifestRecord::DropIndex(table, column));
-  manifest_.Commit();
-  return Status::OK();
+  SQP_RETURN_IF_ERROR(manifest_.Commit());
+  return catalog_->DropIndex(table, column);
 }
 
 Status Database::DropHistogram(const std::string& table,
                                const std::string& column) {
-  SQP_RETURN_IF_ERROR(catalog_->DropHistogram(table, column));
+  if (catalog_->GetHistogram(table, column) == nullptr) {
+    return Status::NotFound("histogram on " + table + "." + column);
+  }
   manifest_.Append(ManifestRecord::DropHistogram(table, column));
-  manifest_.Commit();
-  return Status::OK();
+  SQP_RETURN_IF_ERROR(manifest_.Commit());
+  return catalog_->DropHistogram(table, column);
 }
 
 Status Database::DropTable(const std::string& name) {
@@ -99,9 +126,10 @@ Status Database::DropTable(const std::string& name) {
   }
   // Log-before-action: commit the drop record first, then free the
   // pages. A crash in between leaves orphan pages for recovery GC —
-  // never a committed table pointing at deallocated pages.
+  // never a committed table pointing at deallocated pages. A failed
+  // quorum aborts the drop entirely (the table stays).
   manifest_.Append(ManifestRecord::DropTable(name));
-  manifest_.Commit();
+  SQP_RETURN_IF_ERROR(manifest_.Commit());
   views_.Unregister(name);
   return catalog_->DropTable(name);
 }
@@ -320,7 +348,13 @@ Result<MaterializeResult> Database::Materialize(
   if (register_view) {
     manifest_.Append(ManifestRecord::RegisterView(table_name, definition));
   }
-  manifest_.Commit();
+  Status committed = manifest_.Commit();
+  if (!committed.ok()) {
+    // Quorum failed: undo at the catalog level (not DropTable — that
+    // would log a drop of a table the manifest never saw).
+    (void)catalog_->DropTable(table_name);
+    return committed;
+  }
 
   if (register_view) {
     views_.Register(ViewDefinition{table_name, definition});
@@ -335,13 +369,14 @@ Result<MaterializeResult> Database::Materialize(
   return result;
 }
 
-void Database::RegisterView(const QueryGraph& definition,
-                            const std::string& table_name) {
+Status Database::RegisterView(const QueryGraph& definition,
+                              const std::string& table_name) {
   QueryGraph def = definition;
   def.SetProjections({});
   manifest_.Append(ManifestRecord::RegisterView(table_name, def));
-  manifest_.Commit();
+  SQP_RETURN_IF_ERROR(manifest_.Commit());
   views_.Register(ViewDefinition{table_name, std::move(def)});
+  return Status::OK();
 }
 
 Status Database::ColdStart() { return pool_->Reset(); }
@@ -351,9 +386,33 @@ void Database::SimulateCrash() {
   manifest_.DropUncommitted();
 }
 
+void Database::KillNode(size_t k) {
+  if (disk_->node_count() <= 1 || k >= disk_->node_count()) return;
+  disk_->KillNode(k);
+  manifest_.KillReplica(k);
+  MetricsRegistry::Global().GetCounter("storage.node.lost")->Increment();
+  SQP_LOG_DEBUG << "node " << k << " lost (" << disk_->alive_nodes() << "/"
+                << disk_->node_count() << " alive)";
+}
+
 Status Database::Reopen() {
   manifest_.DropUncommitted();
   disk_->Restart();
+  const double sim_before = meter_.ElapsedSeconds();
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->BeginSpan("db.reopen", "recovery", sim_before);
+  }
+  // The manifest first: elect a leader among the surviving replicas and
+  // heal their logs, so everything below folds the quorum's view.
+  Status quorum = manifest_.RecoverFromQuorum();
+  if (!quorum.ok()) {
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(span, meter_.ElapsedSeconds(),
+                               "quorum lost");
+    }
+    return quorum;
+  }
   // The old pool/catalog/views mirror pre-crash memory: discard them and
   // rebuild from the durable image.
   pool_ = std::make_unique<BufferPool>(disk_.get(),
@@ -363,10 +422,37 @@ Status Database::Reopen() {
   planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
   last_recovery_ = RecoveryStats();
   last_recovery_.manifest_records_replayed = manifest_.committed_count();
+  last_recovery_.nodes_lost = disk_->node_count() - disk_->alive_nodes();
   const uint64_t checksum_failures_before = disk_->checksum_failures();
 
   ManifestFoldResult fold = FoldManifest(manifest_.committed());
   for (const auto& [name, state] : fold.tables) {
+    // Pages that died with a lost node: a base table never hits this
+    // (every page has a shadow on another node), but an unreplicated
+    // matview that lived on the dead node is gone.
+    bool pages_lost = false;
+    for (page_id_t page_id : state.pages) {
+      if (!disk_->PageAvailable(page_id)) {
+        pages_lost = true;
+        break;
+      }
+    }
+    if (pages_lost) {
+      if (!state.is_materialized) {
+        return Status::DataLoss("base table " + name +
+                                " lost pages with a storage node");
+      }
+      // Free the copies that did survive and record the drop so later
+      // replays agree.
+      for (page_id_t page_id : state.pages) {
+        pool_->EvictPage(page_id);
+        (void)disk_->DeallocatePage(page_id);
+      }
+      manifest_.Append(ManifestRecord::DropTable(name));
+      SQP_RETURN_IF_ERROR(manifest_.Commit());
+      last_recovery_.matviews_lost_with_node++;
+      continue;
+    }
     auto restored =
         catalog_->RestoreTable(name, state.schema, state.is_materialized,
                                state.pages, state.tuple_count);
@@ -380,7 +466,7 @@ Status Database::Reopen() {
           (void)disk_->DeallocatePage(page_id);
         }
         manifest_.Append(ManifestRecord::DropTable(name));
-        manifest_.Commit();
+        SQP_RETURN_IF_ERROR(manifest_.Commit());
         last_recovery_.corrupt_matviews_dropped++;
         continue;
       }
@@ -408,21 +494,26 @@ Status Database::Reopen() {
   }
 
   // Orphan GC: live pages referenced by no recovered table are the
-  // remains of half-built (uncommitted) work — free them.
-  std::vector<bool> owned(disk_->allocated_pages(), false);
+  // remains of half-built (uncommitted) work — free them, node by node.
+  std::set<page_id_t> owned;
   for (const auto& name : catalog_->TableNames()) {
     for (page_id_t page_id : catalog_->GetTable(name)->heap->pages()) {
-      owned[page_id] = true;
+      owned.insert(page_id);
     }
   }
   for (page_id_t page_id : disk_->LivePages()) {
-    if (owned[page_id]) continue;
+    if (owned.count(page_id) > 0) continue;
     pool_->EvictPage(page_id);
     SQP_RETURN_IF_ERROR(disk_->DeallocatePage(page_id));
     last_recovery_.orphan_pages_collected++;
   }
+  // Per-node audit: after GC no surviving node may hold physical pages
+  // that no logical page references.
+  last_recovery_.orphan_pages_per_node_audit = disk_->OrphanPhysicalPages();
   last_recovery_.torn_pages_detected =
       disk_->checksum_failures() - checksum_failures_before;
+  last_recovery_.recovery_sim_seconds =
+      meter_.ElapsedSeconds() - sim_before;
   // Mirror this recovery into the unified registry (DESIGN.md §9).
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("db.recovery.runs")->Increment();
@@ -432,16 +523,23 @@ Status Database::Reopen() {
       ->Increment(last_recovery_.matviews_recovered);
   registry.GetCounter("db.recovery.corrupt_matviews_dropped")
       ->Increment(last_recovery_.corrupt_matviews_dropped);
+  registry.GetCounter("db.recovery.matviews_lost_with_node")
+      ->Increment(last_recovery_.matviews_lost_with_node);
   registry.GetCounter("db.recovery.torn_pages_detected")
       ->Increment(last_recovery_.torn_pages_detected);
   registry.GetCounter("db.recovery.orphan_pages_collected")
       ->Increment(last_recovery_.orphan_pages_collected);
+  if (options_.tracer != nullptr) {
+    options_.tracer->EndSpan(span, meter_.ElapsedSeconds(), "recovered");
+  }
   SQP_LOG_DEBUG << "Reopen: " << last_recovery_.tables_recovered
                 << " tables, " << last_recovery_.views_registered
                 << " views, " << last_recovery_.orphan_pages_collected
                 << " orphan pages collected, "
                 << last_recovery_.corrupt_matviews_dropped
-                << " corrupt matviews dropped";
+                << " corrupt matviews dropped, "
+                << last_recovery_.matviews_lost_with_node
+                << " matviews lost with nodes";
   return Status::OK();
 }
 

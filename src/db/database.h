@@ -16,10 +16,13 @@
 #include "catalog/catalog.h"
 #include "common/cost_meter.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "db/manifest.h"
+#include "db/replicated_manifest.h"
 #include "optimizer/planner.h"
 #include "optimizer/query_graph.h"
 #include "optimizer/view_matcher.h"
+#include "storage/sharded_router.h"
 
 namespace sqp {
 
@@ -40,6 +43,16 @@ struct RecoveryStats {
   /// Live pages referenced by no committed table (half-built speculative
   /// materializations) deallocated by recovery GC.
   size_t orphan_pages_collected = 0;
+  /// Materialized views dropped because some of their (unreplicated)
+  /// pages lived on a lost storage node.
+  size_t matviews_lost_with_node = 0;
+  /// Storage nodes permanently lost at the time of this recovery.
+  size_t nodes_lost = 0;
+  /// Physical pages on surviving nodes referenced by no logical page
+  /// after recovery — the per-node orphan audit; must be zero.
+  size_t orphan_pages_per_node_audit = 0;
+  /// Simulated seconds this Reopen() charged (validation scans, GC).
+  double recovery_sim_seconds = 0;
 };
 
 struct DatabaseOptions {
@@ -50,6 +63,17 @@ struct DatabaseOptions {
   /// Rows per executor batch when draining query results (DESIGN.md
   /// §10). Affects real wall-clock only, never simulated charges.
   size_t exec_batch_size = 1024;
+  /// Simulated storage nodes (DESIGN.md §12). 1 = the classic
+  /// single-disk database, bit-identical to the pre-sharding stack.
+  /// More nodes shard base tables (replicated) across the tier and
+  /// replicate the manifest with one log per node.
+  size_t storage_nodes = 1;
+  /// Copies kept of each base-table page (2 = one shadow; capped at 2).
+  size_t replication_factor = 2;
+  /// Manifest commit quorum; 0 selects a majority of storage_nodes.
+  size_t manifest_quorum = 0;
+  /// Optional span tracer: Reopen() records a recovery span when set.
+  Tracer* tracer = nullptr;
 };
 
 struct QueryResult {
@@ -133,9 +157,11 @@ class Database {
                                         const std::string& table_name,
                                         bool register_view = true);
 
-  /// Register a previously materialized (unregistered) result.
-  void RegisterView(const QueryGraph& definition,
-                    const std::string& table_name);
+  /// Register a previously materialized (unregistered) result. Fails
+  /// only when the manifest commit cannot reach quorum; the view is
+  /// then not registered.
+  Status RegisterView(const QueryGraph& definition,
+                      const std::string& table_name);
 
   /// Empty the buffer pool: the next operation starts cold (§4.2).
   /// Fails only on a disk write error while flushing dirty frames.
@@ -149,13 +175,23 @@ class Database {
   /// fault point triggers the same thing from inside a write or sync.)
   void SimulateCrash();
 
-  /// Recover from the durable on-disk image: replay the committed
-  /// manifest, validate every recovered table with a checksum scan
-  /// (dropping corrupt materialized views; a corrupt *base* table is
-  /// unrecoverable and returns kDataLoss), re-register committed views,
-  /// rebuild committed indexes/histograms, and garbage-collect orphan
-  /// pages left by half-built speculative materializations. Also usable
-  /// without a prior crash (a clean restart loses only unsynced state).
+  /// Permanently lose storage node `k`: its durable image, write cache,
+  /// and manifest replica die with it (DESIGN.md §12). Call Reopen() to
+  /// fail over: base tables keep serving from replicas, matviews whose
+  /// pages lived there are dropped, and the manifest recovers from the
+  /// surviving quorum. No-op on a single-node database.
+  void KillNode(size_t k);
+
+  /// Recover from the durable on-disk image: recover the manifest from
+  /// a quorum of surviving replicas, replay its committed records,
+  /// validate every recovered table with a checksum scan (dropping
+  /// corrupt materialized views; a corrupt *base* table is
+  /// unrecoverable and returns kDataLoss), drop matviews whose pages
+  /// died with a lost node, re-register committed views, rebuild
+  /// committed indexes/histograms, and garbage-collect orphan pages
+  /// left by half-built speculative materializations — per node. Also
+  /// usable without a prior crash (a clean restart loses only unsynced
+  /// state).
   Status Reopen();
 
   /// Counters from the last Reopen().
@@ -171,10 +207,12 @@ class Database {
   const DatabaseOptions& options() const { return options_; }
   BufferPool& buffer_pool() { return *pool_; }
   /// Exposed for leak accounting (chaos tests compare live_pages()
-  /// across sessions) — not for direct page I/O.
-  const DiskManager& disk_manager() const { return *disk_; }
-  /// The durable metadata log (exposed for recovery tests).
-  const Manifest& manifest() const { return manifest_; }
+  /// across sessions) — not for direct page I/O. The router is a thin
+  /// pass-through around one DiskManager on a single-node database.
+  const ShardedStorageRouter& disk_manager() const { return *disk_; }
+  const ShardedStorageRouter& storage() const { return *disk_; }
+  /// The durable, replicated metadata log (exposed for recovery tests).
+  const ReplicatedManifest& manifest() const { return manifest_; }
 
   /// Total simulated seconds of work this database has performed.
   double TotalSimSeconds() const { return meter_.ElapsedSeconds(); }
@@ -182,12 +220,12 @@ class Database {
  private:
   DatabaseOptions options_;
   CostMeter meter_;
-  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<ShardedStorageRouter> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   ViewRegistry views_;
   std::unique_ptr<Planner> planner_;
-  Manifest manifest_;
+  ReplicatedManifest manifest_;
   RecoveryStats last_recovery_;
   uint64_t next_matview_id_ = 0;
 };

@@ -1,0 +1,186 @@
+#include "db/replicated_manifest.h"
+
+#include <cassert>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+ReplicatedManifest::ReplicatedManifest(size_t replicas, size_t quorum)
+    : quorum_(quorum == 0 ? replicas / 2 + 1 : quorum) {
+  assert(replicas >= 1);
+  assert(quorum_ >= 1 && quorum_ <= replicas);
+  replicas_.resize(replicas);
+  FaultInjector& injector = FaultInjector::Global();
+  for (size_t k = 0; k < replicas; k++) {
+    std::string tag = "node" + std::to_string(k);
+    replicas_[k].replicate_point = tag + ".manifest.replicate";
+    replicas_[k].partition_point = tag + ".partition";
+    if (replicas > 1) {
+      injector.RegisterPoint(replicas_[k].replicate_point);
+    }
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_commits_ = registry.GetCounter("manifest.replication.commits");
+  m_quorum_failures_ =
+      registry.GetCounter("manifest.replication.quorum_failures");
+  m_elections_ = registry.GetCounter("manifest.replication.elections");
+  m_catchup_entries_ =
+      registry.GetCounter("manifest.replication.catchup_entries");
+  m_truncated_entries_ =
+      registry.GetCounter("manifest.replication.truncated_entries");
+}
+
+void ReplicatedManifest::Append(ManifestRecord record) {
+  staged_.push_back(std::move(record));
+}
+
+size_t ReplicatedManifest::alive_replicas() const {
+  size_t alive = 0;
+  for (const auto& replica : replicas_) {
+    if (replica.alive) alive++;
+  }
+  return alive;
+}
+
+size_t ReplicatedManifest::MostUpToDate() const {
+  size_t best = replicas_.size();
+  for (size_t k = 0; k < replicas_.size(); k++) {
+    if (!replicas_[k].alive) continue;
+    if (best == replicas_.size()) {
+      best = k;
+      continue;
+    }
+    auto last_term = [&](size_t i) {
+      return replicas_[i].log.empty() ? 0 : replicas_[i].log.back().term;
+    };
+    if (last_term(k) > last_term(best) ||
+        (last_term(k) == last_term(best) &&
+         replicas_[k].log.size() > replicas_[best].log.size())) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+void ReplicatedManifest::ElectLeader() {
+  size_t best = MostUpToDate();
+  assert(best < replicas_.size() && "election with no alive replica");
+  term_++;
+  leader_ = best;
+  m_elections_->Increment();
+  SQP_LOG_DEBUG << "manifest: replica " << leader_ << " elected leader, term "
+                << term_;
+}
+
+void ReplicatedManifest::CatchUp(size_t k) {
+  const auto& leader_log = replicas_[leader_].log;
+  auto& log = replicas_[k].log;
+  // Term check: a follower entry whose term disagrees with the leader's
+  // at the same index belongs to a rolled-back lineage — discard it and
+  // everything after it.
+  size_t match = 0;
+  while (match < log.size() && match < leader_log.size() &&
+         log[match].term == leader_log[match].term) {
+    match++;
+  }
+  if (match < log.size()) {
+    m_truncated_entries_->Increment(log.size() - match);
+    log.resize(match);
+  }
+  if (match < leader_log.size()) {
+    m_catchup_entries_->Increment(leader_log.size() - match);
+    for (size_t i = match; i < leader_log.size(); i++) {
+      log.push_back(leader_log[i]);
+    }
+  }
+}
+
+Status ReplicatedManifest::Commit() {
+  if (staged_.empty()) return Status::OK();
+  if (!replicas_[leader_].alive) {
+    // The leader's node died under us: fail over before committing.
+    if (alive_replicas() < quorum_) {
+      staged_.clear();
+      return Status::DataLoss("manifest quorum lost");
+    }
+    ElectLeader();
+  }
+
+  ManifestLogEntry entry;
+  entry.term = term_;
+  entry.group = staged_;
+
+  replicas_[leader_].log.push_back(entry);
+  size_t acks = 1;
+  std::vector<size_t> acked;
+  FaultInjector& injector = FaultInjector::Global();
+  for (size_t k = 0; k < replicas_.size(); k++) {
+    if (k == leader_ || !replicas_[k].alive) continue;
+    if (injector.armed()) {
+      // An unreachable or faulted follower simply misses this round; it
+      // is caught up by a later commit or by recovery.
+      if (!injector.Check(replicas_[k].partition_point).ok()) continue;
+      if (!injector.Check(replicas_[k].replicate_point).ok()) continue;
+    }
+    CatchUp(k);
+    acks++;
+    acked.push_back(k);
+  }
+
+  if (acks < quorum_) {
+    // Quorum failed: the entry must not survive anywhere, or a later
+    // election could resurrect an operation the caller was told failed.
+    replicas_[leader_].log.pop_back();
+    for (size_t k : acked) replicas_[k].log.pop_back();
+    staged_.clear();
+    quorum_failures_++;
+    m_quorum_failures_->Increment();
+    return Status::ResourceExhausted(
+        "manifest commit: " + std::to_string(acks) + "/" +
+        std::to_string(quorum_) + " acks");
+  }
+
+  for (auto& record : staged_) {
+    committed_flat_.push_back(std::move(record));
+  }
+  staged_.clear();
+  m_commits_->Increment();
+  return Status::OK();
+}
+
+void ReplicatedManifest::KillReplica(size_t k) {
+  if (k >= replicas_.size()) return;
+  replicas_[k].alive = false;
+}
+
+Status ReplicatedManifest::RecoverFromQuorum() {
+  staged_.clear();
+  if (alive_replicas() < quorum_) {
+    return Status::DataLoss("manifest quorum lost: " +
+                            std::to_string(alive_replicas()) + " of " +
+                            std::to_string(replicas_.size()) +
+                            " replicas survive, quorum is " +
+                            std::to_string(quorum_));
+  }
+  ElectLeader();
+  for (size_t k = 0; k < replicas_.size(); k++) {
+    if (k == leader_ || !replicas_[k].alive) continue;
+    CatchUp(k);
+  }
+  RebuildCommitted();
+  return Status::OK();
+}
+
+void ReplicatedManifest::RebuildCommitted() {
+  committed_flat_.clear();
+  for (const auto& entry : replicas_[leader_].log) {
+    for (const auto& record : entry.group) {
+      committed_flat_.push_back(record);
+    }
+  }
+}
+
+}  // namespace sqp

@@ -1,0 +1,135 @@
+// Replicated redo manifest: the metadata log survives node loss.
+//
+// The single-node Manifest (manifest.h) models one durable file. At
+// scale the manifest is the database's root of trust — matview
+// registrations and bulk-load commit groups must survive losing any one
+// storage node — so the sharded tier replicates it with a minimal
+// raft-style log (DESIGN.md §12):
+//
+//   * one replica per storage node; replica k dies with node k;
+//   * a fixed leader appends each commit group as one log entry stamped
+//     with its term, then replicates it to every reachable follower
+//     (lagging followers are caught up first);
+//   * the entry commits only when a quorum (majority by default) holds
+//     it; a failed quorum rolls the entry back off every log that took
+//     it and the Commit() returns a retryable error;
+//   * after a crash or node loss, RecoverFromQuorum() elects the most
+//     up-to-date surviving replica as leader (max last-term, then max
+//     log length, ties to the lowest id; the term increments), and
+//     catches every survivor up with term-checked truncation — a
+//     follower entry whose term disagrees with the leader's at the same
+//     index is discarded before copying.
+//
+// No dynamic membership: the replica set is fixed at construction and
+// only shrinks (KillReplica). Everything is in-process and
+// deterministic; "replication" charges no simulated I/O — the log is
+// tiny metadata next to the page traffic it describes.
+//
+// With one replica (a single-node database) every Commit() trivially
+// reaches quorum locally and the class behaves exactly like Manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/manifest.h"
+
+namespace sqp {
+
+class Counter;
+
+/// One committed group of manifest records, stamped with the leader
+/// term that appended it.
+struct ManifestLogEntry {
+  uint64_t term = 0;
+  std::vector<ManifestRecord> group;
+};
+
+class ReplicatedManifest {
+ public:
+  /// `replicas` logs (one per storage node). `quorum` 0 selects a
+  /// majority (replicas/2 + 1).
+  explicit ReplicatedManifest(size_t replicas = 1, size_t quorum = 0);
+
+  ReplicatedManifest(const ReplicatedManifest&) = delete;
+  ReplicatedManifest& operator=(const ReplicatedManifest&) = delete;
+
+  /// Stage a record (volatile until the next Commit).
+  void Append(ManifestRecord record);
+
+  /// Atomically commit every staged record as one log entry, once a
+  /// quorum of replicas holds it. On a failed quorum the entry is
+  /// rolled back everywhere it landed, the staged records are
+  /// discarded, and the retryable kResourceExhausted is returned — the
+  /// caller undoes the covered catalog action.
+  Status Commit();
+
+  /// Crash: the staged (uncommitted) tail is lost.
+  void DropUncommitted() { staged_.clear(); }
+
+  /// Flattened committed record sequence (what FoldManifest consumes).
+  const std::vector<ManifestRecord>& committed() const {
+    return committed_flat_;
+  }
+  size_t committed_count() const { return committed_flat_.size(); }
+  size_t staged_count() const { return staged_.size(); }
+
+  /// Node k is gone; its manifest replica with it.
+  void KillReplica(size_t k);
+
+  /// After a crash or node loss: elect a leader among the survivors and
+  /// heal every surviving log. kDataLoss when fewer than `quorum`
+  /// replicas survive — the manifest can no longer be trusted.
+  Status RecoverFromQuorum();
+
+  size_t replica_count() const { return replicas_.size(); }
+  size_t alive_replicas() const;
+  size_t quorum() const { return quorum_; }
+  size_t leader() const { return leader_; }
+  uint64_t term() const { return term_; }
+  /// Log length of replica k (tests inspect catch-up behavior).
+  size_t log_size(size_t k) const { return replicas_[k].log.size(); }
+
+  uint64_t quorum_failures() const { return quorum_failures_; }
+
+ private:
+  struct Replica {
+    std::vector<ManifestLogEntry> log;
+    bool alive = true;
+    /// Fault point gating replication to this replica
+    /// ("node<k>.manifest.replicate").
+    std::string replicate_point;
+    /// Shared with the storage node ("node<k>.partition").
+    std::string partition_point;
+  };
+
+  /// Most up-to-date alive replica: max last term, then max log length,
+  /// ties to the lowest id. replicas_.size() when none is alive.
+  size_t MostUpToDate() const;
+
+  /// Bump the term and install the most up-to-date survivor as leader.
+  void ElectLeader();
+
+  /// Copy leader entries the follower is missing, after term-checked
+  /// truncation of any divergent suffix.
+  void CatchUp(size_t k);
+
+  void RebuildCommitted();
+
+  std::vector<Replica> replicas_;
+  size_t quorum_;
+  size_t leader_ = 0;
+  uint64_t term_ = 1;
+  std::vector<ManifestRecord> staged_;
+  std::vector<ManifestRecord> committed_flat_;
+  uint64_t quorum_failures_ = 0;
+  Counter* m_commits_;
+  Counter* m_quorum_failures_;
+  Counter* m_elections_;
+  Counter* m_catchup_entries_;
+  Counter* m_truncated_entries_;
+};
+
+}  // namespace sqp

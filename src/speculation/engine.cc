@@ -17,7 +17,8 @@ SpeculationEngine::SpeculationEngine(Database* db, SimServer* server,
       options_(std::move(options)),
       cost_model_(db, &learner_, options_.cost_model),
       speculator_(db, &cost_model_, options_.speculator),
-      recorder_(options_.flight_recorder_capacity) {
+      recorder_(options_.flight_recorder_capacity),
+      rng_(options_.rng_seed) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   m_issued_ = registry.GetCounter("engine.manipulations_issued");
   m_completed_ = registry.GetCounter("engine.manipulations_completed");
@@ -64,10 +65,25 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
         recorder_.SetOutcome(it->record_id, DecisionOutcome::kAbandoned);
         abandoned = true;
       } else {
-        // The result becomes visible to the optimizer now.
-        db_->RegisterView(m.target_query, it->table_name);
-        owned_views_[it->table_name] =
-            OwnedView{m.target_query, sim_time, it->record_id};
+        // The result becomes visible to the optimizer now. Registration
+        // can fail when the manifest commit misses quorum (node
+        // partition): the view is then unusable — drop it and count the
+        // manipulation as abandoned, never half-registered.
+        Status registered = db_->RegisterView(m.target_query, it->table_name);
+        if (!registered.ok()) {
+          SQP_LOG_DEBUG << "spec: registration failed for "
+                        << it->table_name << " ("
+                        << registered.ToString() << ")";
+          (void)db_->DropTable(it->table_name);
+          stats_.abandoned_at_completion++;
+          stats_.wasted_manipulation_work += it->work;
+          m_abandoned_->Increment();
+          recorder_.SetOutcome(it->record_id, DecisionOutcome::kAbandoned);
+          abandoned = true;
+        } else {
+          owned_views_[it->table_name] =
+              OwnedView{m.target_query, sim_time, it->record_id};
+        }
       }
     } else if (m.type == ManipulationType::kHistogramCreation) {
       owned_histograms_.push_back(
@@ -219,6 +235,12 @@ void SpeculationEngine::HandleManipulationFailure(const Status& failure,
         options_.retry_backoff_cap_seconds,
         options_.retry_backoff_seconds *
             std::pow(2.0, static_cast<double>(retry_attempts_)));
+    if (options_.retry_jitter_fraction > 0) {
+      // Jitter desynchronizes retry bursts (many engines backing off in
+      // lockstep after a shared fault). The seeded stream keeps
+      // same-seed replays byte-identical.
+      backoff *= 1.0 + options_.retry_jitter_fraction * rng_.NextDouble();
+    }
     retry_attempts_++;
     stats_.retries++;
     m_retries_->Increment();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/rng.h"
 #include "common/tracing.h"
 #include "db/database.h"
 #include "sim/sim_server.h"
@@ -85,6 +86,13 @@ struct SpeculationEngineOptions {
   /// consecutive retry up to `retry_backoff_cap_seconds`.
   double retry_backoff_seconds = 0.5;
   double retry_backoff_cap_seconds = 8.0;
+  /// Jitter applied to each backoff: the capped backoff is scaled by a
+  /// factor uniform in [1, 1 + retry_jitter_fraction], drawn from the
+  /// engine's own seeded stream so same-seed replays stay
+  /// byte-identical. 0 disables jitter.
+  double retry_jitter_fraction = 0.25;
+  /// Seed for the engine's private random stream (backoff jitter).
+  uint64_t rng_seed = 0x5eed;
   /// Consecutive (post-retry) failures that open the circuit breaker.
   size_t circuit_breaker_threshold = 5;
   /// How long speculation stays suspended once the breaker opens.
@@ -327,6 +335,9 @@ class SpeculationEngine {
   size_t consecutive_failures_ = 0;  // toward the circuit breaker
   double retry_not_before_ = 0;      // backoff gate for the next issue
   double suspended_until_ = 0;       // circuit-breaker cooldown end
+  /// Private seeded stream for backoff jitter; consumed only on retry,
+  /// so fault-free replays never advance it.
+  Rng rng_;
 
   // Observability (DESIGN.md §9). Handles into the global
   // MetricsRegistry shadowing the EngineStats counters above (EngineStats

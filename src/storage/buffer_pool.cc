@@ -6,7 +6,7 @@
 
 namespace sqp {
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+BufferPool::BufferPool(PageStore* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
   assert(capacity_pages > 0);
   frames_.resize(capacity_);
@@ -79,12 +79,13 @@ Result<Page*> BufferPool::FetchPage(page_id_t page_id) {
   return &f.page;
 }
 
-Result<std::pair<page_id_t, Page*>> BufferPool::NewPage() {
+Result<std::pair<page_id_t, Page*>> BufferPool::NewPage(
+    const PageAllocOptions& options) {
   auto victim = GetVictimFrame();
   if (!victim.ok()) return victim.status();
   size_t idx = *victim;
   Frame& f = frames_[idx];
-  auto allocated = disk_->AllocatePage();
+  auto allocated = disk_->AllocatePage(options);
   if (!allocated.ok()) {
     f.page_id = kInvalidPageId;
     free_frames_.push_back(idx);

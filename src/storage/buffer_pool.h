@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "storage/page_store.h"
 
 namespace sqp {
 
@@ -20,7 +20,9 @@ class Counter;
 class BufferPool {
  public:
   /// `capacity_pages` frames of kPageSize each (32 MB -> 4096 frames).
-  BufferPool(DiskManager* disk, size_t capacity_pages);
+  /// `disk` may be a single DiskManager or a ShardedStorageRouter; the
+  /// pool is oblivious to where a page physically lives.
+  BufferPool(PageStore* disk, size_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -29,8 +31,11 @@ class BufferPool {
   /// return the frame's Page. Fails only when every frame is pinned.
   Result<Page*> FetchPage(page_id_t page_id);
 
-  /// Allocate a brand new page, pinned and marked dirty.
-  Result<std::pair<page_id_t, Page*>> NewPage();
+  /// Allocate a brand new page, pinned and marked dirty. `options`
+  /// pins the page's placement (shard node, replication) on a sharded
+  /// store; the default lets the store choose.
+  Result<std::pair<page_id_t, Page*>> NewPage(
+      const PageAllocOptions& options = {});
 
   /// Drop a pin. `dirty` records that the caller modified the frame.
   void UnpinPage(page_id_t page_id, bool dirty);
@@ -72,7 +77,7 @@ class BufferPool {
   /// LRU victim. Returns frame index or error when everything is pinned.
   Result<size_t> GetVictimFrame();
 
-  DiskManager* disk_;
+  PageStore* disk_;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;

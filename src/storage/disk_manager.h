@@ -16,51 +16,64 @@
 // allocator), so the live-page map survives crashes and recovery can
 // enumerate orphans.
 //
-// Every operation can fail: the fault points "disk.allocate",
-// "disk.read", and "disk.write" inject transient or permanent I/O
-// errors, and "disk.crash" makes a write or sync die mid-operation,
+// Every operation can fail: the fault points "<prefix>.allocate",
+// "<prefix>.read", and "<prefix>.write" inject transient or permanent
+// I/O errors, "<prefix>.crash" makes a write or sync die mid-operation,
 // crashing the whole disk (the chaos harness then recovers through
-// Database::Reopen). After a crash every operation returns kDataLoss
-// until Restart() is called.
+// Database::Reopen), and "<prefix>.sync_delay" makes a Sync() slow
+// (extra simulated charge) without failing it. The prefix is "disk" for
+// a single-node database and "node<k>.disk" for storage node k of a
+// sharded one, so per-node fault schedules can target one node. After a
+// crash every operation returns kDataLoss until Restart() is called.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cost_meter.h"
 #include "common/status.h"
 #include "storage/page.h"
+#include "storage/page_store.h"
 
 namespace sqp {
 
 class Counter;
 
-class DiskManager {
+class DiskManager : public PageStore {
  public:
-  explicit DiskManager(CostMeter* meter);
+  /// `fault_prefix` namespaces this disk's fault points,
+  /// `metric_prefix` its registry counters. The defaults reproduce the
+  /// single-node names ("disk.read", "storage.disk.reads", ...).
+  /// `node` is baked into the top bits of every id this disk hands out
+  /// (0 for a single-node store, see page.h).
+  explicit DiskManager(CostMeter* meter, std::string fault_prefix = "disk",
+                       std::string metric_prefix = "storage.disk",
+                       uint32_t node = 0);
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Allocate a fresh zeroed page on disk; returns its id.
-  Result<page_id_t> AllocatePage();
+  /// Allocate a fresh zeroed page on disk; returns its id. Placement
+  /// options are meaningless on a single disk and ignored.
+  Result<page_id_t> AllocatePage(const PageAllocOptions& options = {}) override;
 
   /// Free a page (space returns to the allocator; id is never reused).
-  Status DeallocatePage(page_id_t page_id);
+  Status DeallocatePage(page_id_t page_id) override;
 
   /// Copy page contents disk -> out, serving unsynced writes from the
   /// cache and verifying the checksum of durable reads. Charges one
   /// block read. A checksum mismatch (torn page) returns kDataLoss.
-  Status ReadPage(page_id_t page_id, Page* out);
+  Status ReadPage(page_id_t page_id, Page* out) override;
 
   /// Copy page contents in -> write cache (volatile until the next
   /// Sync). Charges one block write.
-  Status WritePage(page_id_t page_id, const Page& in);
+  Status WritePage(page_id_t page_id, const Page& in) override;
 
   /// Make every cached write durable (fsync barrier): contents reach the
   /// durable image and their checksums are recomputed atomically.
-  Status Sync();
+  Status Sync() override;
 
   /// Power-cut: discard all unsynced writes; the most recent in-flight
   /// write (if any) tears — half of it reaches the durable image with a
@@ -87,25 +100,37 @@ class DiskManager {
   uint64_t sync_count() const { return sync_count_; }
 
   /// Ids of every live page (recovery uses this to find orphans).
-  std::vector<page_id_t> LivePages() const;
+  std::vector<page_id_t> LivePages() const override;
 
  private:
+  /// Strip this disk's node tag; reject ids belonging to another node.
+  bool OwnsId(page_id_t page_id) const { return PageNode(page_id) == node_; }
+
   /// Move one cached write into the durable image with a fresh checksum.
-  void MakeDurable(page_id_t page_id, const Page& in);
+  void MakeDurable(page_id_t local_id, const Page& in);
 
   CostMeter* meter_;
-  std::vector<std::unique_ptr<Page>> store_;  // durable image
+  uint32_t node_;
+  std::vector<std::unique_ptr<Page>> store_;  // durable image, local ids
   std::vector<uint32_t> checksums_;           // sidecar, one per page
   std::vector<bool> live_;
   /// Volatile write cache: ordered so crash/sync order is deterministic.
+  /// Keyed by local id.
   std::map<page_id_t, std::unique_ptr<Page>> unsynced_;
-  /// Most recent unsynced write — the crash-tear candidate.
+  /// Most recent unsynced write (local id) — the crash-tear candidate.
   page_id_t last_unsynced_write_ = kInvalidPageId;
   bool crashed_ = false;
   uint64_t live_pages_ = 0;
   uint64_t checksum_failures_ = 0;
   uint64_t torn_pages_ = 0;
   uint64_t sync_count_ = 0;
+  // Fault-point names, built once from the prefix (hot-path checks must
+  // not concatenate strings).
+  std::string point_allocate_;
+  std::string point_read_;
+  std::string point_write_;
+  std::string point_crash_;
+  std::string point_sync_delay_;
   // Registry handles (DESIGN.md §9), looked up once at construction.
   Counter* m_reads_;
   Counter* m_writes_;

@@ -4,12 +4,72 @@
 
 namespace sqp {
 
+namespace {
+/// FNV-1a over a byte string: stable across builds and platforms.
+uint64_t StableHash(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+void HeapFile::SetPlacement(HeapPlacement placement) {
+  assert(pages_.empty() && "placement must be set before the first append");
+  placement_ = placement;
+  if (placement_.shards > 1) {
+    open_pages_.assign(placement_.shards, kInvalidPageId);
+  }
+}
+
+size_t HeapFile::ShardOf(const Tuple& tuple) const {
+  if (tuple.empty()) return 0;
+  return StableHash(tuple[0].ToString()) % placement_.shards;
+}
+
 Result<Rid> HeapFile::Append(const Tuple& tuple) {
   scratch_.clear();
   SerializeTuple(tuple, &scratch_);
   assert(scratch_.size() < kPageSize - 64 && "tuple larger than a page");
 
-  // Try the last page first; allocate a new one when it is full.
+  if (placement_.shards > 1) {
+    // Hash-sharded: each shard keeps its own open page, pinned to its
+    // home node.
+    size_t shard = ShardOf(tuple);
+    page_id_t open = open_pages_[shard];
+    if (open != kInvalidPageId) {
+      auto page = pool_->FetchPage(open);
+      if (!page.ok()) return page.status();
+      int slot = (*page)->Insert(scratch_.data(),
+                                 static_cast<uint16_t>(scratch_.size()));
+      pool_->UnpinPage(open, slot >= 0);
+      if (slot >= 0) {
+        tuple_count_++;
+        return Rid{open, static_cast<uint16_t>(slot)};
+      }
+    }
+    PageAllocOptions options;
+    options.node_hint = static_cast<uint32_t>(shard);
+    options.replicated = placement_.replicated;
+    auto fresh = pool_->NewPage(options);
+    if (!fresh.ok()) return fresh.status();
+    auto [page_id, page] = *fresh;
+    int slot =
+        page->Insert(scratch_.data(), static_cast<uint16_t>(scratch_.size()));
+    pool_->UnpinPage(page_id, true);
+    if (slot < 0) {
+      return Status::Internal("tuple does not fit in an empty page");
+    }
+    pages_.push_back(page_id);
+    open_pages_[shard] = page_id;
+    tuple_count_++;
+    return Rid{page_id, static_cast<uint16_t>(slot)};
+  }
+
+  // Single shard: try the last page first; allocate a new one when it
+  // is full.
   if (!pages_.empty()) {
     page_id_t last = pages_.back();
     auto page = pool_->FetchPage(last);
@@ -22,7 +82,14 @@ Result<Rid> HeapFile::Append(const Tuple& tuple) {
       return Rid{last, static_cast<uint16_t>(slot)};
     }
   }
-  auto fresh = pool_->NewPage();
+  PageAllocOptions options;
+  options.replicated = placement_.replicated;
+  if (!pages_.empty()) {
+    // Keep an unsharded heap whole on the node of its first page, so a
+    // matview either fully survives a node loss or is fully gone.
+    options.node_hint = PageNode(pages_.front());
+  }
+  auto fresh = pool_->NewPage(options);
   if (!fresh.ok()) return fresh.status();
   auto [page_id, page] = *fresh;
   int slot =
@@ -46,7 +113,7 @@ Result<Tuple> HeapFile::Fetch(const Rid& rid) const {
   return tuple;
 }
 
-void HeapFile::Drop(DiskManager* disk) {
+void HeapFile::Drop(PageStore* disk) {
   for (page_id_t page_id : pages_) {
     pool_->EvictPage(page_id);
     // Best-effort: a page already gone (double drop) is not an error
@@ -54,12 +121,20 @@ void HeapFile::Drop(DiskManager* disk) {
     (void)disk->DeallocatePage(page_id);
   }
   pages_.clear();
+  if (!open_pages_.empty()) {
+    open_pages_.assign(open_pages_.size(), kInvalidPageId);
+  }
   tuple_count_ = 0;
 }
 
 void HeapFile::Restore(std::vector<page_id_t> pages, uint64_t tuple_count) {
   pages_ = std::move(pages);
   tuple_count_ = tuple_count;
+  // Sharded heaps reopen every shard: page fill is not tracked per
+  // shard across recovery, so post-restore appends start fresh pages.
+  if (!open_pages_.empty()) {
+    open_pages_.assign(open_pages_.size(), kInvalidPageId);
+  }
 }
 
 Result<std::optional<Tuple>> HeapFile::Iterator::Next() {

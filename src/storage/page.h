@@ -17,6 +17,28 @@ inline constexpr page_id_t kInvalidPageId = UINT64_MAX;
 
 inline constexpr size_t kPageSize = 8192;
 
+// (node, page) addressing for the sharded storage tier (DESIGN.md §12):
+// the top 8 bits of a page id carry the storage node that owns the
+// page's primary copy, the low 56 bits its node-local id. A single-node
+// database stores everything on node 0, so its ids are numerically
+// unchanged from the pre-sharding layout. Node 255 is reserved: it is
+// the node field of kInvalidPageId.
+inline constexpr int kPageNodeShift = 56;
+inline constexpr uint32_t kMaxStorageNodes = 255;
+inline constexpr page_id_t kPageLocalMask =
+    (page_id_t{1} << kPageNodeShift) - 1;
+
+inline constexpr page_id_t MakePageId(uint32_t node, page_id_t local) {
+  return (static_cast<page_id_t>(node) << kPageNodeShift) |
+         (local & kPageLocalMask);
+}
+inline constexpr uint32_t PageNode(page_id_t id) {
+  return static_cast<uint32_t>(id >> kPageNodeShift);
+}
+inline constexpr page_id_t PageLocal(page_id_t id) {
+  return id & kPageLocalMask;
+}
+
 /// Record id: (page, slot) address of a tuple in a heap file.
 struct Rid {
   page_id_t page_id = kInvalidPageId;

@@ -1,0 +1,325 @@
+#include "storage/sharded_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+ShardedStorageRouter::ShardedStorageRouter(CostMeter* meter, size_t nodes,
+                                           size_t replication_factor)
+    : meter_(meter),
+      replication_factor_(std::min<size_t>(replication_factor, 2)),
+      single_(nodes <= 1) {
+  assert(nodes >= 1 && nodes <= kMaxStorageNodes &&
+         "storage node count out of range");
+  if (single_) {
+    single_disk_ = std::make_unique<DiskManager>(meter_);
+  } else {
+    nodes_.reserve(nodes);
+    for (size_t k = 0; k < nodes; k++) {
+      nodes_.push_back(
+          std::make_unique<StorageNode>(static_cast<uint32_t>(k), meter_));
+    }
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  m_replica_reads_ = registry.GetCounter("storage.node.replica_reads");
+  m_degraded_writes_ = registry.GetCounter("storage.node.degraded_writes");
+  m_kills_ = registry.GetCounter("storage.node.kills");
+  m_replica_alloc_failures_ =
+      registry.GetCounter("storage.node.replica_alloc_failures");
+}
+
+bool ShardedStorageRouter::NodeAlive(size_t k) const {
+  if (single_) return true;
+  return !nodes_[k]->killed();
+}
+
+size_t ShardedStorageRouter::alive_nodes() const {
+  if (single_) return 1;
+  size_t alive = 0;
+  for (const auto& node : nodes_) {
+    if (!node->killed()) alive++;
+  }
+  return alive;
+}
+
+size_t ShardedStorageRouter::NextAlive(size_t start, size_t exclude) const {
+  size_t n = nodes_.size();
+  for (size_t i = 0; i < n; i++) {
+    size_t k = (start + i) % n;
+    if (k != exclude && !nodes_[k]->killed()) return k;
+  }
+  return n;
+}
+
+Result<page_id_t> ShardedStorageRouter::AllocatePage(
+    const PageAllocOptions& options) {
+  if (single_) return single_disk_->AllocatePage(options);
+
+  size_t primary;
+  if (options.node_hint != PageAllocOptions::kAnyNode &&
+      options.node_hint < nodes_.size()) {
+    // Pinned placement (a shard's home node): losing that node means
+    // this shard cannot grow until the table is re-sharded.
+    primary = options.node_hint;
+    if (nodes_[primary]->killed()) {
+      return Status::DataLoss("allocation on lost node " +
+                              std::to_string(primary));
+    }
+  } else {
+    primary = NextAlive(next_rr_, nodes_.size());
+    if (primary >= nodes_.size()) {
+      return Status::DataLoss("no storage node alive");
+    }
+    next_rr_ = (primary + 1) % nodes_.size();
+  }
+  SQP_RETURN_IF_ERROR(nodes_[primary]->CheckReachable());
+  auto allocated = nodes_[primary]->disk().AllocatePage();
+  if (!allocated.ok()) return allocated.status();
+  page_id_t global = *allocated;
+
+  PageMeta meta;
+  if (options.replicated && replication_factor_ >= 2) {
+    size_t replica = NextAlive((primary + 1) % nodes_.size(), primary);
+    if (replica < nodes_.size()) {
+      auto shadow = nodes_[replica]->disk().AllocatePage();
+      if (shadow.ok()) {
+        meta.replicated = true;
+        meta.replica_node = static_cast<uint32_t>(replica);
+        meta.replica_local = PageLocal(*shadow);
+      } else {
+        // Degrade to a single copy rather than failing the allocation;
+        // the page is no worse off than an unreplicated one.
+        m_replica_alloc_failures_->Increment();
+      }
+    } else {
+      m_replica_alloc_failures_->Increment();
+    }
+  }
+  meta_[global] = meta;
+  return global;
+}
+
+Status ShardedStorageRouter::DeallocatePage(page_id_t page_id) {
+  if (single_) return single_disk_->DeallocatePage(page_id);
+  auto it = meta_.find(page_id);
+  if (it == meta_.end()) {
+    return Status::NotFound("deallocate of unknown page " +
+                            std::to_string(page_id));
+  }
+  const PageMeta meta = it->second;
+  meta_.erase(it);
+  Status primary_status = Status::OK();
+  size_t primary = PageNode(page_id);
+  if (!nodes_[primary]->killed()) {
+    primary_status = nodes_[primary]->disk().DeallocatePage(page_id);
+  }
+  if (meta.replicated && !nodes_[meta.replica_node]->killed()) {
+    // The shadow dies with the logical page; its own status is
+    // secondary (the copy on a crashed node is cleaned after Restart).
+    (void)nodes_[meta.replica_node]->disk().DeallocatePage(
+        MakePageId(meta.replica_node, meta.replica_local));
+  }
+  return primary_status;
+}
+
+Status ShardedStorageRouter::ReadPage(page_id_t page_id, Page* out) {
+  if (single_) return single_disk_->ReadPage(page_id, out);
+  auto it = meta_.find(page_id);
+  if (it == meta_.end()) {
+    return Status::NotFound("read of unknown page " +
+                            std::to_string(page_id));
+  }
+  size_t primary = PageNode(page_id);
+  Status primary_status = nodes_[primary]->CheckReachable();
+  if (primary_status.ok()) {
+    primary_status = nodes_[primary]->disk().ReadPage(page_id, out);
+    if (primary_status.ok()) return primary_status;
+  }
+  const PageMeta& meta = it->second;
+  if (!meta.replicated) return primary_status;
+  // Failover: serve the shadow copy (it received every write, so its
+  // bytes — and checksum — match the primary's last synced state).
+  SQP_RETURN_IF_ERROR(nodes_[meta.replica_node]->CheckReachable());
+  Status replica_status = nodes_[meta.replica_node]->disk().ReadPage(
+      MakePageId(meta.replica_node, meta.replica_local), out);
+  if (replica_status.ok()) {
+    replica_reads_++;
+    m_replica_reads_->Increment();
+  }
+  return replica_status;
+}
+
+Status ShardedStorageRouter::WritePage(page_id_t page_id, const Page& in) {
+  if (single_) return single_disk_->WritePage(page_id, in);
+  auto it = meta_.find(page_id);
+  if (it == meta_.end()) {
+    return Status::NotFound("write of unknown page " +
+                            std::to_string(page_id));
+  }
+  const PageMeta& meta = it->second;
+  size_t primary = PageNode(page_id);
+  if (!nodes_[primary]->killed()) {
+    // Transient primary failures (partition, injected I/O error) must
+    // fail the write: letting the shadow advance while a *reachable
+    // later* primary stays stale would serve old bytes on the next
+    // read. Only a permanently lost primary degrades to shadow-only.
+    SQP_RETURN_IF_ERROR(nodes_[primary]->CheckReachable());
+    SQP_RETURN_IF_ERROR(nodes_[primary]->disk().WritePage(page_id, in));
+    if (!meta.replicated || nodes_[meta.replica_node]->killed()) {
+      return Status::OK();
+    }
+    SQP_RETURN_IF_ERROR(nodes_[meta.replica_node]->CheckReachable());
+    return nodes_[meta.replica_node]->disk().WritePage(
+        MakePageId(meta.replica_node, meta.replica_local), in);
+  }
+  if (!meta.replicated || nodes_[meta.replica_node]->killed()) {
+    return Status::DataLoss("write of page " + std::to_string(page_id) +
+                            ": every copy lost");
+  }
+  SQP_RETURN_IF_ERROR(nodes_[meta.replica_node]->CheckReachable());
+  SQP_RETURN_IF_ERROR(nodes_[meta.replica_node]->disk().WritePage(
+      MakePageId(meta.replica_node, meta.replica_local), in));
+  // Primary lost, shadow took the write: degraded but not lost.
+  degraded_writes_++;
+  m_degraded_writes_->Increment();
+  return Status::OK();
+}
+
+Status ShardedStorageRouter::Sync() {
+  if (single_) return single_disk_->Sync();
+  for (auto& node : nodes_) {
+    if (node->killed()) continue;
+    SQP_RETURN_IF_ERROR(node->CheckReachable());
+    SQP_RETURN_IF_ERROR(node->disk().Sync());
+  }
+  return Status::OK();
+}
+
+std::vector<page_id_t> ShardedStorageRouter::LivePages() const {
+  if (single_) return single_disk_->LivePages();
+  std::vector<page_id_t> out;
+  out.reserve(meta_.size());
+  for (const auto& [global, meta] : meta_) {
+    if (PageAvailable(global)) out.push_back(global);
+  }
+  return out;
+}
+
+bool ShardedStorageRouter::PageAvailable(page_id_t page_id) const {
+  if (single_) return true;
+  auto it = meta_.find(page_id);
+  if (it == meta_.end()) return false;
+  if (!nodes_[PageNode(page_id)]->killed()) return true;
+  return it->second.replicated && !nodes_[it->second.replica_node]->killed();
+}
+
+void ShardedStorageRouter::KillNode(size_t k) {
+  if (single_) return;  // a single-node store has no node to lose
+  if (nodes_[k]->killed()) return;
+  nodes_[k]->Kill();
+  m_kills_->Increment();
+}
+
+void ShardedStorageRouter::SimulateCrash() {
+  if (single_) {
+    single_disk_->SimulateCrash();
+    return;
+  }
+  for (auto& node : nodes_) {
+    if (!node->killed()) node->disk().SimulateCrash();
+  }
+}
+
+void ShardedStorageRouter::Restart() {
+  if (single_) {
+    single_disk_->Restart();
+    return;
+  }
+  for (auto& node : nodes_) {
+    if (!node->killed()) node->disk().Restart();
+  }
+}
+
+bool ShardedStorageRouter::has_crashed() const {
+  if (single_) return single_disk_->has_crashed();
+  for (const auto& node : nodes_) {
+    if (!node->killed() && node->disk().has_crashed()) return true;
+  }
+  return false;
+}
+
+uint64_t ShardedStorageRouter::live_pages() const {
+  if (single_) return single_disk_->live_pages();
+  uint64_t count = 0;
+  for (const auto& [global, meta] : meta_) {
+    if (PageAvailable(global)) count++;
+  }
+  return count;
+}
+
+uint64_t ShardedStorageRouter::allocated_pages() const {
+  if (single_) return single_disk_->allocated_pages();
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->disk().allocated_pages();
+  return total;
+}
+
+uint64_t ShardedStorageRouter::unsynced_pages() const {
+  if (single_) return single_disk_->unsynced_pages();
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (!node->killed()) total += node->disk().unsynced_pages();
+  }
+  return total;
+}
+
+uint64_t ShardedStorageRouter::checksum_failures() const {
+  if (single_) return single_disk_->checksum_failures();
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->disk().checksum_failures();
+  return total;
+}
+
+uint64_t ShardedStorageRouter::torn_pages() const {
+  if (single_) return single_disk_->torn_pages();
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->disk().torn_pages();
+  return total;
+}
+
+uint64_t ShardedStorageRouter::sync_count() const {
+  if (single_) return single_disk_->sync_count();
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->disk().sync_count();
+  return total;
+}
+
+uint64_t ShardedStorageRouter::OrphanPhysicalPages() const {
+  if (single_) return 0;
+  uint64_t orphans = 0;
+  for (size_t k = 0; k < nodes_.size(); k++) {
+    if (nodes_[k]->killed()) continue;
+    // Local ids this node should hold: primaries tagged with its id
+    // plus shadows placed on it.
+    std::vector<page_id_t> expected;
+    for (const auto& [global, meta] : meta_) {
+      if (PageNode(global) == k) expected.push_back(PageLocal(global));
+      if (meta.replicated && meta.replica_node == k) {
+        expected.push_back(meta.replica_local);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    for (page_id_t global : nodes_[k]->disk().LivePages()) {
+      if (!std::binary_search(expected.begin(), expected.end(),
+                              PageLocal(global))) {
+        orphans++;
+      }
+    }
+  }
+  return orphans;
+}
+
+}  // namespace sqp

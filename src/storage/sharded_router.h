@@ -1,0 +1,126 @@
+// ShardedStorageRouter: N storage nodes behind one page-id namespace.
+//
+// The router is the PageStore a multi-node database programs against
+// (DESIGN.md §12). Global page ids carry the primary copy's node in
+// their top bits (page.h), so routing a read or write is a bit shift.
+// Pages allocated with PageAllocOptions::replicated keep a second
+// (shadow) copy on the next alive node; the shadow receives every write
+// and serves reads when the primary's node is dead or unreachable, so
+// base tables survive losing any single node. Replica placement is
+// journaled durable metadata, like the per-disk page allocator: it
+// survives crashes and node loss.
+//
+// With one node the router degrades to a thin pass-through around a
+// single DiskManager with the legacy fault/metric namespaces
+// ("disk.*" / "storage.disk.*") — bit-identical to the pre-sharding
+// storage stack, which is what every single-node test and benchmark
+// exercises.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/status.h"
+#include "storage/page_store.h"
+#include "storage/storage_node.h"
+
+namespace sqp {
+
+class Counter;
+
+class ShardedStorageRouter : public PageStore {
+ public:
+  /// `nodes` in-process storage nodes (1..kMaxStorageNodes).
+  /// `replication_factor` 2 keeps one shadow copy of replicated pages;
+  /// 1 disables replication. Factors above 2 are capped at 2.
+  ShardedStorageRouter(CostMeter* meter, size_t nodes,
+                       size_t replication_factor = 2);
+
+  ShardedStorageRouter(const ShardedStorageRouter&) = delete;
+  ShardedStorageRouter& operator=(const ShardedStorageRouter&) = delete;
+
+  // ----------------------------------------------------- PageStore
+  Result<page_id_t> AllocatePage(const PageAllocOptions& options = {}) override;
+  Status DeallocatePage(page_id_t page_id) override;
+  Status ReadPage(page_id_t page_id, Page* out) override;
+  Status WritePage(page_id_t page_id, const Page& in) override;
+  Status Sync() override;
+  std::vector<page_id_t> LivePages() const override;
+  size_t shard_count() const override { return node_count(); }
+
+  // ---------------------------------------------- node-level faults
+  /// Permanent loss of node k: its durable image dies with it. Reads of
+  /// replicated pages fail over to their shadow copy; unreplicated
+  /// pages on the node are gone (Database::Reopen drops the matviews
+  /// that lived there).
+  void KillNode(size_t k);
+  bool NodeAlive(size_t k) const;
+  size_t node_count() const { return single_ ? 1 : nodes_.size(); }
+  size_t alive_nodes() const;
+
+  /// Is this logical page readable from any surviving copy?
+  bool PageAvailable(page_id_t page_id) const;
+
+  /// Machine-wide power cut: every surviving node's disk crashes (each
+  /// may tear one in-flight page).
+  void SimulateCrash();
+  /// Re-mount every surviving node after a crash.
+  void Restart();
+  /// True while any surviving node is crashed (Reopen() required).
+  bool has_crashed() const;
+
+  // ------------------------------------------------------- accounting
+  /// Logical pages currently readable (replicas are shadows, not
+  /// counted). On a healthy store this equals the catalog's page total;
+  /// the chaos invariant "live_pages == catalog pages" checks it.
+  uint64_t live_pages() const;
+  uint64_t allocated_pages() const;
+  uint64_t unsynced_pages() const;
+  uint64_t checksum_failures() const;
+  uint64_t torn_pages() const;
+  uint64_t sync_count() const;
+
+  /// Physical live pages on surviving nodes referenced by no logical
+  /// page — must be zero after recovery (the per-node orphan audit).
+  uint64_t OrphanPhysicalPages() const;
+
+  /// Multi-node stores only (a single-node store has no StorageNode).
+  const StorageNode& node(size_t k) const { return *nodes_[k]; }
+
+  uint64_t replica_reads() const { return replica_reads_; }
+  uint64_t degraded_writes() const { return degraded_writes_; }
+
+ private:
+  struct PageMeta {
+    bool replicated = false;
+    uint32_t replica_node = 0;
+    page_id_t replica_local = kInvalidPageId;
+  };
+
+  /// Next alive node at-or-after `start` (wrapping), excluding
+  /// `exclude`; node_count() when none qualifies.
+  size_t NextAlive(size_t start, size_t exclude) const;
+
+  CostMeter* meter_;
+  size_t replication_factor_;
+  /// Single-node pass-through (legacy namespaces); nodes_ is empty.
+  bool single_;
+  std::unique_ptr<DiskManager> single_disk_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  /// Durable placement journal: global id -> replica placement.
+  /// Ordered so recovery iteration is deterministic.
+  std::map<page_id_t, PageMeta> meta_;
+  /// Round-robin cursor for unpinned (kAnyNode) allocations.
+  size_t next_rr_ = 0;
+  uint64_t replica_reads_ = 0;
+  uint64_t degraded_writes_ = 0;
+  Counter* m_replica_reads_;
+  Counter* m_degraded_writes_;
+  Counter* m_kills_;
+  Counter* m_replica_alloc_failures_;
+};
+
+}  // namespace sqp

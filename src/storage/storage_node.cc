@@ -1,0 +1,25 @@
+#include "storage/storage_node.h"
+
+#include "common/fault_injector.h"
+
+namespace sqp {
+
+StorageNode::StorageNode(uint32_t id, CostMeter* meter) : id_(id) {
+  std::string tag = "node" + std::to_string(id);
+  partition_point_ = tag + ".partition";
+  FaultInjector::Global().RegisterPoint(partition_point_);
+  disk_ = std::make_unique<DiskManager>(meter, tag + ".disk",
+                                        "storage." + tag + ".disk", id);
+}
+
+Status StorageNode::CheckReachable() const {
+  if (killed_) {
+    return Status::DataLoss("node " + std::to_string(id_) + " lost");
+  }
+  if (FaultInjector::Global().armed()) {
+    SQP_RETURN_IF_ERROR(FaultInjector::Global().Check(partition_point_));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqp

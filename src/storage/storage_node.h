@@ -1,0 +1,55 @@
+// One simulated storage node of the sharded tier (DESIGN.md §12).
+//
+// A node owns a full DiskManager — durable image, checksum sidecar,
+// volatile write cache, crash model — under its own fault-point
+// namespace ("node<k>.disk.*") and metric namespace
+// ("storage.node<k>.disk.*"), plus two node-level failure modes the
+// single-disk model cannot express:
+//
+//   * Kill(): permanent loss of the machine *and its durable image*.
+//     Every subsequent operation fails with kDataLoss; recovery must
+//     fall back to replicas on surviving nodes.
+//   * partition ("node<k>.partition" fault point): transient
+//     unreachability. Operations fail with the retryable
+//     kResourceExhausted while the point fires; nothing is lost.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/cost_meter.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace sqp {
+
+class StorageNode {
+ public:
+  StorageNode(uint32_t id, CostMeter* meter);
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  uint32_t id() const { return id_; }
+  DiskManager& disk() { return *disk_; }
+  const DiskManager& disk() const { return *disk_; }
+
+  /// Permanent node loss: the durable image dies with the machine.
+  void Kill() { killed_ = true; }
+  bool killed() const { return killed_; }
+
+  /// kOk when the node is alive and currently reachable;
+  /// kDataLoss when killed; kResourceExhausted (retryable) while the
+  /// node's partition fault point fires.
+  Status CheckReachable() const;
+
+  const std::string& partition_point() const { return partition_point_; }
+
+ private:
+  uint32_t id_;
+  std::string partition_point_;
+  std::unique_ptr<DiskManager> disk_;
+  bool killed_ = false;
+};
+
+}  // namespace sqp

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/schema.h"
+#include "storage/disk_manager.h"
 
 namespace sqp {
 namespace {

@@ -1,0 +1,771 @@
+// Sharded storage tier and node-loss survival (DESIGN.md §12): per-node
+// page-id namespaces, the sharded router's replication and failover,
+// the raft-style replicated manifest (quorum commit, rollback,
+// election, catch-up), database-level single-node-loss recovery, and a
+// randomized kill-one-node chaos harness asserting the invariants:
+// committed results bit-identical to a fault-free run, zero orphan
+// pages on every surviving node, manifest recovered from a quorum.
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "db/database.h"
+#include "db/replicated_manifest.h"
+#include "sim/sim_server.h"
+#include "speculation/engine.h"
+#include "storage/sharded_router.h"
+#include "test_util.h"
+#include "trace/trace.h"
+
+namespace sqp {
+namespace {
+
+using testutil::RsJoin;
+using testutil::Sel;
+
+// ------------------------------------------------------ page-id scheme
+
+TEST(PageIdTest, NodeTagRoundTripsAndNodeZeroIsUnchanged) {
+  EXPECT_EQ(MakePageId(0, 42), 42u);  // single-node ids stay numeric
+  page_id_t id = MakePageId(3, 42);
+  EXPECT_EQ(PageNode(id), 3u);
+  EXPECT_EQ(PageLocal(id), 42u);
+  EXPECT_NE(id, 42u);
+  // The invalid id decodes to a node no router can own.
+  EXPECT_EQ(PageNode(kInvalidPageId), kMaxStorageNodes);
+}
+
+// --------------------------------------------- per-node disk namespace
+
+class NodeDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+  CostMeter meter_;
+};
+
+TEST_F(NodeDiskTest, FaultNamespaceIsPerNode) {
+  DiskManager disk0(&meter_);
+  DiskManager disk2(&meter_, "node2.disk", "storage.node2.disk", 2);
+  auto a = disk0.AllocatePage();
+  auto b = disk2.AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(PageNode(*a), 0u);
+  EXPECT_EQ(PageNode(*b), 2u);
+  // A node's disk refuses ids tagged with another node.
+  Page page;
+  page.Init();
+  EXPECT_EQ(disk2.WritePage(*a, page).code(), StatusCode::kInvalidArgument);
+
+  // Arming node2's namespace leaves node0 untouched.
+  FaultSpec spec = FaultSpec::EveryNth(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("node2.disk.write", spec);
+  EXPECT_TRUE(disk0.WritePage(*a, page).ok());
+  EXPECT_EQ(disk2.WritePage(*b, page).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(NodeDiskTest, SyncDelayFaultChargesTimeButNeverFails) {
+  DiskManager disk(&meter_);
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page page;
+  page.Init();
+
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  double before = meter_.ElapsedSeconds();
+  ASSERT_TRUE(disk.Sync().ok());
+  const double clean_sync = meter_.ElapsedSeconds() - before;
+
+  FaultSpec spec = FaultSpec::EveryNth(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("disk.sync_delay", spec);
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  before = meter_.ElapsedSeconds();
+  ASSERT_TRUE(disk.Sync().ok());  // slow, not failed
+  EXPECT_GT(meter_.ElapsedSeconds() - before, clean_sync);
+}
+
+// ------------------------------------------------------ sharded router
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  Page* Filled(const char* text) {
+    scratch_.Init();
+    scratch_.Insert(reinterpret_cast<const uint8_t*>(text),
+                    static_cast<uint16_t>(std::string(text).size()));
+    return &scratch_;
+  }
+
+  CostMeter meter_;
+  Page scratch_;
+};
+
+TEST_F(RouterTest, SingleNodeIsAPassThroughWithLegacyIds) {
+  ShardedStorageRouter router(&meter_, 1);
+  EXPECT_EQ(router.node_count(), 1u);
+  auto a = router.AllocatePage();
+  auto b = router.AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  ASSERT_TRUE(router.WritePage(*a, *Filled("x")).ok());
+  EXPECT_EQ(router.OrphanPhysicalPages(), 0u);
+}
+
+TEST_F(RouterTest, ReplicatedPageSurvivesPrimaryNodeLoss) {
+  ShardedStorageRouter router(&meter_, 4);
+  PageAllocOptions options;
+  options.replicated = true;
+  options.node_hint = 1;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(PageNode(*id), 1u);
+  ASSERT_TRUE(router.WritePage(*id, *Filled("replicated")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  router.KillNode(1);
+  EXPECT_EQ(router.alive_nodes(), 3u);
+  EXPECT_TRUE(router.PageAvailable(*id));
+  Page out;
+  out.Init();
+  ASSERT_TRUE(router.ReadPage(*id, &out).ok());  // served by the shadow
+  EXPECT_EQ(out.slot_count(), 1);
+  EXPECT_GE(router.replica_reads(), 1u);
+
+  // Writes keep working, degraded to the surviving copy.
+  ASSERT_TRUE(router.WritePage(*id, *Filled("degraded")).ok());
+  EXPECT_GE(router.degraded_writes(), 1u);
+  EXPECT_EQ(router.live_pages(), 1u);
+  EXPECT_EQ(router.OrphanPhysicalPages(), 0u);
+}
+
+TEST_F(RouterTest, UnreplicatedPageDiesWithItsNode) {
+  ShardedStorageRouter router(&meter_, 4);
+  PageAllocOptions options;
+  options.node_hint = 2;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(router.WritePage(*id, *Filled("single-copy")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  router.KillNode(2);
+  EXPECT_FALSE(router.PageAvailable(*id));
+  EXPECT_EQ(router.live_pages(), 0u);
+  Page out;
+  out.Init();
+  EXPECT_EQ(router.ReadPage(*id, &out).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(router.WritePage(*id, out).code(), StatusCode::kDataLoss);
+  // Deallocation of the lost page still retires its metadata.
+  EXPECT_TRUE(router.DeallocatePage(*id).ok());
+  EXPECT_EQ(router.OrphanPhysicalPages(), 0u);
+}
+
+TEST_F(RouterTest, PartitionIsTransientAndRetryable) {
+  ShardedStorageRouter router(&meter_, 4);
+  PageAllocOptions options;
+  options.node_hint = 0;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(router.WritePage(*id, *Filled("v1")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  FaultSpec spec = FaultSpec::OneShot(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("node0.partition", spec);
+  Status write = router.WritePage(*id, *Filled("v2"));
+  // Transient primary unreachability fails the write (the shadow must
+  // never advance past a primary that will come back) with the
+  // retryable code...
+  EXPECT_EQ(write.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(write.IsRetryable());
+  EXPECT_EQ(router.degraded_writes(), 0u);
+  // ...and the retry, after the partition heals, succeeds.
+  EXPECT_TRUE(router.WritePage(*id, *Filled("v2")).ok());
+}
+
+TEST_F(RouterTest, TransientReadFaultOnPrimaryFailsOverToReplica) {
+  ShardedStorageRouter router(&meter_, 4);
+  PageAllocOptions options;
+  options.replicated = true;
+  options.node_hint = 0;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(router.WritePage(*id, *Filled("both copies")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  FaultSpec spec = FaultSpec::OneShot(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("node0.disk.read", spec);
+  Page out;
+  out.Init();
+  // The shadow holds the same synced bytes, so a flaky primary read is
+  // absorbed instead of surfaced.
+  ASSERT_TRUE(router.ReadPage(*id, &out).ok());
+  EXPECT_EQ(out.slot_count(), 1);
+  EXPECT_GE(router.replica_reads(), 1u);
+}
+
+// ------------------------------------------------- replicated manifest
+
+ManifestRecord Rec(const std::string& table) {
+  return ManifestRecord::CreateTable(table, Schema({{"x", TypeId::kInt64}}),
+                                     false);
+}
+
+class ReplicatedManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(ReplicatedManifestTest, SingleReplicaBehavesLikePlainManifest) {
+  ReplicatedManifest manifest(1);
+  EXPECT_EQ(manifest.quorum(), 1u);
+  manifest.Append(Rec("t"));
+  EXPECT_EQ(manifest.staged_count(), 1u);
+  manifest.DropUncommitted();
+  EXPECT_EQ(manifest.committed_count(), 0u);
+  manifest.Append(Rec("t"));
+  ASSERT_TRUE(manifest.Commit().ok());
+  EXPECT_EQ(manifest.committed_count(), 1u);
+  ASSERT_TRUE(manifest.RecoverFromQuorum().ok());
+  EXPECT_EQ(manifest.committed_count(), 1u);
+}
+
+TEST_F(ReplicatedManifestTest, CommitReplicatesToEveryReachableFollower) {
+  ReplicatedManifest manifest(4);
+  EXPECT_EQ(manifest.quorum(), 3u);
+  manifest.Append(Rec("a"));
+  manifest.Append(Rec("b"));
+  ASSERT_TRUE(manifest.Commit().ok());  // one entry, two records
+  for (size_t k = 0; k < 4; k++) EXPECT_EQ(manifest.log_size(k), 1u);
+  EXPECT_EQ(manifest.committed_count(), 2u);
+}
+
+TEST_F(ReplicatedManifestTest, LaggingFollowerIsCaughtUpNextCommit) {
+  ReplicatedManifest manifest(4);
+  FaultSpec miss = FaultSpec::OneShot(1);
+  miss.only_in_region = false;
+  FaultInjector::Global().Arm("node1.manifest.replicate", miss);
+  manifest.Append(Rec("a"));
+  ASSERT_TRUE(manifest.Commit().ok());  // 3/4 acks: 0, 2, 3
+  EXPECT_EQ(manifest.log_size(1), 0u);
+  manifest.Append(Rec("b"));
+  ASSERT_TRUE(manifest.Commit().ok());  // catch-up precedes the append
+  EXPECT_EQ(manifest.log_size(1), 2u);
+}
+
+TEST_F(ReplicatedManifestTest, FailedQuorumRollsBackEverywhere) {
+  ReplicatedManifest manifest(4);
+  FaultSpec miss = FaultSpec::EveryNth(1);
+  miss.only_in_region = false;
+  FaultInjector::Global().Arm("node1.manifest.replicate", miss);
+  FaultInjector::Global().Arm("node2.manifest.replicate", miss);
+  manifest.Append(Rec("doomed"));
+  Status commit = manifest.Commit();  // 2/4 acks < quorum 3
+  EXPECT_EQ(commit.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(commit.IsRetryable());
+  EXPECT_EQ(manifest.quorum_failures(), 1u);
+  // The entry survives on no log — a later election cannot resurrect an
+  // operation the caller was told failed.
+  for (size_t k = 0; k < 4; k++) EXPECT_EQ(manifest.log_size(k), 0u);
+  EXPECT_EQ(manifest.committed_count(), 0u);
+  EXPECT_EQ(manifest.staged_count(), 0u);
+
+  // The operation can simply be retried once replication heals.
+  FaultInjector::Global().Reset();
+  manifest.Append(Rec("retried"));
+  ASSERT_TRUE(manifest.Commit().ok());
+  EXPECT_EQ(manifest.committed_count(), 1u);
+}
+
+TEST_F(ReplicatedManifestTest, LeaderDeathElectsSurvivorAndBumpsTerm) {
+  ReplicatedManifest manifest(4);
+  manifest.Append(Rec("a"));
+  ASSERT_TRUE(manifest.Commit().ok());
+  const uint64_t term_before = manifest.term();
+  ASSERT_EQ(manifest.leader(), 0u);
+
+  manifest.KillReplica(0);
+  manifest.Append(Rec("b"));
+  ASSERT_TRUE(manifest.Commit().ok());  // fail-over inside Commit
+  EXPECT_NE(manifest.leader(), 0u);
+  EXPECT_GT(manifest.term(), term_before);
+  EXPECT_EQ(manifest.committed_count(), 2u);
+}
+
+TEST_F(ReplicatedManifestTest, RecoversFromQuorumAfterNodeLoss) {
+  ReplicatedManifest manifest(4);
+  // Let follower 3 lag one entry so recovery has healing to do.
+  manifest.Append(Rec("a"));
+  ASSERT_TRUE(manifest.Commit().ok());
+  FaultSpec miss = FaultSpec::OneShot(1);
+  miss.only_in_region = false;
+  FaultInjector::Global().Arm("node3.manifest.replicate", miss);
+  manifest.Append(Rec("b"));
+  ASSERT_TRUE(manifest.Commit().ok());
+  ASSERT_EQ(manifest.log_size(3), 1u);
+
+  manifest.KillReplica(0);  // the leader dies
+  ASSERT_TRUE(manifest.RecoverFromQuorum().ok());
+  EXPECT_NE(manifest.leader(), 0u);
+  EXPECT_EQ(manifest.committed_count(), 2u);  // nothing committed is lost
+  EXPECT_EQ(manifest.log_size(3), 2u);        // the laggard is healed
+
+  // Losing a second node leaves 2 < quorum 3: the manifest can no
+  // longer be trusted.
+  manifest.KillReplica(1);
+  EXPECT_EQ(manifest.RecoverFromQuorum().code(), StatusCode::kDataLoss);
+}
+
+// --------------------------------------------- database-level recovery
+
+/// MakeTwoTableDb on a 4-node sharded tier (quorum 3).
+Database* MakeShardedDb(size_t rows_r, size_t rows_s, uint64_t seed = 7) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 256;
+  options.storage_nodes = 4;
+
+  auto* db = new Database(options);
+  Schema r_schema({{"r_id", TypeId::kInt64},
+                   {"r_a", TypeId::kInt64},
+                   {"r_b", TypeId::kDouble},
+                   {"r_s", TypeId::kString}});
+  Schema s_schema({{"s_id", TypeId::kInt64},
+                   {"s_rid", TypeId::kInt64},
+                   {"s_c", TypeId::kInt64}});
+  if (!db->CreateTable("r", r_schema).ok()) return db;
+  if (!db->CreateTable("s", s_schema).ok()) return db;
+
+  Rng rng(seed);
+  const char* strs[] = {"alpha", "beta", "gamma"};
+  std::vector<Tuple> r_rows;
+  for (size_t i = 0; i < rows_r; i++) {
+    r_rows.push_back(Tuple{Value(static_cast<int64_t>(i)),
+                           Value(rng.NextInt(0, 99)),
+                           Value(rng.NextDouble(0, 1000)),
+                           Value(std::string(strs[i % 3]))});
+  }
+  (void)db->BulkLoad("r", r_rows);
+  std::vector<Tuple> s_rows;
+  for (size_t i = 0; i < rows_s; i++) {
+    s_rows.push_back(Tuple{
+        Value(static_cast<int64_t>(i)),
+        Value(rng.NextInt(0, static_cast<int64_t>(rows_r) - 1)),
+        Value(rng.NextInt(0, 49))});
+  }
+  (void)db->BulkLoad("s", s_rows);
+  return db;
+}
+
+uint64_t CatalogPages(const Database& db) {
+  uint64_t total = 0;
+  for (const auto& name : db.catalog().TableNames()) {
+    total += db.catalog().GetTable(name)->heap->page_count();
+  }
+  return total;
+}
+
+std::vector<std::string> RowSet(const QueryResult& result) {
+  std::vector<size_t> order(result.schema.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.schema.column(a).name < result.schema.column(b).name;
+  });
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const Tuple& tuple : result.rows) {
+    std::string s;
+    for (size_t i : order) {
+      s += result.schema.column(i).name;
+      s += '=';
+      s += tuple[i].ToString();
+      s += '|';
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class NodeLossDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  QueryGraph JoinQuery() {
+    QueryGraph q;
+    q.AddJoin(RsJoin());
+    q.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{40})));
+    return q;
+  }
+};
+
+TEST_F(NodeLossDbTest, BaseTablesAreShardedAcrossEveryNode) {
+  std::unique_ptr<Database> db(MakeShardedDb(400, 1200));
+  std::set<uint32_t> nodes_used;
+  for (const auto& name : db->catalog().TableNames()) {
+    for (page_id_t page : db->catalog().GetTable(name)->heap->pages()) {
+      nodes_used.insert(PageNode(page));
+    }
+  }
+  EXPECT_EQ(nodes_used.size(), 4u);
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+  EXPECT_EQ(db->manifest().replica_count(), 4u);
+}
+
+TEST_F(NodeLossDbTest, SurvivesLosingAnySingleNodeBitIdentically) {
+  for (size_t victim = 0; victim < 4; victim++) {
+    SCOPED_TRACE("killing node " + std::to_string(victim));
+    std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+    ExecuteOptions exec;
+    exec.keep_rows = true;
+    auto before = db->Execute(JoinQuery(), exec);
+    ASSERT_TRUE(before.ok());
+    const uint64_t pages_before = db->disk_manager().live_pages();
+
+    db->KillNode(victim);
+    ASSERT_TRUE(db->Reopen().ok());
+
+    const RecoveryStats& stats = db->last_recovery();
+    EXPECT_EQ(stats.nodes_lost, 1u);
+    EXPECT_EQ(stats.tables_recovered, 2u);
+    EXPECT_EQ(stats.orphan_pages_per_node_audit, 0u);
+    EXPECT_EQ(db->manifest().alive_replicas(), 3u);
+    EXPECT_EQ(db->disk_manager().live_pages(), pages_before);
+    EXPECT_EQ(db->disk_manager().live_pages(), CatalogPages(*db));
+
+    auto after = db->Execute(JoinQuery(), exec);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(RowSet(*after), RowSet(*before));
+  }
+}
+
+TEST_F(NodeLossDbTest, MatviewStaysOnOneNodeAndDiesWithIt) {
+  std::unique_ptr<Database> db(MakeShardedDb(400, 1200));
+  const uint64_t base_pages = db->disk_manager().live_pages();
+  ASSERT_TRUE(db->Materialize(JoinQuery(), "mv_doomed").ok());
+  const TableInfo* mv = db->catalog().GetTable("mv_doomed");
+  ASSERT_NE(mv, nullptr);
+  ASSERT_FALSE(mv->heap->pages().empty());
+  // Node stickiness: every page of an unreplicated matview shares one
+  // node, so a node loss takes whole matviews, never shreds them.
+  const uint32_t home = PageNode(mv->heap->pages().front());
+  for (page_id_t page : mv->heap->pages()) {
+    EXPECT_EQ(PageNode(page), home);
+  }
+
+  db->KillNode(home);
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().matviews_lost_with_node, 1u);
+  EXPECT_EQ(db->catalog().GetTable("mv_doomed"), nullptr);
+  EXPECT_FALSE(db->views().Contains("mv_doomed"));
+  EXPECT_EQ(db->disk_manager().live_pages(), base_pages);
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+
+  // Queries keep working without the view.
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  EXPECT_TRUE(db->Execute(JoinQuery(), exec).ok());
+}
+
+TEST_F(NodeLossDbTest, MatviewOnSurvivingNodeOutlivesTheLoss) {
+  std::unique_ptr<Database> db(MakeShardedDb(400, 1200));
+  ASSERT_TRUE(db->Materialize(JoinQuery(), "mv_safe").ok());
+  const TableInfo* mv = db->catalog().GetTable("mv_safe");
+  ASSERT_NE(mv, nullptr);
+  const uint32_t home = PageNode(mv->heap->pages().front());
+
+  db->KillNode((home + 1) % 4);  // any node but the matview's
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().matviews_lost_with_node, 0u);
+  EXPECT_EQ(db->last_recovery().matviews_recovered, 1u);
+  EXPECT_TRUE(db->views().Contains("mv_safe"));
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+}
+
+TEST_F(NodeLossDbTest, LosingTwoNodesIsUnrecoverable) {
+  std::unique_ptr<Database> db(MakeShardedDb(200, 600));
+  db->KillNode(1);
+  db->KillNode(2);
+  // 2 of 4 manifest replicas < quorum 3 — and base pages may have lost
+  // both copies. Reopen surfaces the loss instead of serving guesses.
+  EXPECT_EQ(db->Reopen().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(NodeLossDbTest, SingleNodeDatabaseIgnoresNodeApi) {
+  std::unique_ptr<Database> db(testutil::MakeTwoTableDb(100, 300));
+  EXPECT_EQ(db->storage().node_count(), 1u);
+  db->KillNode(0);  // no-op: there is no node to lose
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().nodes_lost, 0u);
+  EXPECT_EQ(db->disk_manager().live_pages(), CatalogPages(*db));
+}
+
+// ------------------------------------------------ randomized schedules
+
+TraceEvent SelAdd(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent SelDel(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kRemoveSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent JoinAdd(JoinPred j) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddJoin;
+  e.join = std::move(j);
+  return e;
+}
+
+/// Deterministic synthetic session over the r/s schema (the crash
+/// harness's generator): formulations of 1-3 selections, optional join,
+/// churn edits, GOs, inter-query retention.
+Trace MakeNodeLossTrace(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+  Trace trace;
+  trace.user_id = seed;
+  trace.seed = seed;
+  double t = 1.0;
+  auto emit = [&](TraceEvent e) {
+    t += rng.NextDouble(0.5, 6.0);
+    e.timestamp = t;
+    trace.events.push_back(std::move(e));
+  };
+
+  const bool use_join = rng.NextBool(0.7);
+  bool join_present = false;
+  std::vector<SelectionPred> present;
+  int64_t next_r = 3, next_s = 2;
+  auto draw_sel = [&](bool on_s) {
+    if (on_s) {
+      next_s += 3;
+      return Sel("s", "s_c", CompareOp::kLt, Value(next_s));
+    }
+    next_r += 5;
+    return Sel("r", "r_a", CompareOp::kLt, Value(next_r));
+  };
+
+  const size_t queries = 4 + rng.NextRange(3);
+  for (size_t q = 0; q < queries; q++) {
+    if (use_join && !join_present) {
+      emit(JoinAdd(RsJoin()));
+      join_present = true;
+    }
+    bool has_r = false;
+    for (const auto& s : present) has_r |= s.table == "r";
+    size_t adds = (has_r ? 0 : 1) + rng.NextRange(2);
+    for (size_t a = 0; a < adds || !has_r; a++) {
+      bool on_s = join_present && rng.NextBool(0.4) && has_r;
+      SelectionPred sel = draw_sel(on_s);
+      present.push_back(sel);
+      has_r |= sel.table == "r";
+      emit(SelAdd(sel));
+    }
+    if (rng.NextBool(0.4)) {
+      SelectionPred churn = draw_sel(join_present);
+      emit(SelAdd(churn));
+      emit(SelDel(churn));
+    }
+    TraceEvent go;
+    go.type = TraceEventType::kGo;
+    emit(go);
+    for (size_t i = present.size(); i-- > 0;) {
+      if (rng.NextBool(0.35)) {
+        emit(SelDel(present[i]));
+        present.erase(present.begin() + i);
+      }
+    }
+  }
+  return trace;
+}
+
+struct NodeLossRunResult {
+  std::vector<std::vector<std::string>> results;
+  size_t recoveries = 0;
+  size_t nodes_killed = 0;
+};
+
+/// Replay one trace on a 4-node database. When `kill_node` is set, one
+/// randomly chosen node is permanently killed at a random event
+/// boundary; transient per-node partitions and disk faults fire inside
+/// speculative work throughout. Every kill or crash is followed by
+/// Database::Reopen() + SpeculationEngine::RecoverAfterCrash(), after
+/// which zero orphans must remain on every surviving node.
+Result<NodeLossRunResult> RunNodeLossSession(
+    Database* db, const Trace& trace,
+    const SpeculationEngineOptions& options, uint64_t seed, bool inject) {
+  SQP_RETURN_IF_ERROR(db->ColdStart());
+  SimServer server;
+  SpeculationEngine engine(db, &server, options);
+  Rng rng(seed * 0x6a09e667f3bcc909ULL + 17);
+  NodeLossRunResult out;
+  double exec_offset = 0;
+  const size_t kill_at =
+      inject ? rng.NextRange(trace.events.size()) : trace.events.size();
+  const size_t victim = rng.NextRange(4);
+
+  auto recover = [&](double sim_time) -> Status {
+    out.recoveries++;
+    SQP_RETURN_IF_ERROR(db->Reopen());
+    SQP_RETURN_IF_ERROR(engine.RecoverAfterCrash(sim_time));
+    if (db->disk_manager().live_pages() != CatalogPages(*db)) {
+      return Status::Internal("orphan pages survived recovery");
+    }
+    if (db->storage().OrphanPhysicalPages() != 0) {
+      return Status::Internal("per-node orphan audit failed");
+    }
+    return Status::OK();
+  };
+
+  for (size_t e = 0; e < trace.events.size(); e++) {
+    const TraceEvent& event = trace.events[e];
+    double sim_time = event.timestamp + exec_offset;
+    server.AdvanceTo(sim_time);
+    if (e == kill_at) {
+      db->KillNode(victim);
+      out.nodes_killed++;
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+    }
+    if (inject && rng.NextBool(0.03)) {
+      db->SimulateCrash();  // plug pulled between operations
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+    }
+    if (event.type != TraceEventType::kGo) {
+      SQP_RETURN_IF_ERROR(engine.OnUserEvent(event, sim_time));
+      if (db->disk_manager().has_crashed()) {
+        SQP_RETURN_IF_ERROR(recover(sim_time));
+      }
+      continue;
+    }
+    QueryGraph final_query = engine.partial();
+    auto submit_time = engine.OnGo(sim_time);
+    if (!submit_time.ok()) return submit_time.status();
+    if (db->disk_manager().has_crashed()) {
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+    }
+    if (*submit_time > sim_time) {
+      server.AdvanceTo(*submit_time);
+      SQP_RETURN_IF_ERROR(engine.ResolveWait(*submit_time));
+    }
+    ExecuteOptions exec;
+    exec.keep_rows = true;
+    exec.view_mode = options.enabled ? engine.final_view_mode()
+                                     : ViewMode::kCostBased;
+    auto result = db->Execute(final_query, exec);
+    if (!result.ok()) {
+      if (!db->disk_manager().has_crashed()) return result.status();
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+      result = db->Execute(final_query, exec);
+      if (!result.ok()) return result.status();
+    }
+    SimServer::JobId job = server.Submit(result->seconds);
+    double done = server.RunUntilComplete(job);
+    exec_offset += done - sim_time;
+    SQP_RETURN_IF_ERROR(engine.OnQueryResult(done));
+    if (db->disk_manager().has_crashed()) {
+      SQP_RETURN_IF_ERROR(recover(done));
+    }
+    out.results.push_back(RowSet(*result));
+  }
+  SQP_RETURN_IF_ERROR(engine.Shutdown());
+  return out;
+}
+
+TEST(NodeLossChaosTest, RandomizedNodeLossSchedulesRecoverToBaseline) {
+  uint64_t base_seed = 1;
+  if (const char* env = std::getenv("SQP_NODELOSS_SEED")) {
+    base_seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  size_t total_kills = 0;
+  size_t total_recoveries = 0;
+  for (uint64_t i = 0; i < 10; i++) {
+    const uint64_t seed = base_seed * 1000 + i;
+    SCOPED_TRACE("node-loss seed " + std::to_string(seed));
+    Trace trace = MakeNodeLossTrace(seed);
+
+    // Node loss is permanent, so each schedule gets a fresh pair of
+    // identically-seeded 4-node databases: a fault-free oracle and a
+    // victim that loses a node mid-session.
+    std::unique_ptr<Database> oracle(MakeShardedDb(300, 900));
+    std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+    FaultInjector::Global().Reset();
+
+    SpeculationEngineOptions off;
+    off.enabled = false;
+    auto baseline = RunNodeLossSession(oracle.get(), trace, off, seed,
+                                       /*inject=*/false);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    ASSERT_EQ(baseline->nodes_killed, 0u);
+
+    // The victim runs speculation with per-node transient faults armed
+    // (they hit speculative work only) plus the one permanent kill.
+    Rng arm_rng(seed * 7919 + 29);
+    FaultInjector& injector = FaultInjector::Global();
+    injector.Reset();
+    injector.Seed(seed * 31 + 13);
+    for (size_t k = 0; k < 4; k++) {
+      std::string tag = "node" + std::to_string(k);
+      injector.Arm(tag + ".partition",
+                   FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.02)));
+      injector.Arm(tag + ".disk.read",
+                   FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.01)));
+      injector.Arm(tag + ".disk.write",
+                   FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.01)));
+    }
+
+    SpeculationEngineOptions on;
+    on.enabled = true;
+    on.max_retries = 1;
+    on.retry_backoff_seconds = 0.25;
+    on.circuit_breaker_threshold = 4;
+    on.circuit_breaker_cooldown_seconds = 15.0;
+    auto survived =
+        RunNodeLossSession(db.get(), trace, on, seed, /*inject=*/true);
+    FaultInjector::Global().Reset();
+    ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+    total_kills += survived->nodes_killed;
+    total_recoveries += survived->recoveries;
+
+    // (a) Results bit-identical to the fault-free run.
+    ASSERT_EQ(survived->results.size(), baseline->results.size());
+    for (size_t q = 0; q < baseline->results.size(); q++) {
+      EXPECT_EQ(survived->results[q], baseline->results[q])
+          << "query " << q << " diverged after node loss";
+    }
+
+    // (b) The manifest recovered from a quorum of surviving replicas.
+    EXPECT_GE(db->manifest().alive_replicas(), db->manifest().quorum());
+
+    // (c) No residue: speculative state gone, zero orphans on every
+    // surviving node, committed base tables fully available.
+    EXPECT_EQ(db->views().size(), 0u);
+    EXPECT_EQ(db->catalog().MaterializedTableNames().size(), 0u);
+    ASSERT_EQ(db->disk_manager().live_pages(), CatalogPages(*db));
+    ASSERT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+  }
+  // The sweep must actually have killed nodes, or it proved nothing.
+  EXPECT_GT(total_kills, 0u);
+  EXPECT_GT(total_recoveries, 0u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "storage/tuple.h"
