@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the membership fuzz harness under distinct base seeds.
+#
+# Each membership_test invocation internally replays 10 randomized
+# membership schedules starting at SQP_MEMBERSHIP_SEED, each on a fresh
+# 4-node (quorum-3) database: joins, decommissions, quorum-guarded
+# kills, budgeted repairs, and plug-pull crashes fire at random event
+# boundaries while a synthetic speculation session replays, with
+# low-probability joint-quorum and rebalance-copy faults armed
+# throughout. The default sweep of 10 base seeds covers 100 schedules
+# (SQP_SWEEP_SEEDS scales the base-seed count; the nightly CI uses
+# 100 -> 1000 schedules). Every schedule must (a) return final-query
+# results bit-identical to a fault-free run, (b) end with zero orphan
+# pages and zero shadow-only pages once repair completes, and (c) leave
+# the manifest configuration healthy (quorum reachable, no transition
+# left open).
+#
+# Every seed runs even after a failure; failed seeds are listed at the
+# end and the script exits non-zero, so one failure cannot mask another.
+#
+# Usage: scripts/check_membership.sh [path-to-membership_test-binary]
+set -euo pipefail
+
+BIN="${1:-build/tests/membership_test}"
+if [ ! -x "$BIN" ]; then
+  echo "error: membership_test binary not found at '$BIN'" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+SWEEP_SEEDS="${SQP_SWEEP_SEEDS:-10}"
+failed_seeds=()
+for ((i = 0; i < SWEEP_SEEDS; i++)); do
+  seed=$((1 + i * 100))
+  echo "=== membership sweep: base seed $seed ==="
+  if ! SQP_MEMBERSHIP_SEED="$seed" "$BIN" \
+      --gtest_filter='MembershipFuzzTest.*' --gtest_brief=1; then
+    failed_seeds+=("$seed")
+  fi
+done
+
+if [ "${#failed_seeds[@]}" -gt 0 ]; then
+  echo "check_membership: FAILED seeds: ${failed_seeds[*]}" >&2
+  exit 1
+fi
+echo "check_membership: all $SWEEP_SEEDS seed sweeps passed"

@@ -29,6 +29,10 @@ enum class StatusCode {
   /// its checksum, or the disk crashed and must be reopened. Never
   /// retryable — the damage is in the stored bytes, not the operation.
   kDataLoss,
+  /// The system is not in a state where this operation is allowed
+  /// (e.g. killing a node would break manifest quorum). The operation
+  /// was refused before any state changed.
+  kFailedPrecondition,
 };
 
 /// Outcome of an operation that can fail. Cheap to copy when OK.
@@ -60,6 +64,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

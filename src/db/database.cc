@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cassert>
 #include <iterator>
 #include <set>
 
@@ -20,7 +21,7 @@ Database::Database(DatabaseOptions options)
                 options.manifest_quorum) {
   disk_ = std::make_unique<ShardedStorageRouter>(
       &meter_, options_.storage_nodes == 0 ? 1 : options_.storage_nodes,
-      options_.replication_factor);
+      options_.replication_factor, options_.replica_read_balancing);
   pool_ = std::make_unique<BufferPool>(disk_.get(),
                                        options_.buffer_pool_pages);
   catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
@@ -386,13 +387,469 @@ void Database::SimulateCrash() {
   manifest_.DropUncommitted();
 }
 
-void Database::KillNode(size_t k) {
-  if (disk_->node_count() <= 1 || k >= disk_->node_count()) return;
+Status Database::KillNode(size_t k) {
+  if (disk_->node_count() <= 1 || k >= disk_->node_count()) {
+    return Status::OK();  // no node API on a single-node database
+  }
+  if (!disk_->NodeAlive(k)) return Status::OK();  // idempotent
+  if (manifest_.WouldBreakQuorum(k)) {
+    // Refuse to ruin the cluster: below quorum the manifest — and with
+    // it every committed table — is unrecoverable. Repair() after the
+    // earlier loss shrinks the configuration so the next kill passes.
+    return Status::FailedPrecondition(
+        "killing node " + std::to_string(k) +
+        " would break manifest quorum (" +
+        std::to_string(manifest_.alive_members()) + " alive members, " +
+        "quorum " + std::to_string(manifest_.quorum()) +
+        "); run Repair() or add nodes first");
+  }
   disk_->KillNode(k);
   manifest_.KillReplica(k);
   MetricsRegistry::Global().GetCounter("storage.node.lost")->Increment();
   SQP_LOG_DEBUG << "node " << k << " lost (" << disk_->alive_nodes() << "/"
                 << disk_->node_count() << " alive)";
+  return Status::OK();
+}
+
+size_t Database::LeastLoadedAliveNode(size_t exclude, size_t exclude2) const {
+  size_t best = disk_->node_count();
+  size_t best_load = 0;
+  for (size_t k = 0; k < disk_->node_count(); k++) {
+    if (k == exclude || k == exclude2 || !disk_->NodeAlive(k)) continue;
+    size_t load = disk_->PagesWithPrimaryOn(k).size();
+    if (best == disk_->node_count() || load < best_load) {
+      best = k;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+Status Database::MoveShard(size_t s, size_t target) {
+  const size_t old_home = disk_->shard_home(s);
+  std::vector<ShardedStorageRouter::StagedCopy> staged;
+  auto abort_all = [&] {
+    for (const auto& copy : staged) disk_->AbortCopy(copy);
+  };
+  for (page_id_t global : disk_->PagesInShard(s)) {
+    if (disk_->PagePrimaryNode(global) != old_home) continue;
+    auto copy = disk_->StageCopy(global, target, /*as_primary=*/true);
+    if (!copy.ok()) {
+      abort_all();
+      return copy.status();
+    }
+    staged.push_back(*copy);
+    if (disk_->PageReplicaNode(global) == target) {
+      // The shadow already lives on the target: moving the primary
+      // there too would collapse both copies onto one node. Relocate
+      // the shadow back to the old home (alive, and now primary-free
+      // for this page).
+      auto shadow = disk_->StageCopy(global, old_home, /*as_primary=*/false);
+      if (!shadow.ok()) {
+        abort_all();
+        return shadow.status();
+      }
+      staged.push_back(*shadow);
+    }
+  }
+  // Crash-safe ordering: staged bytes become durable, then the manifest
+  // commit group records the move, then placements flip. A crash
+  // replays to exactly one owner — before the commit the old placements
+  // stand and the staged pages are physical orphans; after it the flip
+  // is deterministic replay state.
+  Status synced = disk_->Sync();
+  if (!synced.ok()) {
+    abort_all();
+    return synced;
+  }
+  manifest_.Append(
+      ManifestRecord::ShardMove(s, static_cast<uint32_t>(target)));
+  Status committed = manifest_.Commit();
+  if (!committed.ok()) {
+    abort_all();
+    return committed;
+  }
+  for (const auto& copy : staged) {
+    SQP_RETURN_IF_ERROR(disk_->CommitCopy(copy));
+  }
+  disk_->SetShardHome(s, target);
+  MetricsRegistry::Global().GetCounter("membership.shards_moved")->Increment();
+  return Status::OK();
+}
+
+Status Database::RebalanceOntoNode(size_t node) {
+  const size_t fair = disk_->shard_count() / disk_->alive_nodes();
+  while (disk_->ShardsHomedAt(node).size() < fair) {
+    // Donor: the node homing the most slots (ties to the lowest id);
+    // take its lowest slot. Fully deterministic, so every replay moves
+    // the same pages.
+    size_t donor = disk_->node_count();
+    size_t donor_slots = 0;
+    for (size_t k = 0; k < disk_->node_count(); k++) {
+      if (k == node || !disk_->NodeAlive(k)) continue;
+      size_t held = disk_->ShardsHomedAt(k).size();
+      if (held > donor_slots) {
+        donor = k;
+        donor_slots = held;
+      }
+    }
+    if (donor >= disk_->node_count() || donor_slots == 0) break;
+    SQP_RETURN_IF_ERROR(MoveShard(disk_->ShardsHomedAt(donor).front(), node));
+  }
+  return Status::OK();
+}
+
+Status Database::DrainNode(size_t k) {
+  // Shard homes first: each slot moves with its pages under its own
+  // commit group.
+  for (size_t s : disk_->ShardsHomedAt(k)) {
+    size_t target = LeastLoadedAliveNode(k);
+    if (target >= disk_->node_count()) {
+      return Status::FailedPrecondition("no surviving node to drain to");
+    }
+    SQP_RETURN_IF_ERROR(MoveShard(s, target));
+  }
+  // Remaining placements: node-sticky matview primaries and shadows.
+  std::vector<ShardedStorageRouter::StagedCopy> staged;
+  auto abort_all = [&] {
+    for (const auto& copy : staged) disk_->AbortCopy(copy);
+  };
+  for (page_id_t global : disk_->PagesWithPrimaryOn(k)) {
+    size_t target = LeastLoadedAliveNode(k, disk_->PageReplicaNode(global));
+    if (target >= disk_->node_count()) {
+      abort_all();
+      return Status::FailedPrecondition("no surviving node to drain to");
+    }
+    auto copy = disk_->StageCopy(global, target, /*as_primary=*/true);
+    if (!copy.ok()) {
+      abort_all();
+      return copy.status();
+    }
+    staged.push_back(*copy);
+  }
+  for (page_id_t global : disk_->PagesWithReplicaOn(k)) {
+    size_t target = LeastLoadedAliveNode(k, disk_->PagePrimaryNode(global));
+    if (target >= disk_->node_count()) {
+      abort_all();
+      return Status::FailedPrecondition("no surviving node to drain to");
+    }
+    auto copy = disk_->StageCopy(global, target, /*as_primary=*/false);
+    if (!copy.ok()) {
+      abort_all();
+      return copy.status();
+    }
+    staged.push_back(*copy);
+  }
+  if (!staged.empty()) {
+    Status synced = disk_->Sync();
+    if (!synced.ok()) {
+      abort_all();
+      return synced;
+    }
+    manifest_.Append(ManifestRecord::Repair(
+        "drain node " + std::to_string(k) + ": " +
+        std::to_string(staged.size()) + " copies"));
+    Status committed = manifest_.Commit();
+    if (!committed.ok()) {
+      abort_all();
+      return committed;
+    }
+    for (const auto& copy : staged) {
+      SQP_RETURN_IF_ERROR(disk_->CommitCopy(copy));
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> Database::AddNode() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (disk_->node_count() <= 1) {
+    return Status::FailedPrecondition(
+        "single-node database has no membership");
+  }
+  if (disk_->has_crashed()) {
+    return Status::FailedPrecondition(
+        "reopen required before membership changes");
+  }
+  if (disk_->node_count() >= kMaxStorageNodes) {
+    return Status::InvalidArgument("storage tier is full");
+  }
+  const double sim_before = meter_.ElapsedSeconds();
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->BeginSpan("db.membership.add", "membership",
+                                      sim_before);
+  }
+  auto end_span = [&](const char* note) {
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(span, meter_.ElapsedSeconds(), note);
+    }
+  };
+  // Two-phase joint consensus: the joint configuration commits under
+  // both quorums, then the final configuration seals the handover.
+  auto joined = manifest_.BeginAddReplica();
+  if (!joined.ok()) {
+    registry.GetCounter("membership.jointcommit_failures")->Increment();
+    end_span("joint config refused");
+    return joined.status();
+  }
+  size_t node = disk_->AddNode();
+  assert(node == *joined && "router/manifest node ids diverged");
+  Status sealed = manifest_.CompleteMembershipChange();
+  if (!sealed.ok()) {
+    // Deterministic rollback: configuration reverts, and the (still
+    // empty) router node retires so ids stay aligned for a later join.
+    (void)manifest_.AbortMembershipChange();
+    (void)disk_->RetireNode(node);
+    registry.GetCounter("membership.jointcommit_failures")->Increment();
+    end_span("joint final refused");
+    return sealed;
+  }
+  registry.GetCounter("membership.joins")->Increment();
+  SQP_LOG_DEBUG << "node " << node << " joined (" << disk_->alive_nodes()
+                << " alive)";
+  // Minimal rebalance: whole shard slots move until the new node holds
+  // its fair share. A failure here leaves a consistent (merely
+  // imbalanced) cluster — the membership itself stands.
+  Status moved = RebalanceOntoNode(node);
+  if (!moved.ok()) {
+    end_span("rebalance failed");
+    return moved;
+  }
+  end_span("joined");
+  return node;
+}
+
+Status Database::DecommissionNode(size_t k) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (disk_->node_count() <= 1) {
+    return Status::FailedPrecondition(
+        "single-node database has no membership");
+  }
+  if (k >= disk_->node_count()) {
+    return Status::InvalidArgument("no such node " + std::to_string(k));
+  }
+  if (disk_->NodeRetired(k)) return Status::OK();  // idempotent
+  if (!disk_->NodeAlive(k)) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(k) + " is dead; run Repair() instead");
+  }
+  if (disk_->has_crashed()) {
+    return Status::FailedPrecondition(
+        "reopen required before membership changes");
+  }
+  if (disk_->alive_nodes() <= 2) {
+    return Status::FailedPrecondition(
+        "replication needs at least two remaining nodes");
+  }
+  const double sim_before = meter_.ElapsedSeconds();
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->BeginSpan("db.membership.decommission",
+                                      "membership", sim_before);
+  }
+  auto end_span = [&](const char* note) {
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(span, meter_.ElapsedSeconds(), note);
+    }
+  };
+  Status begun = manifest_.BeginRemoveReplicas({k});
+  if (!begun.ok()) {
+    end_span("joint config refused");
+    return begun;
+  }
+  // Every drain commit below runs under the joint rule: both the old
+  // and the new configuration must ack, so neither can later disown
+  // the moves.
+  Status drained = DrainNode(k);
+  if (!drained.ok()) {
+    (void)manifest_.AbortMembershipChange();
+    end_span("drain failed");
+    return drained;
+  }
+  Status sealed = manifest_.CompleteMembershipChange();
+  if (!sealed.ok()) {
+    (void)manifest_.AbortMembershipChange();
+    registry.GetCounter("membership.jointcommit_failures")->Increment();
+    end_span("joint final refused");
+    return sealed;
+  }
+  Status retired = disk_->RetireNode(k);
+  assert(retired.ok() && "decommission left placements behind");
+  (void)retired;
+  manifest_.KillReplica(k);  // the replica leaves service with its node
+  registry.GetCounter("membership.decommissions")->Increment();
+  SQP_LOG_DEBUG << "node " << k << " decommissioned ("
+                << disk_->alive_nodes() << " alive)";
+  end_span("decommissioned");
+  return Status::OK();
+}
+
+Result<RepairStats> Database::Repair(size_t max_pages) {
+  RepairStats stats;
+  if (disk_->node_count() <= 1) {
+    stats.complete = true;
+    last_repair_ = stats;
+    return stats;
+  }
+  if (disk_->has_crashed()) {
+    return Status::FailedPrecondition("reopen required before repair");
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const double sim_before = meter_.ElapsedSeconds();
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->BeginSpan("db.repair", "repair", sim_before);
+  }
+  auto end_span = [&](const char* note) {
+    if (options_.tracer != nullptr) {
+      options_.tracer->EndSpan(span, meter_.ElapsedSeconds(), note);
+    }
+  };
+  // 1. Shrink the manifest configuration past dead members, so quorum
+  // is judged against the survivors and the *next* loss is tolerable.
+  std::vector<size_t> dead = manifest_.DeadMembers();
+  if (!dead.empty() && !manifest_.in_joint_transition()) {
+    Status begun = manifest_.BeginRemoveReplicas(dead);
+    if (!begun.ok()) {
+      end_span("config shrink refused");
+      return begun;
+    }
+    Status sealed = manifest_.CompleteMembershipChange();
+    if (!sealed.ok()) {
+      (void)manifest_.AbortMembershipChange();
+      end_span("config shrink failed");
+      return sealed;
+    }
+    stats.members_removed = dead.size();
+  }
+  // 2. Re-home shard slots whose home node died. No copies move here:
+  // the slot's pages get fresh primaries in step 3; the new home only
+  // steers future allocations.
+  std::vector<std::pair<size_t, size_t>> rehomes;
+  std::vector<size_t> pending_slots(disk_->node_count(), 0);
+  for (size_t s = 0; s < disk_->shard_count(); s++) {
+    if (disk_->NodeAlive(disk_->shard_home(s))) continue;
+    size_t target = disk_->node_count();
+    size_t target_load = 0;
+    for (size_t k = 0; k < disk_->node_count(); k++) {
+      if (!disk_->NodeAlive(k)) continue;
+      size_t load = disk_->ShardsHomedAt(k).size() + pending_slots[k];
+      if (target == disk_->node_count() || load < target_load) {
+        target = k;
+        target_load = load;
+      }
+    }
+    if (target >= disk_->node_count()) {
+      end_span("no node for shard re-home");
+      return Status::DataLoss("no storage node alive");
+    }
+    pending_slots[target]++;
+    rehomes.emplace_back(s, target);
+  }
+  if (!rehomes.empty()) {
+    for (const auto& [s, target] : rehomes) {
+      manifest_.Append(
+          ManifestRecord::ShardMove(s, static_cast<uint32_t>(target)));
+    }
+    Status committed = manifest_.Commit();
+    if (!committed.ok()) {
+      end_span("shard re-home commit failed");
+      return committed;
+    }
+    for (const auto& [s, target] : rehomes) disk_->SetShardHome(s, target);
+    stats.shards_rehomed = rehomes.size();
+  }
+  // 3. Page re-protection under the interruptible budget: promote
+  // shadows whose primary died, then re-replicate bare primaries —
+  // deterministic (global-id) order, all I/O charged on the meter.
+  std::vector<ShardedStorageRouter::RepairNeed> needs =
+      disk_->PagesNeedingRepair();
+  const size_t budget =
+      max_pages == 0 ? needs.size() : std::min(max_pages, needs.size());
+  std::vector<ShardedStorageRouter::StagedCopy> staged;
+  auto abort_all = [&] {
+    for (const auto& copy : staged) disk_->AbortCopy(copy);
+  };
+  size_t skipped = 0;
+  for (size_t i = 0; i < budget; i++) {
+    const auto& need = needs[i];
+    size_t target;
+    bool as_primary;
+    if (need.primary_dead) {
+      // New primary: prefer the page's shard home (keeps the shard
+      // together) unless the shadow already sits there.
+      as_primary = true;
+      uint32_t shadow_node = disk_->PageReplicaNode(need.global);
+      uint32_t shard = disk_->PageShard(need.global);
+      if (shard != PageAllocOptions::kNoShard &&
+          disk_->NodeAlive(disk_->shard_home(shard)) &&
+          disk_->shard_home(shard) != shadow_node) {
+        target = disk_->shard_home(shard);
+      } else {
+        target = LeastLoadedAliveNode(shadow_node);
+      }
+    } else {
+      as_primary = false;
+      target = LeastLoadedAliveNode(disk_->PagePrimaryNode(need.global));
+    }
+    if (target >= disk_->node_count()) {
+      skipped++;  // nowhere to put a second copy (one-node remainder)
+      continue;
+    }
+    auto copy = disk_->StageCopy(need.global, target, as_primary);
+    if (!copy.ok()) {
+      abort_all();
+      end_span("stage failed");
+      return copy.status();
+    }
+    staged.push_back(*copy);
+  }
+  if (!staged.empty()) {
+    Status synced = disk_->Sync();
+    if (!synced.ok()) {
+      abort_all();
+      end_span("sync failed");
+      return synced;
+    }
+    manifest_.Append(ManifestRecord::Repair(
+        "re-protected " + std::to_string(staged.size()) + " pages"));
+    Status committed = manifest_.Commit();
+    if (!committed.ok()) {
+      abort_all();
+      end_span("repair commit failed");
+      return committed;
+    }
+    for (const auto& copy : staged) {
+      SQP_RETURN_IF_ERROR(disk_->CommitCopy(copy));
+      stats.pages_reprotected++;
+    }
+  }
+  stats.pages_remaining = needs.size() - budget + skipped;
+  stats.complete = stats.pages_remaining == 0;
+  if (stats.complete) {
+    // Matviews that died with their node were dropped by Reopen(); the
+    // speculation engine re-derives them as candidates organically.
+    stats.matviews_requeued = last_recovery_.matviews_lost_with_node;
+  }
+  stats.repair_sim_seconds = meter_.ElapsedSeconds() - sim_before;
+  registry.GetCounter("repair.runs")->Increment();
+  registry.GetCounter("repair.pages_reprotected")
+      ->Increment(stats.pages_reprotected);
+  registry.GetCounter("repair.shards_rehomed")
+      ->Increment(stats.shards_rehomed);
+  registry.GetCounter("repair.members_removed")
+      ->Increment(stats.members_removed);
+  registry.GetCounter("repair.matviews_requeued")
+      ->Increment(stats.matviews_requeued);
+  last_repair_ = stats;
+  SQP_LOG_DEBUG << "Repair: " << stats.pages_reprotected
+                << " pages re-protected, " << stats.shards_rehomed
+                << " shards re-homed, " << stats.members_removed
+                << " members removed, " << stats.pages_remaining
+                << " remaining";
+  end_span(stats.complete ? "redundancy restored" : "budget exhausted");
+  return stats;
 }
 
 Status Database::Reopen() {
@@ -422,7 +879,7 @@ Status Database::Reopen() {
   planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
   last_recovery_ = RecoveryStats();
   last_recovery_.manifest_records_replayed = manifest_.committed_count();
-  last_recovery_.nodes_lost = disk_->node_count() - disk_->alive_nodes();
+  last_recovery_.nodes_lost = disk_->killed_nodes();
   const uint64_t checksum_failures_before = disk_->checksum_failures();
 
   ManifestFoldResult fold = FoldManifest(manifest_.committed());
@@ -507,6 +964,10 @@ Status Database::Reopen() {
     SQP_RETURN_IF_ERROR(disk_->DeallocatePage(page_id));
     last_recovery_.orphan_pages_collected++;
   }
+  // Staged rebalance/repair copies a crash cut loose (allocated on the
+  // target but never committed into a placement) are physical orphans:
+  // free them before the audit below.
+  last_recovery_.physical_orphans_collected = disk_->CollectPhysicalOrphans();
   // Per-node audit: after GC no surviving node may hold physical pages
   // that no logical page references.
   last_recovery_.orphan_pages_per_node_audit = disk_->OrphanPhysicalPages();
@@ -529,6 +990,8 @@ Status Database::Reopen() {
       ->Increment(last_recovery_.torn_pages_detected);
   registry.GetCounter("db.recovery.orphan_pages_collected")
       ->Increment(last_recovery_.orphan_pages_collected);
+  registry.GetCounter("db.recovery.physical_orphans_collected")
+      ->Increment(last_recovery_.physical_orphans_collected);
   if (options_.tracer != nullptr) {
     options_.tracer->EndSpan(span, meter_.ElapsedSeconds(), "recovered");
   }

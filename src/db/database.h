@@ -46,13 +46,39 @@ struct RecoveryStats {
   /// Materialized views dropped because some of their (unreplicated)
   /// pages lived on a lost storage node.
   size_t matviews_lost_with_node = 0;
-  /// Storage nodes permanently lost at the time of this recovery.
+  /// Storage nodes permanently lost at the time of this recovery
+  /// (killed; gracefully decommissioned nodes are not lost).
   size_t nodes_lost = 0;
+  /// Physical pages with no logical owner — staged rebalance/repair
+  /// copies a crash cut loose — freed by recovery.
+  size_t physical_orphans_collected = 0;
   /// Physical pages on surviving nodes referenced by no logical page
   /// after recovery — the per-node orphan audit; must be zero.
   size_t orphan_pages_per_node_audit = 0;
   /// Simulated seconds this Reopen() charged (validation scans, GC).
   double recovery_sim_seconds = 0;
+};
+
+/// Counters from the last Repair() pass (re-protection after node loss;
+/// DESIGN.md §13) — surfaced through harness/metrics.
+struct RepairStats {
+  /// Page copies staged + committed to restore redundancy (new
+  /// primaries promoted off shadows, new shadows for bare primaries).
+  size_t pages_reprotected = 0;
+  /// Shard slots re-homed off dead nodes.
+  size_t shards_rehomed = 0;
+  /// Dead members dropped from the manifest configuration.
+  size_t members_removed = 0;
+  /// Matviews that died with a node and are left to the speculation
+  /// engine to re-materialize (they are requeued naturally as
+  /// candidates once dropped from the view registry).
+  size_t matviews_requeued = 0;
+  /// Pages still under-replicated when the pass stopped (budget hit).
+  size_t pages_remaining = 0;
+  /// Every page is back to full redundancy.
+  bool complete = false;
+  /// Simulated seconds this pass charged (copy I/O + syncs).
+  double repair_sim_seconds = 0;
 };
 
 struct DatabaseOptions {
@@ -72,6 +98,9 @@ struct DatabaseOptions {
   size_t replication_factor = 2;
   /// Manifest commit quorum; 0 selects a majority of storage_nodes.
   size_t manifest_quorum = 0;
+  /// Alternate reads of healthy replicated pages between the primary
+  /// and the shadow copy (deterministic round-robin; DESIGN.md §13).
+  bool replica_read_balancing = true;
   /// Optional span tracer: Reopen() records a recovery span when set.
   Tracer* tracer = nullptr;
 };
@@ -179,8 +208,44 @@ class Database {
   /// and manifest replica die with it (DESIGN.md §12). Call Reopen() to
   /// fail over: base tables keep serving from replicas, matviews whose
   /// pages lived there are dropped, and the manifest recovers from the
-  /// surviving quorum. No-op on a single-node database.
-  void KillNode(size_t k);
+  /// surviving quorum. No-op on a single-node database; idempotent on
+  /// an already-dead (or retired) node. kFailedPrecondition when the
+  /// kill would drop the manifest below quorum — the cluster refuses to
+  /// ruin itself; run Repair() after earlier losses first.
+  Status KillNode(size_t k);
+
+  // ------------------------------------- membership & self-healing
+  /// Join a fresh, empty storage node to the cluster (DESIGN.md §13):
+  /// a two-phase joint-consensus manifest membership change, then a
+  /// deterministic minimal shard rebalance onto the new node (page
+  /// copies staged + synced before each per-shard manifest commit
+  /// group flips ownership — crash-safe at every step). Returns the
+  /// new node id. On a joint-quorum failure the change is rolled back
+  /// and the retryable error returned; a rebalance failure after the
+  /// membership committed leaves a consistent (merely imbalanced)
+  /// cluster and surfaces the error.
+  Result<size_t> AddNode();
+
+  /// Gracefully remove alive node `k`: open a joint-consensus
+  /// transition, drain the node (move its shard homes, page primaries
+  /// and shadows to the survivors under the joint quorum), commit the
+  /// final configuration, and retire the node. Idempotent on an
+  /// already-retired node; kFailedPrecondition for a dead node (run
+  /// Repair() instead) or when too few nodes would remain.
+  Status DecommissionNode(size_t k);
+
+  /// Re-protection pass after node loss: drop dead members from the
+  /// manifest configuration, re-home shard slots off dead nodes, and
+  /// re-replicate every degraded page (promote shadows to new
+  /// primaries, stage fresh shadows) so a *second* node loss is
+  /// survivable. Interruptible: `max_pages` > 0 bounds the page copies
+  /// charged in this pass (call again to continue; pages_remaining and
+  /// complete report progress). All work is charged on the simulated
+  /// clock as background cost.
+  Result<RepairStats> Repair(size_t max_pages = 0);
+
+  /// Counters from the last Repair().
+  const RepairStats& last_repair() const { return last_repair_; }
 
   /// Recover from the durable on-disk image: recover the manifest from
   /// a quorum of surviving replicas, replay its committed records,
@@ -227,7 +292,20 @@ class Database {
   std::unique_ptr<Planner> planner_;
   ReplicatedManifest manifest_;
   RecoveryStats last_recovery_;
+  RepairStats last_repair_;
   uint64_t next_matview_id_ = 0;
+
+  /// Stage every page of shard slot `s` onto `target`, sync, commit a
+  /// ShardMove manifest group, then flip placements + slot home.
+  Status MoveShard(size_t s, size_t target);
+  /// Move floor(slots/alive) shard slots onto freshly joined `node`.
+  Status RebalanceOntoNode(size_t node);
+  /// Move every placement off alive node `k` (decommission drain).
+  Status DrainNode(size_t k);
+  /// Least-loaded (by primary-placement count, ties lowest id) alive
+  /// node, excluding `exclude`; node_count() when none.
+  size_t LeastLoadedAliveNode(size_t exclude,
+                              size_t exclude2 = static_cast<size_t>(-1)) const;
 };
 
 }  // namespace sqp

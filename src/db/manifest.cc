@@ -77,6 +77,22 @@ ManifestRecord ManifestRecord::DropTable(std::string table) {
   return r;
 }
 
+ManifestRecord ManifestRecord::ShardMove(uint64_t shard,
+                                         uint32_t target_node) {
+  ManifestRecord r;
+  r.type = ManifestRecordType::kShardMove;
+  r.shard = shard;
+  r.target_node = target_node;
+  return r;
+}
+
+ManifestRecord ManifestRecord::Repair(std::string note) {
+  ManifestRecord r;
+  r.type = ManifestRecordType::kRepair;
+  r.table = std::move(note);
+  return r;
+}
+
 void Manifest::Append(ManifestRecord record) {
   staged_.push_back(std::move(record));
 }
@@ -158,6 +174,12 @@ ManifestFoldResult FoldManifest(const std::vector<ManifestRecord>& records) {
             break;
           }
         }
+        break;
+      case ManifestRecordType::kShardMove:
+      case ManifestRecordType::kRepair:
+        // Placement history, not table state: the router's placement
+        // journal is authoritative; these records only document the
+        // commit points of membership/repair work.
         break;
     }
   }

@@ -39,6 +39,8 @@ enum class ManifestRecordType {
   kDropHistogram,    // table, column
   kRegisterView,     // table, view_definition
   kDropTable,        // table (also drops its indexes/histograms/view)
+  kShardMove,        // shard, target_node (slot re-homed by rebalance)
+  kRepair,           // table carries a note (re-protection marker)
 };
 
 struct ManifestRecord {
@@ -50,6 +52,9 @@ struct ManifestRecord {
   std::vector<page_id_t> pages;
   uint64_t tuple_count = 0;
   QueryGraph view_definition;
+  /// kShardMove: which slot moved and where it now lives.
+  uint64_t shard = 0;
+  uint32_t target_node = 0;
 
   static ManifestRecord CreateTable(std::string table, Schema schema,
                                     bool is_materialized);
@@ -64,6 +69,8 @@ struct ManifestRecord {
   static ManifestRecord RegisterView(std::string table,
                                      QueryGraph definition);
   static ManifestRecord DropTable(std::string table);
+  static ManifestRecord ShardMove(uint64_t shard, uint32_t target_node);
+  static ManifestRecord Repair(std::string note);
 };
 
 class Manifest {

@@ -1,27 +1,40 @@
 #include "db/replicated_manifest.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "storage/page.h"
 
 namespace sqp {
 
+namespace {
+/// Fault point simulating a failed joint quorum during a membership
+/// transition (DESIGN.md §13).
+constexpr const char* kJointCommitPoint = "membership.jointcommit";
+
+bool Contains(const std::vector<size_t>& config, size_t k) {
+  return std::find(config.begin(), config.end(), k) != config.end();
+}
+
+size_t MajorityOf(size_t n) { return n / 2 + 1; }
+}  // namespace
+
 ReplicatedManifest::ReplicatedManifest(size_t replicas, size_t quorum)
-    : quorum_(quorum == 0 ? replicas / 2 + 1 : quorum) {
+    : quorum_(quorum == 0 ? MajorityOf(replicas) : quorum) {
   assert(replicas >= 1);
   assert(quorum_ >= 1 && quorum_ <= replicas);
-  replicas_.resize(replicas);
   FaultInjector& injector = FaultInjector::Global();
   for (size_t k = 0; k < replicas; k++) {
-    std::string tag = "node" + std::to_string(k);
-    replicas_[k].replicate_point = tag + ".manifest.replicate";
-    replicas_[k].partition_point = tag + ".partition";
+    AddReplicaSlot();
     if (replicas > 1) {
       injector.RegisterPoint(replicas_[k].replicate_point);
     }
+    members_.push_back(k);
   }
+  if (replicas > 1) injector.RegisterPoint(kJointCommitPoint);
   MetricsRegistry& registry = MetricsRegistry::Global();
   m_commits_ = registry.GetCounter("manifest.replication.commits");
   m_quorum_failures_ =
@@ -31,24 +44,64 @@ ReplicatedManifest::ReplicatedManifest(size_t replicas, size_t quorum)
       registry.GetCounter("manifest.replication.catchup_entries");
   m_truncated_entries_ =
       registry.GetCounter("manifest.replication.truncated_entries");
+  m_config_commits_ =
+      registry.GetCounter("manifest.replication.config_commits");
+}
+
+void ReplicatedManifest::AddReplicaSlot() {
+  size_t k = replicas_.size();
+  Replica replica;
+  std::string tag = "node" + std::to_string(k);
+  replica.replicate_point = tag + ".manifest.replicate";
+  replica.partition_point = tag + ".partition";
+  replicas_.push_back(std::move(replica));
 }
 
 void ReplicatedManifest::Append(ManifestRecord record) {
   staged_.push_back(std::move(record));
 }
 
-size_t ReplicatedManifest::alive_replicas() const {
+bool ReplicatedManifest::IsMember(size_t k) const {
+  return Contains(members_, k);
+}
+
+bool ReplicatedManifest::IsParticipant(size_t k) const {
+  if (Contains(members_, k)) return true;
+  return target_members_.has_value() && Contains(*target_members_, k);
+}
+
+size_t ReplicatedManifest::AliveIn(const std::vector<size_t>& config) const {
   size_t alive = 0;
-  for (const auto& replica : replicas_) {
-    if (replica.alive) alive++;
+  for (size_t k : config) {
+    if (k < replicas_.size() && replicas_[k].alive) alive++;
   }
   return alive;
+}
+
+size_t ReplicatedManifest::alive_members() const { return AliveIn(members_); }
+
+std::vector<size_t> ReplicatedManifest::DeadMembers() const {
+  std::vector<size_t> dead;
+  for (size_t k : members_) {
+    if (!replicas_[k].alive) dead.push_back(k);
+  }
+  return dead;
+}
+
+bool ReplicatedManifest::WouldBreakQuorum(size_t k) const {
+  if (k >= replicas_.size() || !replicas_[k].alive) return false;
+  if (Contains(members_, k) && AliveIn(members_) - 1 < quorum_) return true;
+  if (target_members_.has_value() && Contains(*target_members_, k) &&
+      AliveIn(*target_members_) - 1 < target_quorum_) {
+    return true;
+  }
+  return false;
 }
 
 size_t ReplicatedManifest::MostUpToDate() const {
   size_t best = replicas_.size();
   for (size_t k = 0; k < replicas_.size(); k++) {
-    if (!replicas_[k].alive) continue;
+    if (!replicas_[k].alive || !IsParticipant(k)) continue;
     if (best == replicas_.size()) {
       best = k;
       continue;
@@ -67,12 +120,25 @@ size_t ReplicatedManifest::MostUpToDate() const {
 
 void ReplicatedManifest::ElectLeader() {
   size_t best = MostUpToDate();
-  assert(best < replicas_.size() && "election with no alive replica");
+  assert(best < replicas_.size() && "election with no alive member");
   term_++;
   leader_ = best;
   m_elections_->Increment();
   SQP_LOG_DEBUG << "manifest: replica " << leader_ << " elected leader, term "
                 << term_;
+}
+
+Status ReplicatedManifest::EnsureLeader() {
+  if (replicas_[leader_].alive && IsParticipant(leader_)) return Status::OK();
+  // The leader's node died (or left the configuration) under us: fail
+  // over before committing.
+  if (alive_members() < quorum_ ||
+      (target_members_.has_value() &&
+       AliveIn(*target_members_) < target_quorum_)) {
+    return Status::DataLoss("manifest quorum lost");
+  }
+  ElectLeader();
+  return Status::OK();
 }
 
 void ReplicatedManifest::CatchUp(size_t k) {
@@ -98,27 +164,25 @@ void ReplicatedManifest::CatchUp(size_t k) {
   }
 }
 
-Status ReplicatedManifest::Commit() {
-  if (staged_.empty()) return Status::OK();
-  if (!replicas_[leader_].alive) {
-    // The leader's node died under us: fail over before committing.
-    if (alive_replicas() < quorum_) {
-      staged_.clear();
-      return Status::DataLoss("manifest quorum lost");
-    }
-    ElectLeader();
-  }
-
-  ManifestLogEntry entry;
-  entry.term = term_;
-  entry.group = staged_;
-
-  replicas_[leader_].log.push_back(entry);
-  size_t acks = 1;
-  std::vector<size_t> acked;
+Status ReplicatedManifest::ReplicateEntry(ManifestLogEntry entry) {
   FaultInjector& injector = FaultInjector::Global();
+  if (target_members_.has_value() && injector.armed()) {
+    // A commit under the joint rule can be failed as a unit: the fault
+    // models the two configurations disagreeing before any log took
+    // the entry.
+    Status joint = injector.Check(kJointCommitPoint);
+    if (!joint.ok()) {
+      quorum_failures_++;
+      m_quorum_failures_->Increment();
+      return Status::ResourceExhausted(
+          "manifest joint commit: injected joint-quorum failure");
+    }
+  }
+  entry.term = term_;
+  replicas_[leader_].log.push_back(entry);
+  std::vector<size_t> acked = {leader_};
   for (size_t k = 0; k < replicas_.size(); k++) {
-    if (k == leader_ || !replicas_[k].alive) continue;
+    if (k == leader_ || !replicas_[k].alive || !IsParticipant(k)) continue;
     if (injector.armed()) {
       // An unreachable or faulted follower simply misses this round; it
       // is caught up by a later commit or by recovery.
@@ -126,21 +190,52 @@ Status ReplicatedManifest::Commit() {
       if (!injector.Check(replicas_[k].replicate_point).ok()) continue;
     }
     CatchUp(k);
-    acks++;
     acked.push_back(k);
   }
 
-  if (acks < quorum_) {
+  auto acks_in = [&](const std::vector<size_t>& config) {
+    size_t acks = 0;
+    for (size_t k : acked) {
+      if (Contains(config, k)) acks++;
+    }
+    return acks;
+  };
+  size_t old_acks = acks_in(members_);
+  bool reached = old_acks >= quorum_;
+  if (reached && target_members_.has_value()) {
+    // Joint rule: the entry must also hold on a quorum of the proposed
+    // configuration before it counts as committed.
+    reached = acks_in(*target_members_) >= target_quorum_;
+  }
+  if (!reached) {
     // Quorum failed: the entry must not survive anywhere, or a later
     // election could resurrect an operation the caller was told failed.
-    replicas_[leader_].log.pop_back();
     for (size_t k : acked) replicas_[k].log.pop_back();
-    staged_.clear();
     quorum_failures_++;
     m_quorum_failures_->Increment();
     return Status::ResourceExhausted(
-        "manifest commit: " + std::to_string(acks) + "/" +
-        std::to_string(quorum_) + " acks");
+        "manifest commit: " + std::to_string(old_acks) + "/" +
+        std::to_string(quorum_) + " acks" +
+        (target_members_.has_value() ? " (joint)" : ""));
+  }
+  return Status::OK();
+}
+
+Status ReplicatedManifest::Commit() {
+  if (staged_.empty()) return Status::OK();
+  Status leader_ok = EnsureLeader();
+  if (!leader_ok.ok()) {
+    staged_.clear();
+    return leader_ok;
+  }
+
+  ManifestLogEntry entry;
+  entry.kind = ManifestLogEntry::Kind::kRecords;
+  entry.group = staged_;
+  Status replicated = ReplicateEntry(std::move(entry));
+  if (!replicated.ok()) {
+    staged_.clear();
+    return replicated;
   }
 
   for (auto& record : staged_) {
@@ -151,6 +246,129 @@ Status ReplicatedManifest::Commit() {
   return Status::OK();
 }
 
+Result<size_t> ReplicatedManifest::BeginAddReplica() {
+  if (target_members_.has_value()) {
+    return Status::FailedPrecondition(
+        "a membership change is already in progress");
+  }
+  if (replicas_.size() >= kMaxStorageNodes) {
+    return Status::InvalidArgument("replica set is full");
+  }
+  SQP_RETURN_IF_ERROR(EnsureLeader());
+  size_t k = replicas_.size();
+  AddReplicaSlot();
+  FaultInjector::Global().RegisterPoint(replicas_[k].replicate_point);
+
+  std::vector<size_t> next = members_;
+  next.push_back(k);
+  std::sort(next.begin(), next.end());
+  target_members_ = next;
+  target_quorum_ = MajorityOf(next.size());
+  joint_added_replica_ = k;
+
+  ManifestLogEntry entry;
+  entry.kind = ManifestLogEntry::Kind::kJointConfig;
+  entry.config_members = next;
+  Status committed = ReplicateEntry(std::move(entry));
+  if (!committed.ok()) {
+    // The joint entry never committed: the slot never existed.
+    target_members_.reset();
+    target_quorum_ = 0;
+    joint_added_replica_.reset();
+    replicas_.pop_back();
+    return committed;
+  }
+  m_config_commits_->Increment();
+  SQP_LOG_DEBUG << "manifest: joint config open, adding replica " << k;
+  return k;
+}
+
+Status ReplicatedManifest::BeginRemoveReplicas(
+    const std::vector<size_t>& leaving) {
+  if (target_members_.has_value()) {
+    return Status::FailedPrecondition(
+        "a membership change is already in progress");
+  }
+  std::vector<size_t> next;
+  for (size_t k : members_) {
+    if (!Contains(leaving, k)) next.push_back(k);
+  }
+  if (next.size() == members_.size()) {
+    return Status::FailedPrecondition("no members to remove");
+  }
+  if (next.empty()) {
+    return Status::InvalidArgument("cannot remove every manifest member");
+  }
+  size_t next_quorum = MajorityOf(next.size());
+  if (AliveIn(next) < next_quorum) {
+    return Status::FailedPrecondition(
+        "surviving configuration would not reach quorum");
+  }
+  SQP_RETURN_IF_ERROR(EnsureLeader());
+  target_members_ = next;
+  target_quorum_ = next_quorum;
+  joint_added_replica_.reset();
+
+  ManifestLogEntry entry;
+  entry.kind = ManifestLogEntry::Kind::kJointConfig;
+  entry.config_members = next;
+  Status committed = ReplicateEntry(std::move(entry));
+  if (!committed.ok()) {
+    target_members_.reset();
+    target_quorum_ = 0;
+    return committed;
+  }
+  m_config_commits_->Increment();
+  SQP_LOG_DEBUG << "manifest: joint config open, removing "
+                << leaving.size() << " member(s)";
+  return Status::OK();
+}
+
+Status ReplicatedManifest::CompleteMembershipChange() {
+  if (!target_members_.has_value()) {
+    return Status::FailedPrecondition("no membership change in progress");
+  }
+  SQP_RETURN_IF_ERROR(EnsureLeader());
+  ManifestLogEntry entry;
+  entry.kind = ManifestLogEntry::Kind::kFinalConfig;
+  entry.config_members = *target_members_;
+  // The final entry is still committed under the joint rule — both
+  // configurations acknowledge the handover.
+  SQP_RETURN_IF_ERROR(ReplicateEntry(std::move(entry)));
+  members_ = *target_members_;
+  quorum_ = target_quorum_;
+  target_members_.reset();
+  target_quorum_ = 0;
+  joint_added_replica_.reset();
+  m_config_commits_->Increment();
+  // A leader that just left the configuration steps down.
+  if (!IsMember(leader_) || !replicas_[leader_].alive) ElectLeader();
+  SQP_LOG_DEBUG << "manifest: configuration now " << members_.size()
+                << " members, quorum " << quorum_;
+  return Status::OK();
+}
+
+Status ReplicatedManifest::AbortMembershipChange() {
+  if (!target_members_.has_value()) return Status::OK();
+  // Close the transition first so the restoring entry commits under the
+  // old quorum alone — the old configuration is self-sufficient.
+  target_members_.reset();
+  target_quorum_ = 0;
+  joint_added_replica_.reset();
+  Status leader_ok = EnsureLeader();
+  if (leader_ok.ok()) {
+    // Best-effort history note; the live configuration (members_) is
+    // authoritative, so a failed append changes nothing.
+    ManifestLogEntry entry;
+    entry.kind = ManifestLogEntry::Kind::kFinalConfig;
+    entry.config_members = members_;
+    (void)ReplicateEntry(std::move(entry));
+  }
+  SQP_LOG_DEBUG << "manifest: membership change aborted, back to "
+                << members_.size() << " members";
+  return Status::OK();
+}
+
 void ReplicatedManifest::KillReplica(size_t k) {
   if (k >= replicas_.size()) return;
   replicas_[k].alive = false;
@@ -158,16 +376,25 @@ void ReplicatedManifest::KillReplica(size_t k) {
 
 Status ReplicatedManifest::RecoverFromQuorum() {
   staged_.clear();
-  if (alive_replicas() < quorum_) {
+  if (target_members_.has_value()) {
+    // A crash mid-transition: deterministic rollback. The joint entry
+    // may survive in logs as history; the configuration reverts.
+    target_members_.reset();
+    target_quorum_ = 0;
+    joint_added_replica_.reset();
+    SQP_LOG_DEBUG << "manifest: in-flight membership change aborted by "
+                     "recovery";
+  }
+  if (alive_members() < quorum_) {
     return Status::DataLoss("manifest quorum lost: " +
-                            std::to_string(alive_replicas()) + " of " +
-                            std::to_string(replicas_.size()) +
-                            " replicas survive, quorum is " +
+                            std::to_string(alive_members()) + " of " +
+                            std::to_string(members_.size()) +
+                            " members survive, quorum is " +
                             std::to_string(quorum_));
   }
   ElectLeader();
   for (size_t k = 0; k < replicas_.size(); k++) {
-    if (k == leader_ || !replicas_[k].alive) continue;
+    if (k == leader_ || !replicas_[k].alive || !IsParticipant(k)) continue;
     CatchUp(k);
   }
   RebuildCommitted();
@@ -177,6 +404,7 @@ Status ReplicatedManifest::RecoverFromQuorum() {
 void ReplicatedManifest::RebuildCommitted() {
   committed_flat_.clear();
   for (const auto& entry : replicas_[leader_].log) {
+    if (entry.kind != ManifestLogEntry::Kind::kRecords) continue;
     for (const auto& record : entry.group) {
       committed_flat_.push_back(record);
     }

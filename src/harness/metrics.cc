@@ -280,9 +280,29 @@ std::string FormatRecoveryStats(const RecoveryStats& stats) {
   out += line;
   std::snprintf(line, sizeof(line),
                 "  damage: %zu corrupt matviews dropped, %zu torn pages "
-                "detected, %zu orphan pages collected\n",
+                "detected, %zu orphan pages collected, %zu physical "
+                "orphans collected\n",
                 stats.corrupt_matviews_dropped, stats.torn_pages_detected,
-                stats.orphan_pages_collected);
+                stats.orphan_pages_collected,
+                stats.physical_orphans_collected);
+  out += line;
+  return out;
+}
+
+std::string FormatRepairStats(const RepairStats& stats) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "  repair: %zu pages re-protected, %zu shards re-homed, "
+                "%zu members removed, %zu matviews requeued\n",
+                stats.pages_reprotected, stats.shards_rehomed,
+                stats.members_removed, stats.matviews_requeued);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  redundancy: %s (%zu pages remaining), %.4f simulated "
+                "seconds\n",
+                stats.complete ? "restored" : "incomplete",
+                stats.pages_remaining, stats.repair_sim_seconds);
   out += line;
   return out;
 }

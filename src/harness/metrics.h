@@ -137,4 +137,8 @@ std::string FormatEngineStats(const EngineStats& stats);
 /// what damage (torn pages, corrupt matviews, orphans) it handled.
 std::string FormatRecoveryStats(const RecoveryStats& stats);
 
+/// Two-line summary of a Database::Repair(): re-protection work done
+/// and whether one-replica redundancy is fully restored.
+std::string FormatRepairStats(const RepairStats& stats);
+
 }  // namespace sqp

@@ -215,6 +215,13 @@ class SpeculationEngine {
   /// Decision audit log + learner calibration (DESIGN.md §11).
   const FlightRecorder& flight_recorder() const { return recorder_; }
 
+  /// Interleave an out-of-band cluster event (node loss, membership
+  /// change, repair) into the decision log, so a dump shows what the
+  /// storage tier was doing between speculation rounds.
+  void NoteEvent(double sim_time, const std::string& text) {
+    recorder_.RecordEvent(sim_time, text);
+  }
+
   /// Names of completed speculative views currently alive.
   std::vector<std::string> live_views() const;
 

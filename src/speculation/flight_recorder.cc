@@ -59,6 +59,7 @@ FlightRecorder::FlightRecorder(size_t capacity)
   auto& reg = MetricsRegistry::Global();
   m_rounds_ = reg.GetCounter("spec.recorder.rounds");
   m_issued_ = reg.GetCounter("spec.recorder.records");
+  m_events_ = reg.GetCounter("spec.recorder.events");
   m_scored_ = reg.GetCounter("spec.recorder.scored");
   m_brier_ = reg.GetGauge("spec.learner.brier");
   // One bucket per predicted-probability decile (overflow holds [0.9,1]).
@@ -97,6 +98,18 @@ uint64_t FlightRecorder::RecordRound(double sim_time,
   return next_round_ - 1;
 }
 
+uint64_t FlightRecorder::RecordEvent(double sim_time,
+                                     const std::string& text) {
+  DecisionRecord record;
+  record.round = next_round_++;
+  record.sim_time = sim_time;
+  record.event = text;
+  m_events_->Increment();
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+  return next_round_ - 1;
+}
+
 void FlightRecorder::SetOutcome(uint64_t round, DecisionOutcome outcome) {
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     if (it->round != round) continue;
@@ -123,6 +136,13 @@ void FlightRecorder::Score(double predicted, bool survived) {
 std::string FormatDecisionRecord(const DecisionRecord& record) {
   std::ostringstream os;
   char buf[192];
+  if (!record.event.empty()) {
+    std::snprintf(buf, sizeof(buf), "round=%llu t=%.2f event=",
+                  static_cast<unsigned long long>(record.round),
+                  record.sim_time);
+    os << buf << record.event << "\n";
+    return os.str();
+  }
   std::snprintf(buf, sizeof(buf), "round=%llu t=%.2f outcome=%s",
                 static_cast<unsigned long long>(record.round),
                 record.sim_time, DecisionOutcomeName(record.outcome));

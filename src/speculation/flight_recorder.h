@@ -74,7 +74,10 @@ struct CandidateLog {
   bool chosen = false;
 };
 
-/// One Speculator evaluation round.
+/// One Speculator evaluation round — or, when `event` is non-empty, an
+/// out-of-band cluster event (node loss, membership change, repair)
+/// interleaved into the ring so a dump shows speculation decisions in
+/// their operational context.
 struct DecisionRecord {
   uint64_t round = 0;  // 1-based id; monotonic across the session
   double sim_time = 0;
@@ -82,6 +85,7 @@ struct DecisionRecord {
   std::vector<CandidateLog> candidates;
   int chosen_index = -1;  // index into candidates; -1 = m∅
   DecisionOutcome outcome = DecisionOutcome::kNone;
+  std::string event;  // non-empty: this is an event marker, not a round
 };
 
 /// Learner-calibration aggregate: predicted f⊆ vs. actual part
@@ -114,6 +118,10 @@ class FlightRecorder {
   uint64_t RecordRound(double sim_time, const std::string& partial_sql,
                        const SpeculationDecision& decision);
 
+  /// Log an out-of-band cluster event (node loss, join, decommission,
+  /// repair) as an interleaved marker record. Returns its round id.
+  uint64_t RecordEvent(double sim_time, const std::string& text);
+
   /// Stamp the chosen manipulation's current lifecycle state.
   /// kUsedAtGo is sticky; unknown (evicted) ids are ignored.
   void SetOutcome(uint64_t round, DecisionOutcome outcome);
@@ -141,6 +149,7 @@ class FlightRecorder {
   // Registry handles (DESIGN.md §9), looked up once at construction.
   Counter* m_rounds_;
   Counter* m_issued_;
+  Counter* m_events_;
   Counter* m_scored_;
   Gauge* m_brier_;
   HistogramMetric* m_calibration_;

@@ -51,7 +51,10 @@ Result<Rid> HeapFile::Append(const Tuple& tuple) {
       }
     }
     PageAllocOptions options;
-    options.node_hint = static_cast<uint32_t>(shard);
+    // Address the store by shard slot, not node: the slot's home node
+    // moves with membership changes (join rebalancing, decommission)
+    // and the store resolves the current owner.
+    options.shard_hint = static_cast<uint32_t>(shard);
     options.replicated = placement_.replicated;
     auto fresh = pool_->NewPage(options);
     if (!fresh.ok()) return fresh.status();

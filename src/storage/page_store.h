@@ -20,12 +20,18 @@ namespace sqp {
 /// Placement request for a fresh page.
 struct PageAllocOptions {
   static constexpr uint32_t kAnyNode = UINT32_MAX;
+  static constexpr uint32_t kNoShard = UINT32_MAX;
 
   /// Preferred storage node for the primary copy. kAnyNode lets the
   /// store choose (single-node stores always use node 0; the router
   /// round-robins over alive nodes so unsharded tables stay whole on
   /// one node).
   uint32_t node_hint = kAnyNode;
+  /// Hash shard this page belongs to. The store resolves the shard to
+  /// its current home node (the shard→node map moves with membership
+  /// changes), so sharded heaps keep appending correctly after a
+  /// rebalance. Takes precedence over node_hint when set.
+  uint32_t shard_hint = kNoShard;
   /// Keep a second copy on another node so the page survives losing
   /// either one. Ignored by single-node stores.
   bool replicated = false;
@@ -57,8 +63,9 @@ class PageStore {
   /// their primary and are not enumerated.
   virtual std::vector<page_id_t> LivePages() const = 0;
 
-  /// Number of shards a hash-sharded table should spread over (the
-  /// storage node count; 1 for a single-disk store).
+  /// Number of hash-shard slots a sharded table should spread over
+  /// (more slots than nodes so a joining node can take whole slots;
+  /// 1 for a single-disk store).
   virtual size_t shard_count() const { return 1; }
 };
 

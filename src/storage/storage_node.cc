@@ -7,7 +7,9 @@ namespace sqp {
 StorageNode::StorageNode(uint32_t id, CostMeter* meter) : id_(id) {
   std::string tag = "node" + std::to_string(id);
   partition_point_ = tag + ".partition";
+  rebalance_point_ = tag + ".rebalance.copy";
   FaultInjector::Global().RegisterPoint(partition_point_);
+  FaultInjector::Global().RegisterPoint(rebalance_point_);
   disk_ = std::make_unique<DiskManager>(meter, tag + ".disk",
                                         "storage." + tag + ".disk", id);
 }

@@ -38,18 +38,32 @@ class StorageNode {
   void Kill() { killed_ = true; }
   bool killed() const { return killed_; }
 
+  /// Graceful exit: the node was drained and removed from membership.
+  /// Unlike Kill() nothing is lost — the node simply holds no pages and
+  /// takes no new placements.
+  void Decommission() { retired_ = true; }
+  bool retired() const { return retired_; }
+
+  /// In service: neither killed nor decommissioned.
+  bool alive() const { return !killed_ && !retired_; }
+
   /// kOk when the node is alive and currently reachable;
   /// kDataLoss when killed; kResourceExhausted (retryable) while the
   /// node's partition fault point fires.
   Status CheckReachable() const;
 
   const std::string& partition_point() const { return partition_point_; }
+  /// Fault point gating rebalance/repair page copies staged onto this
+  /// node ("node<k>.rebalance.copy").
+  const std::string& rebalance_point() const { return rebalance_point_; }
 
  private:
   uint32_t id_;
   std::string partition_point_;
+  std::string rebalance_point_;
   std::unique_ptr<DiskManager> disk_;
   bool killed_ = false;
+  bool retired_ = false;
 };
 
 }  // namespace sqp

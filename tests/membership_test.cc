@@ -1,0 +1,683 @@
+// Self-healing storage tier (DESIGN.md §13): dynamic membership via
+// two-phase joint consensus (AddNode / DecommissionNode), deterministic
+// rollback when a joint quorum fails, crash-safe shard rebalancing, the
+// Repair() re-protection pass, and a randomized membership fuzz harness
+// interleaving join / decommission / kill / repair / crash schedules
+// with trace replay. Invariants throughout: committed results stay
+// bit-identical to a fault-free run, zero orphan pages on every
+// surviving node, and zero shadow-only pages once repair completes.
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "db/database.h"
+#include "db/replicated_manifest.h"
+#include "sim/sim_server.h"
+#include "speculation/engine.h"
+#include "storage/sharded_router.h"
+#include "test_util.h"
+#include "trace/trace.h"
+
+namespace sqp {
+namespace {
+
+using testutil::RsJoin;
+using testutil::Sel;
+
+/// MakeTwoTableDb on a 4-node sharded tier (quorum 3).
+Database* MakeShardedDb(size_t rows_r, size_t rows_s, uint64_t seed = 7) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 256;
+  options.storage_nodes = 4;
+
+  auto* db = new Database(options);
+  Schema r_schema({{"r_id", TypeId::kInt64},
+                   {"r_a", TypeId::kInt64},
+                   {"r_b", TypeId::kDouble},
+                   {"r_s", TypeId::kString}});
+  Schema s_schema({{"s_id", TypeId::kInt64},
+                   {"s_rid", TypeId::kInt64},
+                   {"s_c", TypeId::kInt64}});
+  if (!db->CreateTable("r", r_schema).ok()) return db;
+  if (!db->CreateTable("s", s_schema).ok()) return db;
+
+  Rng rng(seed);
+  const char* strs[] = {"alpha", "beta", "gamma"};
+  std::vector<Tuple> r_rows;
+  for (size_t i = 0; i < rows_r; i++) {
+    r_rows.push_back(Tuple{Value(static_cast<int64_t>(i)),
+                           Value(rng.NextInt(0, 99)),
+                           Value(rng.NextDouble(0, 1000)),
+                           Value(std::string(strs[i % 3]))});
+  }
+  (void)db->BulkLoad("r", r_rows);
+  std::vector<Tuple> s_rows;
+  for (size_t i = 0; i < rows_s; i++) {
+    s_rows.push_back(Tuple{
+        Value(static_cast<int64_t>(i)),
+        Value(rng.NextInt(0, static_cast<int64_t>(rows_r) - 1)),
+        Value(rng.NextInt(0, 49))});
+  }
+  (void)db->BulkLoad("s", s_rows);
+  return db;
+}
+
+uint64_t CatalogPages(const Database& db) {
+  uint64_t total = 0;
+  for (const auto& name : db.catalog().TableNames()) {
+    total += db.catalog().GetTable(name)->heap->page_count();
+  }
+  return total;
+}
+
+std::vector<std::string> RowSet(const QueryResult& result) {
+  std::vector<size_t> order(result.schema.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.schema.column(a).name < result.schema.column(b).name;
+  });
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const Tuple& tuple : result.rows) {
+    std::string s;
+    for (size_t i : order) {
+      s += result.schema.column(i).name;
+      s += '=';
+      s += tuple[i].ToString();
+      s += '|';
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  QueryGraph JoinQuery() {
+    QueryGraph q;
+    q.AddJoin(RsJoin());
+    q.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{40})));
+    return q;
+  }
+};
+
+// --------------------------------------------------------------- joins
+
+TEST_F(MembershipTest, AddNodeJoinsAndRebalancesAFairShare) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  auto before = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(before.ok());
+
+  auto joined = db->AddNode();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(*joined, 4u);
+  EXPECT_EQ(db->storage().node_count(), 5u);
+  EXPECT_EQ(db->storage().alive_nodes(), 5u);
+  EXPECT_EQ(db->manifest().member_count(), 5u);
+  EXPECT_EQ(db->manifest().quorum(), 3u);
+  EXPECT_FALSE(db->manifest().in_joint_transition());
+
+  // The new node received its fair share of shard slots (8 slots / 5
+  // nodes → 1), and the moved pages physically live there now.
+  ASSERT_EQ(db->storage().ShardsHomedAt(4).size(), 1u);
+  const size_t moved_slot = db->storage().ShardsHomedAt(4).front();
+  EXPECT_FALSE(db->storage().PagesInShard(moved_slot).empty());
+  for (page_id_t page : db->storage().PagesInShard(moved_slot)) {
+    EXPECT_EQ(db->storage().PagePrimaryNode(page), 4u);
+  }
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+  EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+
+  // Global page ids are stable: results are bit-identical after the
+  // move, and new bulk loads spread onto the new node.
+  auto after = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RowSet(*after), RowSet(*before));
+}
+
+TEST_F(MembershipTest, JoinSurvivesReopenAndAnotherNodeLoss) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  auto before = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(db->AddNode().ok());
+
+  // The 5-member configuration still has quorum 3: one loss is fine.
+  ASSERT_TRUE(db->KillNode(0).ok());
+  ASSERT_TRUE(db->Reopen().ok());
+  auto repair = db->Repair();
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(repair->complete);
+  EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+  auto after = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RowSet(*after), RowSet(*before));
+}
+
+// ------------------------------------------------------ decommissions
+
+TEST_F(MembershipTest, DecommissionDrainsEverythingAndRetiresTheNode) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  auto before = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(db->DecommissionNode(1).ok());
+  EXPECT_TRUE(db->storage().NodeRetired(1));
+  EXPECT_FALSE(db->storage().NodeAlive(1));
+  EXPECT_EQ(db->storage().alive_nodes(), 3u);
+  EXPECT_EQ(db->manifest().member_count(), 3u);
+  EXPECT_FALSE(db->manifest().IsMember(1));
+  EXPECT_EQ(db->manifest().quorum(), 2u);
+
+  // Fully drained: no shard homes, no primaries, no shadows left.
+  EXPECT_TRUE(db->storage().ShardsHomedAt(1).empty());
+  EXPECT_TRUE(db->storage().PagesWithPrimaryOn(1).empty());
+  EXPECT_TRUE(db->storage().PagesWithReplicaOn(1).empty());
+  EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+
+  // Idempotent, and invisible to queries and recovery: a gracefully
+  // removed node is not a *lost* node.
+  EXPECT_TRUE(db->DecommissionNode(1).ok());
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().nodes_lost, 0u);
+  EXPECT_EQ(db->last_recovery().matviews_lost_with_node, 0u);
+  auto after = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RowSet(*after), RowSet(*before));
+}
+
+TEST_F(MembershipTest, DecommissionRefusesWhatWouldWreckTheTier) {
+  std::unique_ptr<Database> db(MakeShardedDb(200, 600));
+  EXPECT_EQ(db->DecommissionNode(9).code(), StatusCode::kInvalidArgument);
+
+  // A dead node cannot be decommissioned — that's Repair()'s job.
+  ASSERT_TRUE(db->KillNode(2).ok());
+  EXPECT_EQ(db->DecommissionNode(2).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db->Reopen().ok());
+  auto repair = db->Repair();
+  ASSERT_TRUE(repair.ok());
+
+  // Down to three alive nodes; one graceful removal is fine, the next
+  // would leave a single copy of everything: refused.
+  ASSERT_TRUE(db->DecommissionNode(0).ok());
+  EXPECT_EQ(db->storage().alive_nodes(), 2u);
+  EXPECT_EQ(db->DecommissionNode(1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------- joint-consensus rollbacks
+
+TEST_F(MembershipTest, JointQuorumFailureOnBeginRollsTheJoinBackFully) {
+  std::unique_ptr<Database> db(MakeShardedDb(200, 600));
+  FaultSpec spec = FaultSpec::EveryNth(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("membership.jointcommit", spec);
+
+  auto joined = db->AddNode();
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsRetryable());
+  // Nothing changed: no new node, no new member, no open transition.
+  EXPECT_EQ(db->storage().node_count(), 4u);
+  EXPECT_EQ(db->manifest().member_count(), 4u);
+  EXPECT_EQ(db->manifest().replica_count(), 4u);
+  EXPECT_FALSE(db->manifest().in_joint_transition());
+
+  // After the fault clears the same join succeeds.
+  FaultInjector::Global().Reset();
+  auto retried = db->AddNode();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, 4u);
+  EXPECT_EQ(db->manifest().member_count(), 5u);
+}
+
+TEST_F(MembershipTest, JointQuorumFailureOnCompleteAbortsDeterministically) {
+  std::unique_ptr<Database> db(MakeShardedDb(200, 600));
+  // First joint-gated entry (the joint config) passes, the second (the
+  // final config) fails: the join must abort back to the old
+  // configuration.
+  FaultSpec spec = FaultSpec::OneShot(2);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("membership.jointcommit", spec);
+
+  auto joined = db->AddNode();
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsRetryable());
+  EXPECT_EQ(db->manifest().member_count(), 4u);
+  EXPECT_FALSE(db->manifest().in_joint_transition());
+  // The aborted slot is never reused: the router node exists but is
+  // retired, and replica ids stay aligned with storage-node ids.
+  EXPECT_EQ(db->storage().node_count(), 5u);
+  EXPECT_TRUE(db->storage().NodeRetired(4));
+  EXPECT_EQ(db->manifest().replica_count(), 5u);
+  EXPECT_FALSE(db->manifest().IsMember(4));
+
+  FaultInjector::Global().Reset();
+  auto retried = db->AddNode();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, 5u);  // a fresh slot, not the burned one
+  EXPECT_EQ(db->manifest().member_count(), 5u);
+  EXPECT_EQ(db->storage().alive_nodes(), 5u);
+
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  EXPECT_TRUE(db->Execute(JoinQuery(), exec).ok());
+}
+
+TEST_F(MembershipTest, RebalanceCopyFaultLeavesPlacementsUntouched) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  FaultSpec spec = FaultSpec::EveryNth(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("node4.rebalance.copy", spec);
+
+  // The membership change commits, but the rebalance onto the new node
+  // is refused copy-by-copy: every staged copy is aborted, placements
+  // and the shard map stay untouched.
+  auto joined = db->AddNode();
+  ASSERT_FALSE(joined.ok());
+  EXPECT_TRUE(joined.status().IsRetryable());
+  EXPECT_EQ(db->manifest().member_count(), 5u);
+  EXPECT_TRUE(db->storage().ShardsHomedAt(4).empty());
+  EXPECT_TRUE(db->storage().PagesWithPrimaryOn(4).empty());
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+
+  // Repair (or a later join) can finish the rebalance once the fault
+  // clears; queries never stopped working.
+  FaultInjector::Global().Reset();
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  EXPECT_TRUE(db->Execute(JoinQuery(), exec).ok());
+}
+
+// ------------------------------------------------- crash-safe rebalance
+
+TEST_F(MembershipTest, CrashMidRebalanceReplaysToExactlyOneOwner) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  auto before = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(before.ok());
+
+  // Crash on the first staged copy landing on the new node: after the
+  // membership committed, before any shard move's manifest commit.
+  FaultSpec spec = FaultSpec::OneShot(1);
+  spec.only_in_region = false;
+  FaultInjector::Global().Arm("node4.disk.crash", spec);
+  auto joined = db->AddNode();
+  ASSERT_FALSE(joined.ok());
+  ASSERT_TRUE(db->disk_manager().has_crashed());
+  FaultInjector::Global().Reset();
+
+  // Replay: the old owners still serve every page (the move never
+  // committed), and the staged physical pages the crash cut loose are
+  // collected. Never two owners.
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_GE(db->last_recovery().physical_orphans_collected, 1u);
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+  EXPECT_TRUE(db->storage().ShardsHomedAt(4).empty());
+  EXPECT_EQ(db->manifest().member_count(), 5u);  // the join itself stood
+  auto after = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RowSet(*after), RowSet(*before));
+}
+
+// ------------------------------------------------ randomized schedules
+
+TraceEvent SelAdd(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent SelDel(SelectionPred s) {
+  TraceEvent e;
+  e.type = TraceEventType::kRemoveSelection;
+  e.selection = std::move(s);
+  return e;
+}
+
+TraceEvent JoinAdd(JoinPred j) {
+  TraceEvent e;
+  e.type = TraceEventType::kAddJoin;
+  e.join = std::move(j);
+  return e;
+}
+
+/// Deterministic synthetic session over the r/s schema.
+Trace MakeMembershipTrace(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 23);
+  Trace trace;
+  trace.user_id = seed;
+  trace.seed = seed;
+  double t = 1.0;
+  auto emit = [&](TraceEvent e) {
+    t += rng.NextDouble(0.5, 6.0);
+    e.timestamp = t;
+    trace.events.push_back(std::move(e));
+  };
+
+  const bool use_join = rng.NextBool(0.7);
+  bool join_present = false;
+  std::vector<SelectionPred> present;
+  int64_t next_r = 3, next_s = 2;
+  auto draw_sel = [&](bool on_s) {
+    if (on_s) {
+      next_s += 3;
+      return Sel("s", "s_c", CompareOp::kLt, Value(next_s));
+    }
+    next_r += 5;
+    return Sel("r", "r_a", CompareOp::kLt, Value(next_r));
+  };
+
+  const size_t queries = 4 + rng.NextRange(3);
+  for (size_t q = 0; q < queries; q++) {
+    if (use_join && !join_present) {
+      emit(JoinAdd(RsJoin()));
+      join_present = true;
+    }
+    bool has_r = false;
+    for (const auto& s : present) has_r |= s.table == "r";
+    size_t adds = (has_r ? 0 : 1) + rng.NextRange(2);
+    for (size_t a = 0; a < adds || !has_r; a++) {
+      bool on_s = join_present && rng.NextBool(0.4) && has_r;
+      SelectionPred sel = draw_sel(on_s);
+      present.push_back(sel);
+      has_r |= sel.table == "r";
+      emit(SelAdd(sel));
+    }
+    TraceEvent go;
+    go.type = TraceEventType::kGo;
+    emit(go);
+    for (size_t i = present.size(); i-- > 0;) {
+      if (rng.NextBool(0.35)) {
+        emit(SelDel(present[i]));
+        present.erase(present.begin() + i);
+      }
+    }
+  }
+  return trace;
+}
+
+struct MembershipRunResult {
+  std::vector<std::vector<std::string>> results;
+  size_t kills = 0;
+  size_t joins = 0;
+  size_t decommissions = 0;
+  size_t repairs = 0;
+  size_t crashes = 0;
+  size_t skipped_ops = 0;
+};
+
+/// Replay one trace on a 4-node database while a randomized membership
+/// schedule fires at event boundaries: kills, joins, decommissions,
+/// repairs, and plug-pull crashes. Preconditions that refuse an op
+/// (quorum guards, too-few-nodes) and retryable joint-quorum failures
+/// count as skips — the harness only demands that whatever *was*
+/// allowed to happen never changes a committed result.
+Result<MembershipRunResult> RunMembershipSession(
+    Database* db, const Trace& trace,
+    const SpeculationEngineOptions& options, uint64_t seed, bool inject) {
+  SQP_RETURN_IF_ERROR(db->ColdStart());
+  SimServer server;
+  SpeculationEngine engine(db, &server, options);
+  Rng rng(seed * 0x6a09e667f3bcc909ULL + 31);
+  MembershipRunResult out;
+  double exec_offset = 0;
+
+  auto recover = [&](double sim_time) -> Status {
+    SQP_RETURN_IF_ERROR(db->Reopen());
+    SQP_RETURN_IF_ERROR(engine.RecoverAfterCrash(sim_time));
+    if (db->disk_manager().live_pages() != CatalogPages(*db)) {
+      return Status::Internal("orphan pages survived recovery");
+    }
+    if (db->storage().OrphanPhysicalPages() != 0) {
+      return Status::Internal("per-node orphan audit failed");
+    }
+    return Status::OK();
+  };
+
+  auto membership_op = [&](double sim_time) -> Status {
+    switch (rng.NextRange(5)) {
+      case 0: {  // kill (the quorum guard may refuse)
+        size_t victim = rng.NextRange(db->storage().node_count());
+        // A loss is only guaranteed survivable once re-protection has
+        // completed (the ISSUE's contract): while pages are still
+        // single-copy, another kill is data loss by design, so the
+        // schedule holds fire until repair catches up.
+        if (!db->storage().PagesNeedingRepair().empty()) {
+          out.skipped_ops++;
+          return Status::OK();
+        }
+        Status killed = db->KillNode(victim);
+        if (killed.code() == StatusCode::kFailedPrecondition) {
+          out.skipped_ops++;
+          return Status::OK();
+        }
+        SQP_RETURN_IF_ERROR(killed);
+        engine.NoteEvent(sim_time, "node " + std::to_string(victim) +
+                                       " lost");
+        out.kills++;
+        return recover(sim_time);
+      }
+      case 1: {  // join
+        auto joined = db->AddNode();
+        if (!joined.ok()) {
+          if (joined.status().IsRetryable() ||
+              joined.status().code() == StatusCode::kFailedPrecondition ||
+              joined.status().code() == StatusCode::kInvalidArgument) {
+            out.skipped_ops++;
+            if (db->disk_manager().has_crashed()) return recover(sim_time);
+            return Status::OK();
+          }
+          return joined.status();
+        }
+        engine.NoteEvent(sim_time,
+                         "node " + std::to_string(*joined) + " joined");
+        out.joins++;
+        return Status::OK();
+      }
+      case 2: {  // decommission
+        size_t victim = rng.NextRange(db->storage().node_count());
+        Status gone = db->DecommissionNode(victim);
+        if (!gone.ok()) {
+          if (gone.IsRetryable() ||
+              gone.code() == StatusCode::kFailedPrecondition ||
+              gone.code() == StatusCode::kInvalidArgument) {
+            out.skipped_ops++;
+            if (db->disk_manager().has_crashed()) return recover(sim_time);
+            return Status::OK();
+          }
+          return gone;
+        }
+        engine.NoteEvent(sim_time, "node " + std::to_string(victim) +
+                                       " decommissioned");
+        out.decommissions++;
+        return Status::OK();
+      }
+      case 3: {  // repair (sometimes budgeted)
+        size_t budget = rng.NextBool(0.5) ? 0 : 1 + rng.NextRange(8);
+        auto repaired = db->Repair(budget);
+        if (!repaired.ok()) {
+          if (repaired.status().IsRetryable() ||
+              repaired.status().code() == StatusCode::kFailedPrecondition) {
+            out.skipped_ops++;
+            if (db->disk_manager().has_crashed()) return recover(sim_time);
+            return Status::OK();
+          }
+          return repaired.status();
+        }
+        out.repairs++;
+        return Status::OK();
+      }
+      default: {  // plug-pull crash
+        db->SimulateCrash();
+        out.crashes++;
+        return recover(sim_time);
+      }
+    }
+  };
+
+  for (size_t e = 0; e < trace.events.size(); e++) {
+    const TraceEvent& event = trace.events[e];
+    double sim_time = event.timestamp + exec_offset;
+    server.AdvanceTo(sim_time);
+    if (inject && rng.NextBool(0.25)) {
+      SQP_RETURN_IF_ERROR(membership_op(sim_time));
+    }
+    if (event.type != TraceEventType::kGo) {
+      SQP_RETURN_IF_ERROR(engine.OnUserEvent(event, sim_time));
+      if (db->disk_manager().has_crashed()) {
+        SQP_RETURN_IF_ERROR(recover(sim_time));
+      }
+      continue;
+    }
+    QueryGraph final_query = engine.partial();
+    auto submit_time = engine.OnGo(sim_time);
+    if (!submit_time.ok()) return submit_time.status();
+    if (db->disk_manager().has_crashed()) {
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+    }
+    if (*submit_time > sim_time) {
+      server.AdvanceTo(*submit_time);
+      SQP_RETURN_IF_ERROR(engine.ResolveWait(*submit_time));
+    }
+    ExecuteOptions exec;
+    exec.keep_rows = true;
+    exec.view_mode = options.enabled ? engine.final_view_mode()
+                                     : ViewMode::kCostBased;
+    auto result = db->Execute(final_query, exec);
+    if (!result.ok()) {
+      if (!db->disk_manager().has_crashed()) return result.status();
+      SQP_RETURN_IF_ERROR(recover(sim_time));
+      result = db->Execute(final_query, exec);
+      if (!result.ok()) return result.status();
+    }
+    SimServer::JobId job = server.Submit(result->seconds);
+    double done = server.RunUntilComplete(job);
+    exec_offset += done - sim_time;
+    SQP_RETURN_IF_ERROR(engine.OnQueryResult(done));
+    if (db->disk_manager().has_crashed()) {
+      SQP_RETURN_IF_ERROR(recover(done));
+    }
+    out.results.push_back(RowSet(*result));
+  }
+  SQP_RETURN_IF_ERROR(engine.Shutdown());
+
+  // Drive repair to completion: whatever the schedule left degraded
+  // must be fully re-protectable.
+  if (inject) {
+    for (size_t pass = 0; pass < 200; pass++) {
+      auto repaired = db->Repair();
+      if (!repaired.ok()) {
+        if (repaired.status().IsRetryable()) continue;
+        return repaired.status();
+      }
+      if (repaired->complete) break;
+    }
+    if (!db->last_repair().complete) {
+      return Status::Internal("repair failed to converge");
+    }
+  }
+  return out;
+}
+
+TEST(MembershipFuzzTest, RandomizedMembershipSchedulesStayConsistent) {
+  uint64_t base_seed = 1;
+  if (const char* env = std::getenv("SQP_MEMBERSHIP_SEED")) {
+    base_seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  size_t total_ops = 0;
+  for (uint64_t i = 0; i < 10; i++) {
+    const uint64_t seed = base_seed * 1000 + i;
+    SCOPED_TRACE("membership seed " + std::to_string(seed));
+    Trace trace = MakeMembershipTrace(seed);
+
+    // Fresh identically-seeded 4-node pair per schedule: a fault-free
+    // oracle and a victim living through the membership churn.
+    std::unique_ptr<Database> oracle(MakeShardedDb(300, 900));
+    std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+    FaultInjector::Global().Reset();
+
+    SpeculationEngineOptions off;
+    off.enabled = false;
+    auto baseline = RunMembershipSession(oracle.get(), trace, off, seed,
+                                         /*inject=*/false);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    // The victim: speculation on, low-probability joint-quorum and
+    // rebalance-copy faults armed (their rollback paths must be
+    // invisible), membership ops firing at event boundaries.
+    Rng arm_rng(seed * 7919 + 37);
+    FaultInjector& injector = FaultInjector::Global();
+    injector.Reset();
+    injector.Seed(seed * 31 + 17);
+    FaultSpec joint =
+        FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.08));
+    joint.only_in_region = false;
+    injector.Arm("membership.jointcommit", joint);
+    for (size_t k = 0; k < 8; k++) {
+      FaultSpec copy =
+          FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.03));
+      copy.only_in_region = false;
+      injector.Arm("node" + std::to_string(k) + ".rebalance.copy", copy);
+      injector.Arm("node" + std::to_string(k) + ".partition",
+                   FaultSpec::Probability(arm_rng.NextDouble(0.0, 0.01)));
+    }
+
+    SpeculationEngineOptions on;
+    on.enabled = true;
+    on.max_retries = 1;
+    on.retry_backoff_seconds = 0.25;
+    on.circuit_breaker_threshold = 4;
+    on.circuit_breaker_cooldown_seconds = 15.0;
+    auto survived =
+        RunMembershipSession(db.get(), trace, on, seed, /*inject=*/true);
+    FaultInjector::Global().Reset();
+    ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+    total_ops += survived->kills + survived->joins +
+                 survived->decommissions + survived->repairs +
+                 survived->crashes;
+
+    // (a) Committed results bit-identical to the fault-free oracle.
+    ASSERT_EQ(survived->results.size(), baseline->results.size());
+    for (size_t q = 0; q < baseline->results.size(); q++) {
+      EXPECT_EQ(survived->results[q], baseline->results[q])
+          << "query " << q << " diverged under membership churn";
+    }
+
+    // (b) Redundancy restored: zero shadow-only pages, every shard
+    // slot homed on a live node, the manifest configuration healthy.
+    EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+    for (size_t s = 0; s < db->storage().shard_count(); s++) {
+      EXPECT_TRUE(db->storage().NodeAlive(db->storage().shard_home(s)));
+    }
+    EXPECT_GE(db->manifest().alive_members(), db->manifest().quorum());
+    EXPECT_FALSE(db->manifest().in_joint_transition());
+
+    // (c) Zero orphans of either kind on every surviving node.
+    ASSERT_EQ(db->disk_manager().live_pages(), CatalogPages(*db));
+    ASSERT_EQ(db->storage().OrphanPhysicalPages(), 0u);
+  }
+  // The sweep must actually have exercised membership ops.
+  EXPECT_GT(total_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -194,6 +194,54 @@ TEST_F(RouterTest, PartitionIsTransientAndRetryable) {
   EXPECT_TRUE(router.WritePage(*id, *Filled("v2")).ok());
 }
 
+TEST_F(RouterTest, BalancedReadsAlternateBetweenPrimaryAndShadow) {
+  ShardedStorageRouter router(&meter_, 4);
+  PageAllocOptions options;
+  options.replicated = true;
+  options.node_hint = 0;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(router.WritePage(*id, *Filled("balanced")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  Page out;
+  out.Init();
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(router.ReadPage(*id, &out).ok());
+  }
+  // Deterministic round-robin: primary, shadow, primary, shadow, ...
+  EXPECT_EQ(router.reads_primary(), 3u);
+  EXPECT_EQ(router.reads_shadow(), 3u);
+
+  // Once the shadow's node dies, every read lands on the primary.
+  router.KillNode(router.PageReplicaNode(*id));
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(router.ReadPage(*id, &out).ok());
+  }
+  EXPECT_EQ(router.reads_primary(), 7u);
+  EXPECT_EQ(router.reads_shadow(), 3u);
+}
+
+TEST_F(RouterTest, ReadBalancingCanBeDisabled) {
+  ShardedStorageRouter router(&meter_, 4, /*replication_factor=*/2,
+                              /*balance_reads=*/false);
+  PageAllocOptions options;
+  options.replicated = true;
+  options.node_hint = 0;
+  auto id = router.AllocatePage(options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(router.WritePage(*id, *Filled("primary only")).ok());
+  ASSERT_TRUE(router.Sync().ok());
+
+  Page out;
+  out.Init();
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(router.ReadPage(*id, &out).ok());
+  }
+  EXPECT_EQ(router.reads_primary(), 6u);
+  EXPECT_EQ(router.reads_shadow(), 0u);
+}
+
 TEST_F(RouterTest, TransientReadFaultOnPrimaryFailsOverToReplica) {
   ShardedStorageRouter router(&meter_, 4);
   PageAllocOptions options;
@@ -495,13 +543,88 @@ TEST_F(NodeLossDbTest, MatviewOnSurvivingNodeOutlivesTheLoss) {
   EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
 }
 
-TEST_F(NodeLossDbTest, LosingTwoNodesIsUnrecoverable) {
+TEST_F(NodeLossDbTest, KillingBelowQuorumIsRefusedAndIdempotent) {
   std::unique_ptr<Database> db(MakeShardedDb(200, 600));
-  db->KillNode(1);
-  db->KillNode(2);
-  // 2 of 4 manifest replicas < quorum 3 — and base pages may have lost
-  // both copies. Reopen surfaces the loss instead of serving guesses.
-  EXPECT_EQ(db->Reopen().code(), StatusCode::kDataLoss);
+  ASSERT_TRUE(db->KillNode(1).ok());
+  EXPECT_TRUE(db->KillNode(1).ok());  // idempotent on a dead node
+
+  // A second loss would leave 2 of 4 manifest replicas < quorum 3: the
+  // kill is refused before any state changes, instead of ruining the
+  // cluster.
+  Status second = db->KillNode(2);
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->storage().alive_nodes(), 3u);
+
+  // The database is still fully recoverable after the refused kill.
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().nodes_lost, 1u);
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  EXPECT_TRUE(db->Execute(JoinQuery(), exec).ok());
+}
+
+TEST_F(NodeLossDbTest, SurvivesSecondNodeLossAfterRepair) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ExecuteOptions exec;
+  exec.keep_rows = true;
+  auto before = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(before.ok());
+
+  // First loss: recover, then re-protect. Repair shrinks the manifest
+  // configuration past the dead member (4 → 3, quorum 2) and gives
+  // every surviving shadow-only page a fresh second copy.
+  ASSERT_TRUE(db->KillNode(1).ok());
+  ASSERT_TRUE(db->Reopen().ok());
+  ASSERT_GT(db->storage().ShadowOnlyPages(), 0u);
+  auto repair = db->Repair();
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(repair->complete);
+  EXPECT_GT(repair->pages_reprotected, 0u);
+  EXPECT_EQ(repair->members_removed, 1u);
+  EXPECT_GT(repair->repair_sim_seconds, 0.0);
+  EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+  EXPECT_EQ(db->manifest().member_count(), 3u);
+  EXPECT_EQ(db->manifest().quorum(), 2u);
+  // Redundancy is back: every shard slot is homed on a live node.
+  for (size_t s = 0; s < db->storage().shard_count(); s++) {
+    EXPECT_TRUE(db->storage().NodeAlive(db->storage().shard_home(s)));
+  }
+
+  // Second loss — fatal before the repair — is now survivable, with
+  // bit-identical results.
+  ASSERT_TRUE(db->KillNode(2).ok());
+  ASSERT_TRUE(db->Reopen().ok());
+  EXPECT_EQ(db->last_recovery().orphan_pages_per_node_audit, 0u);
+  auto after = db->Execute(JoinQuery(), exec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RowSet(*after), RowSet(*before));
+
+  // A third loss would break the shrunken quorum (1 of 2 < 2): refused.
+  EXPECT_EQ(db->KillNode(3).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NodeLossDbTest, RepairIsInterruptibleUnderAPageBudget) {
+  std::unique_ptr<Database> db(MakeShardedDb(300, 900));
+  ASSERT_TRUE(db->KillNode(0).ok());
+  ASSERT_TRUE(db->Reopen().ok());
+  ASSERT_GT(db->storage().ShadowOnlyPages(), 3u);
+
+  // A budgeted pass does bounded work and reports what remains (repair
+  // needs also cover pages whose *shadow* died, so the queue is larger
+  // than the shadow-only count); the loop drives redundancy back in
+  // small, interruptible steps.
+  auto first = db->Repair(/*max_pages=*/2);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->complete);
+  EXPECT_EQ(first->pages_reprotected, 2u);
+  EXPECT_GT(first->pages_remaining, 0u);
+  size_t passes = 1;
+  while (!db->last_repair().complete) {
+    ASSERT_TRUE(db->Repair(2).ok());
+    ASSERT_LT(++passes, 200u) << "repair loop failed to converge";
+  }
+  EXPECT_EQ(db->storage().ShadowOnlyPages(), 0u);
+  EXPECT_EQ(db->storage().OrphanPhysicalPages(), 0u);
 }
 
 TEST_F(NodeLossDbTest, SingleNodeDatabaseIgnoresNodeApi) {
