@@ -1,0 +1,193 @@
+// Shard-aware planning: co-partitioned vs. shuffling joins (DESIGN.md §14).
+//
+// Builds a 4-node database with a dimension table `r` and two fact
+// tables of identical shape and cardinality: `s`, whose FIRST column
+// carries the foreign key to r (so the hash-sharded layout co-partitions
+// it with r on the join key), and `t`, whose foreign key sits in a
+// non-shard column. Joining r with s is shard-local — matching keys
+// hash to the same shard slot on both sides — while joining r with t
+// must repartition one side, and the planner charges the simulated
+// cross-shard transfer (`storage.node.cross_shard_pages`).
+//
+// The bench asserts the structural claims (co-partitioned plan strictly
+// cheaper, zero transfer pages on the local join, non-zero on the
+// shuffling one, identical row counts) and prints the headline
+// `shard_plan.*` metrics, which bench_compare.py gates lower-is-better:
+// a change that makes the shard-local plan charge more simulated time
+// past the threshold fails the comparison.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+#include "db/database.h"
+#include "optimizer/query_graph.h"
+
+using namespace sqp;
+
+namespace {
+
+constexpr size_t kRowsR = 2000;
+constexpr size_t kRowsFact = 6000;
+constexpr size_t kNodes = 4;
+
+std::unique_ptr<Database> BuildDb() {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 256;
+  options.storage_nodes = kNodes;
+  auto db = std::make_unique<Database>(options);
+
+  // r is sharded on r_id (tables hash-shard on their first column).
+  Schema r_schema({{"r_id", TypeId::kInt64}, {"r_pay", TypeId::kInt64}});
+  // s: foreign key to r in the FIRST column -> co-partitioned with r.
+  Schema s_schema({{"s_rid", TypeId::kInt64},
+                   {"s_seq", TypeId::kInt64},
+                   {"s_pay", TypeId::kInt64}});
+  // t: identical shape, but the foreign key hides in the SECOND column,
+  // so t is sharded on t_id and the join must shuffle.
+  Schema t_schema({{"t_id", TypeId::kInt64},
+                   {"t_rid", TypeId::kInt64},
+                   {"t_pay", TypeId::kInt64}});
+  if (!db->CreateTable("r", r_schema).ok() ||
+      !db->CreateTable("s", s_schema).ok() ||
+      !db->CreateTable("t", t_schema).ok()) {
+    std::fprintf(stderr, "table setup failed\n");
+    std::exit(1);
+  }
+
+  Rng rng(11);
+  std::vector<Tuple> r_rows;
+  r_rows.reserve(kRowsR);
+  for (size_t i = 0; i < kRowsR; i++) {
+    r_rows.push_back(
+        Tuple{Value(static_cast<int64_t>(i)), Value(rng.NextInt(0, 99))});
+  }
+  // The same FK sequence feeds both fact tables, so the two joins have
+  // identical result cardinalities and differ only in placement.
+  std::vector<int64_t> fks;
+  fks.reserve(kRowsFact);
+  for (size_t i = 0; i < kRowsFact; i++) {
+    fks.push_back(rng.NextInt(0, static_cast<int64_t>(kRowsR) - 1));
+  }
+  std::vector<Tuple> s_rows, t_rows;
+  s_rows.reserve(kRowsFact);
+  t_rows.reserve(kRowsFact);
+  for (size_t i = 0; i < kRowsFact; i++) {
+    int64_t pay = rng.NextInt(0, 999);
+    s_rows.push_back(Tuple{Value(fks[i]), Value(static_cast<int64_t>(i)),
+                           Value(pay)});
+    t_rows.push_back(Tuple{Value(static_cast<int64_t>(i)), Value(fks[i]),
+                           Value(pay)});
+  }
+  if (!db->BulkLoad("r", r_rows).ok() || !db->BulkLoad("s", s_rows).ok() ||
+      !db->BulkLoad("t", t_rows).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    std::exit(1);
+  }
+  return db;
+}
+
+QueryGraph Join(const std::string& fact, const std::string& fk_column) {
+  JoinPred join;
+  join.left_table = "r";
+  join.left_column = "r_id";
+  join.right_table = fact;
+  join.right_column = fk_column;
+  join.Canonicalize();
+  QueryGraph q;
+  q.AddJoin(join);
+  return q;
+}
+
+struct Measured {
+  double est_seconds = 0;
+  double exec_seconds = 0;
+  uint64_t rows = 0;
+  uint64_t cross_shard_pages = 0;
+  std::string plan_explain;
+};
+
+Measured Run(Database* db, const QueryGraph& q) {
+  Measured out;
+  auto plan = db->planner().Plan(q);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.est_seconds = plan->est_cost;
+  out.plan_explain = plan->Explain();
+
+  Counter* xshard = MetricsRegistry::Global().GetCounter(
+      "storage.node.cross_shard_pages");
+  uint64_t before = xshard->value();
+  ExecuteOptions exec;
+  exec.explain_analyze = true;
+  auto result = db->Execute(q, exec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.exec_seconds = result->seconds;
+  out.rows = result->row_count;
+  out.cross_shard_pages = xshard->value() - before;
+  if (result->profile != nullptr &&
+      out.cross_shard_pages > 0 &&
+      result->profile->FormatText().find("xshard=") == std::string::npos) {
+    std::fprintf(stderr, "profile is missing the xshard actuals\n");
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("shard-aware planning: %zu-node tier, r=%zu facts=%zu\n",
+              kNodes, kRowsR, kRowsFact);
+
+  auto db = BuildDb();
+  Measured local = Run(db.get(), Join("s", "s_rid"));
+  Measured shuffle = Run(db.get(), Join("t", "t_rid"));
+
+  std::printf("co-partitioned plan:\n%s", local.plan_explain.c_str());
+  std::printf("shuffling plan:\n%s", shuffle.plan_explain.c_str());
+
+  if (local.rows != shuffle.rows) {
+    std::fprintf(stderr, "row counts diverge: %llu vs %llu\n",
+                 static_cast<unsigned long long>(local.rows),
+                 static_cast<unsigned long long>(shuffle.rows));
+    return 1;
+  }
+  if (!(local.est_seconds < shuffle.est_seconds)) {
+    std::fprintf(stderr,
+                 "co-partitioned join is not cheaper (%.6f vs %.6f)\n",
+                 local.est_seconds, shuffle.est_seconds);
+    return 1;
+  }
+  if (local.cross_shard_pages != 0 || shuffle.cross_shard_pages == 0) {
+    std::fprintf(stderr, "transfer charges are wrong (%llu local, %llu shuffle)\n",
+                 static_cast<unsigned long long>(local.cross_shard_pages),
+                 static_cast<unsigned long long>(shuffle.cross_shard_pages));
+    return 1;
+  }
+  if (local.plan_explain.find("[shard-local]") == std::string::npos ||
+      shuffle.plan_explain.find("[cross-shard") == std::string::npos) {
+    std::fprintf(stderr, "plan explain is missing placement tags\n");
+    return 1;
+  }
+
+  std::printf("join rows: %llu\n",
+              static_cast<unsigned long long>(local.rows));
+  std::printf("shard_plan.local_est_seconds: %.6f\n", local.est_seconds);
+  std::printf("shard_plan.shuffle_est_seconds: %.6f\n", shuffle.est_seconds);
+  std::printf("shard_plan.local_exec_seconds: %.6f\n", local.exec_seconds);
+  std::printf("shard_plan.shuffle_exec_seconds: %.6f\n",
+              shuffle.exec_seconds);
+  std::printf("shard_plan.cross_shard_pages: %llu\n",
+              static_cast<unsigned long long>(shuffle.cross_shard_pages));
+  return 0;
+}

@@ -21,9 +21,10 @@ Exit status:
 Gated metrics (--gate, default "improvement") are treated as
 higher-is-better; a drop of more than --threshold percent (absolute
 percentage-points for %-valued metrics, relative otherwise) fails the
-comparison. Metrics matching --gate-lower (default "^(recovery|repair)\\.",
-the simulated recovery and time-to-redundancy figures bench_recovery
-prints) are gated
+comparison. Metrics matching --gate-lower (default
+"^(recovery|repair|shard_plan)\\.", the simulated recovery,
+time-to-redundancy and shard-planning figures bench_recovery and
+bench_shard_plan print) are gated
 lower-is-better instead: an *increase* past the threshold fails.
 Everything else is reported but never fails the run.
 
@@ -102,9 +103,10 @@ def main():
         help="regex selecting higher-is-better metrics that can fail the "
              "run (default: 'improvement')")
     ap.add_argument(
-        "--gate-lower", default=r"^(recovery|repair)\.",
+        "--gate-lower", default=r"^(recovery|repair|shard_plan)\.",
         help="regex selecting lower-is-better metrics (times, waste) that "
-             r"fail the run when they *rise* (default: '^(recovery|repair)\.')")
+             "fail the run when they *rise* "
+             r"(default: '^(recovery|repair|shard_plan)\.')")
     ap.add_argument(
         "--verbose", action="store_true",
         help="print every parsed metric, not just gated and changed ones")

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Docs gate: drift tests + markdown link check.
+#
+# Runs the two doc-drift test binaries — fault_points_test (code vs.
+# docs/FAULT_POINTS.md) and metrics_catalog_test (code vs.
+# docs/METRICS.md) — and then checks every relative link and anchor in
+# the repository's tracked markdown files for a target that actually
+# exists. External (http/https/mailto) links are not fetched: the gate
+# must stay deterministic and offline.
+#
+# Usage: scripts/check_docs.sh [fault_points_test-binary] [metrics_catalog_test-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAULT_BIN="${1:-build/tests/fault_points_test}"
+METRICS_BIN="${2:-build/tests/metrics_catalog_test}"
+
+fail=0
+for bin in "$FAULT_BIN" "$METRICS_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: drift-test binary not found at '$bin'" >&2
+    echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+  echo "=== $(basename "$bin") ==="
+  if ! "$bin" --gtest_brief=1; then
+    fail=1
+  fi
+done
+
+echo "=== markdown link check ==="
+if ! python3 - <<'PY'
+import os
+import re
+import subprocess
+import sys
+
+# Tracked + untracked-but-not-ignored markdown: generated/output trees
+# (build/, bench_json/, ...) are gitignored and never gate the docs.
+files = subprocess.run(
+    ["git", "ls-files", "-c", "-o", "--exclude-standard", "*.md"],
+    capture_output=True, text=True, check=True,
+).stdout.split()
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+broken = []
+for path in files:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    base = os.path.dirname(path)
+    for target in LINK_RE.findall(text):
+        if re.match(r"^(https?|mailto):", target):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure in-page anchor
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            broken.append(f"{path}: {target}")
+
+if broken:
+    print("broken relative links:", file=sys.stderr)
+    for b in broken:
+        print(f"  {b}", file=sys.stderr)
+    sys.exit(1)
+print(f"checked {len(files)} markdown files, all relative links resolve")
+PY
+then
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: drift tests and link check passed"

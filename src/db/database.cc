@@ -14,6 +14,65 @@
 
 namespace sqp {
 
+/// Placement oracle over the live catalog + storage router (DESIGN.md
+/// §14). Reads through the Database pointer so Reopen()'s catalog /
+/// pool rebuilds are transparent to a provider handed out earlier.
+class Database::PlacementSource : public PlacementProvider {
+ public:
+  explicit PlacementSource(const Database* db) : db_(db) {}
+
+  size_t node_count() const override { return db_->disk_->node_count(); }
+
+  bool NodeAlive(size_t k) const override {
+    return db_->disk_->node_count() <= 1 || db_->disk_->NodeAlive(k);
+  }
+
+  TablePlacement TablePlacementOf(const std::string& table) const override {
+    TablePlacement p;
+    const size_t nodes = db_->disk_->node_count();
+    const TableInfo* info = db_->catalog_->GetTable(table);
+    if (info == nullptr || nodes <= 1) return p;
+    const HeapPlacement& heap = info->heap->placement();
+    if (heap.shards > 1 && info->schema.size() > 0) {
+      p.sharded = true;
+      p.shard_column = info->schema.columns().front().name;
+      p.shard_slots = heap.shards;
+    }
+    std::vector<double> counts(nodes, 0.0);
+    double total = 0.0;
+    for (page_id_t page : info->heap->pages()) {
+      uint32_t node = db_->disk_->PagePrimaryNode(page);
+      if (node < nodes) {
+        counts[node] += 1.0;
+        total += 1.0;
+      }
+    }
+    if (total > 0) {
+      for (double& c : counts) c /= total;
+      p.node_page_fraction = std::move(counts);
+    }
+    return p;
+  }
+
+  std::vector<double> ShardSlotShare() const override {
+    const size_t nodes = db_->disk_->node_count();
+    std::vector<double> share(nodes, 0.0);
+    if (nodes <= 1) {
+      share.assign(1, 1.0);
+      return share;
+    }
+    const size_t slots = db_->disk_->shard_count();
+    for (size_t s = 0; s < slots; s++) {
+      size_t home = db_->disk_->shard_home(s);
+      if (home < nodes) share[home] += 1.0 / static_cast<double>(slots);
+    }
+    return share;
+  }
+
+ private:
+  const Database* db_;
+};
+
 Database::Database(DatabaseOptions options)
     : options_(options),
       meter_(options.cost),
@@ -25,7 +84,15 @@ Database::Database(DatabaseOptions options)
   pool_ = std::make_unique<BufferPool>(disk_.get(),
                                        options_.buffer_pool_pages);
   catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
-  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
+  placement_source_ = std::make_unique<PlacementSource>(this);
+  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost,
+                                       placement_source_.get());
+}
+
+Database::~Database() = default;
+
+const PlacementProvider* Database::placement() const {
+  return placement_source_.get();
 }
 
 Status Database::CreateTable(const std::string& name, const Schema& schema) {
@@ -318,7 +385,7 @@ Result<double> Database::EstimateCost(const QueryGraph& query,
 
 Result<MaterializeResult> Database::Materialize(
     const QueryGraph& query, const std::string& table_name,
-    bool register_view) {
+    bool register_view, uint32_t home_node) {
   // SELECT * semantics: the stored view keeps every column.
   QueryGraph definition = query;
   definition.SetProjections({});
@@ -327,10 +394,11 @@ Result<MaterializeResult> Database::Materialize(
   auto exec = planner_->Build(*plan, catalog_.get(), pool_.get(), &meter_);
   if (!exec.ok()) return exec.status();
 
+  if (disk_->node_count() <= 1) home_node = PageAllocOptions::kAnyNode;
   CostScope scope(meter_);
   auto table = MaterializeInto(catalog_.get(), pool_.get(), &meter_,
                                exec->get(), table_name,
-                               /*is_materialized=*/true);
+                               /*is_materialized=*/true, home_node);
   if (!table.ok()) return table.status();
 
   // Commit point: sync the result pages, then commit the table (and
@@ -876,7 +944,8 @@ Status Database::Reopen() {
                                        options_.buffer_pool_pages);
   catalog_ = std::make_unique<Catalog>(disk_.get(), pool_.get());
   views_ = ViewRegistry();
-  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost);
+  planner_ = std::make_unique<Planner>(catalog_.get(), options_.cost,
+                                       placement_source_.get());
   last_recovery_ = RecoveryStats();
   last_recovery_.manifest_records_replayed = manifest_.committed_count();
   last_recovery_.nodes_lost = disk_->killed_nodes();

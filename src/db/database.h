@@ -140,6 +140,7 @@ struct MaterializeResult {
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -182,9 +183,14 @@ class Database {
   /// manipulations are invisible to concurrent queries. The
   /// materialization itself may use existing views (the paper's
   /// enumeration reuses completed materializations, §3.5).
-  Result<MaterializeResult> Materialize(const QueryGraph& query,
-                                        const std::string& table_name,
-                                        bool register_view = true);
+  /// `home_node` pins the materialized table's pages to one storage
+  /// node (multi-node tiers; the speculation engine passes the cost
+  /// model's placement choice — DESIGN.md §14). kAnyNode keeps the
+  /// default node-sticky behaviour.
+  Result<MaterializeResult> Materialize(
+      const QueryGraph& query, const std::string& table_name,
+      bool register_view = true,
+      uint32_t home_node = PageAllocOptions::kAnyNode);
 
   /// Register a previously materialized (unregistered) result. Fails
   /// only when the manifest commit cannot reach quorum; the view is
@@ -268,6 +274,10 @@ class Database {
   ViewRegistry& views() { return views_; }
   const ViewRegistry& views() const { return views_; }
   const Planner& planner() const { return *planner_; }
+  /// Placement oracle the planner / speculation cost model consult
+  /// (DESIGN.md §14). Always non-null; reports node_count() == 1 on a
+  /// single-node database, which deactivates every placement term.
+  const PlacementProvider* placement() const;
   CostMeter& meter() { return meter_; }
   const DatabaseOptions& options() const { return options_; }
   BufferPool& buffer_pool() { return *pool_; }
@@ -283,12 +293,17 @@ class Database {
   double TotalSimSeconds() const { return meter_.ElapsedSeconds(); }
 
  private:
+  /// PlacementProvider over catalog_ + disk_ (defined in database.cc;
+  /// reads through the Database so it survives Reopen()'s rebuilds).
+  class PlacementSource;
+
   DatabaseOptions options_;
   CostMeter meter_;
   std::unique_ptr<ShardedStorageRouter> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   ViewRegistry views_;
+  std::unique_ptr<PlacementSource> placement_source_;
   std::unique_ptr<Planner> planner_;
   ReplicatedManifest manifest_;
   RecoveryStats last_recovery_;

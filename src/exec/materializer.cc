@@ -7,12 +7,20 @@ namespace sqp {
 Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
                                    CostMeter* meter, Executor* source,
                                    const std::string& table_name,
-                                   bool is_materialized) {
+                                   bool is_materialized, uint32_t home_node) {
   (void)meter;  // write I/O charges through the buffer pool flush below
   auto table = catalog->CreateTable(table_name, source->output_schema(),
                                     is_materialized);
   if (!table.ok()) return table.status();
   TableInfo* info = *table;
+  if (home_node != PageAllocOptions::kAnyNode &&
+      info->heap->placement().shards <= 1) {
+    // Pin the (unsharded, node-sticky) result to the cost model's
+    // chosen home before the first append claims a page.
+    HeapPlacement placement = info->heap->placement();
+    placement.home_node = home_node;
+    info->heap->SetPlacement(placement);
+  }
 
   Status init = source->Init();
   if (!init.ok()) {

@@ -16,9 +16,12 @@ namespace sqp {
 
 /// Create `table_name` with the executor's output schema and fill it.
 /// Computes stats inline and flushes the result to "disk".
-Result<TableInfo*> MaterializeInto(Catalog* catalog, BufferPool* pool,
-                                   CostMeter* meter, Executor* source,
-                                   const std::string& table_name,
-                                   bool is_materialized = true);
+/// `home_node` (multi-node tiers) pins the new table's pages to one
+/// storage node — the speculation engine's placement choice
+/// (DESIGN.md §14); kAnyNode keeps the store's node-sticky default.
+Result<TableInfo*> MaterializeInto(
+    Catalog* catalog, BufferPool* pool, CostMeter* meter, Executor* source,
+    const std::string& table_name, bool is_materialized = true,
+    uint32_t home_node = PageAllocOptions::kAnyNode);
 
 }  // namespace sqp

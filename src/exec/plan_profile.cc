@@ -56,6 +56,11 @@ void FormatNode(const OperatorProfile& node, int indent, bool include_wall,
                 static_cast<unsigned long long>(node.blocks_charged),
                 node.sim_seconds);
   os << buf;
+  if (node.cross_shard_pages > 0) {
+    std::snprintf(buf, sizeof(buf), " xshard=%llu",
+                  static_cast<unsigned long long>(node.cross_shard_pages));
+    os << buf;
+  }
   if (include_wall) {
     std::snprintf(buf, sizeof(buf), " wall=%.6fs", node.wall_seconds);
     os << buf;
@@ -87,6 +92,11 @@ void JsonNode(const OperatorProfile& node, bool include_wall,
                 static_cast<unsigned long long>(node.blocks_charged),
                 node.sim_seconds);
   os << buf;
+  if (node.cross_shard_pages > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"cross_shard_pages\":%llu",
+                  static_cast<unsigned long long>(node.cross_shard_pages));
+    os << buf;
+  }
   if (include_wall) {
     std::snprintf(buf, sizeof(buf), ",\"wall_seconds\":%.6f",
                   node.wall_seconds);
@@ -132,7 +142,9 @@ class ProfiledExecutor : public Executor {
         meter_(meter),
         node_(node),
         pages_(MetricsRegistry::Global().GetCounter(
-            "exec.batch.pages_pinned")) {}
+            "exec.batch.pages_pinned")),
+        xshard_(MetricsRegistry::Global().GetCounter(
+            "storage.node.cross_shard_pages")) {}
 
   Status Init() override {
     Capture capture(this);
@@ -166,6 +178,7 @@ class ProfiledExecutor : public Executor {
         : p_(p),
           scope_(*p->meter_),
           pages0_(p->pages_->value()),
+          xshard0_(p->xshard_->value()),
           wall0_(std::chrono::steady_clock::now()) {}
     ~Capture() {
       OperatorProfile* node = p_->node_;
@@ -173,6 +186,7 @@ class ProfiledExecutor : public Executor {
       node->tuples_charged += scope_.ElapsedTuples();
       node->blocks_charged += scope_.ElapsedBlocks();
       node->pages_pinned += p_->pages_->value() - pages0_;
+      node->cross_shard_pages += p_->xshard_->value() - xshard0_;
       node->wall_seconds +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wall0_)
@@ -181,6 +195,7 @@ class ProfiledExecutor : public Executor {
     ProfiledExecutor* p_;
     CostScope scope_;
     uint64_t pages0_;
+    uint64_t xshard0_;
     std::chrono::steady_clock::time_point wall0_;
   };
 
@@ -188,6 +203,7 @@ class ProfiledExecutor : public Executor {
   const CostMeter* meter_;
   OperatorProfile* node_;
   Counter* pages_;
+  Counter* xshard_;
 };
 
 }  // namespace

@@ -49,6 +49,11 @@ struct OperatorProfile {
   uint64_t pages_pinned = 0;   // subtree page pins (batch scans)
   uint64_t tuples_charged = 0; // subtree CostMeter tuple charges
   uint64_t blocks_charged = 0; // subtree CostMeter block charges
+  /// Subtree pages charged as simulated cross-shard transfer (the
+  /// planner's shuffle charge, DESIGN.md §14). 0 for shard-local and
+  /// single-node operators; the [cross-shard] tag in `detail` says
+  /// which joins could charge.
+  uint64_t cross_shard_pages = 0;
   double sim_seconds = 0;      // subtree simulated charge
   double wall_seconds = 0;     // subtree real time (non-deterministic)
 

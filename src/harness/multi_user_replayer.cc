@@ -17,7 +17,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     const std::vector<Trace>& traces) {
   if (options_.cold_start) SQP_RETURN_IF_ERROR(db_->ColdStart());
 
-  SimServer server;
+  // One simulator lane per storage node (DESIGN.md §14); single-node
+  // stores get the classic shared-capacity server the paper's §6.3
+  // experiment assumes.
+  SimServer server(db_->storage().node_count());
   const size_t n = traces.size();
 
   struct UserState {
@@ -139,7 +142,11 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     auto query_result = db_->Execute(final_query, exec);
     if (!query_result.ok()) return query_result.status();
 
-    user.job = server.Submit(query_result->seconds);
+    // Lane choice mirrors the single-user replayer: the deterministic
+    // replica-read cursor stands in for the node the query's balanced
+    // reads last touched (always lane 0 on single-node stores).
+    user.job = server.Submit(query_result->seconds,
+                             db_->storage().read_cursor() % server.lanes());
     user.go_time = sim_time;
     user.waiting = true;
     if (tracer != nullptr) {

@@ -5,7 +5,11 @@ namespace sqp {
 Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
   if (options_.cold_start) SQP_RETURN_IF_ERROR(db_->ColdStart());
 
-  SimServer server;
+  // One simulator lane per storage node (DESIGN.md §14): speculative
+  // manipulations queue on their home node's lane and only contend with
+  // work on the same node. A single-node store gets the classic single
+  // shared-capacity server.
+  SimServer server(db_->storage().node_count());
   SpeculationEngineOptions engine_options = options_.engine;
   engine_options.enabled = options_.speculation;
   engine_options.tracer = options_.tracer;
@@ -68,8 +72,12 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
 
     // The query runs alone on the server (manipulations were cancelled),
     // but route it through the simulator for uniformity with the
-    // multi-user replayer.
-    SimServer::JobId job = server.Submit(query_result->seconds);
+    // multi-user replayer. On a multi-node store the replica-read
+    // cursor picks the lane — a deterministic stand-in for "whichever
+    // node the balanced reads last touched".
+    SimServer::JobId job = server.Submit(
+        query_result->seconds,
+        db_->storage().read_cursor() % server.lanes());
     double done = server.RunUntilComplete(job);
     // User-perceived response time: any §7 wait is part of it.
     double duration = done - sim_time;

@@ -123,4 +123,34 @@ double CardinalityEstimator::IndexScanCost(const std::string& table,
          est_rows * config_.cpu_seconds_per_tuple;
 }
 
+bool CardinalityEstimator::PartitionedOn(const std::string& table,
+                                         const std::string& column) const {
+  if (!placement_active()) return false;
+  TablePlacement p = placement_->TablePlacementOf(table);
+  return p.sharded && p.shard_column == column;
+}
+
+double CardinalityEstimator::CrossShardFraction(
+    const std::string& table) const {
+  if (!placement_active()) return 0.0;
+  TablePlacement p = placement_->TablePlacementOf(table);
+  std::vector<double> share = placement_->ShardSlotShare();
+  if (p.node_page_fraction.size() != share.size()) {
+    return CrossShardFractionDefault();
+  }
+  double colocated = 0.0;
+  for (size_t k = 0; k < share.size(); k++) {
+    colocated += p.node_page_fraction[k] * share[k];
+  }
+  return std::clamp(1.0 - colocated, 0.0, 1.0);
+}
+
+double CardinalityEstimator::CrossShardFractionDefault() const {
+  if (!placement_active()) return 0.0;
+  std::vector<double> share = placement_->ShardSlotShare();
+  double colocated = 0.0;
+  for (double s : share) colocated += s * s;
+  return std::clamp(1.0 - colocated, 0.0, 1.0);
+}
+
 }  // namespace sqp

@@ -6,18 +6,25 @@
 // executors charge, so estimated and measured costs are commensurable.
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "catalog/catalog.h"
 #include "common/cost_meter.h"
+#include "optimizer/placement.h"
 #include "optimizer/query_graph.h"
 
 namespace sqp {
 
 class CardinalityEstimator {
  public:
-  CardinalityEstimator(const Catalog* catalog, CostConfig config)
-      : catalog_(catalog), config_(config) {}
+  /// `placement` (nullable, not owned) activates the shard-locality
+  /// terms (DESIGN.md §14); without it — or with a single-node
+  /// provider — every estimate is byte-identical to the classic
+  /// shard-oblivious model.
+  CardinalityEstimator(const Catalog* catalog, CostConfig config,
+                       const PlacementProvider* placement = nullptr)
+      : catalog_(catalog), config_(config), placement_(placement) {}
 
   /// Base-table row / page counts (0 for unknown tables).
   double TableRows(const std::string& table) const;
@@ -54,12 +61,44 @@ class CardinalityEstimator {
   /// Simulated-seconds cost of an index scan matching `est_rows` rows.
   double IndexScanCost(const std::string& table, double est_rows) const;
 
+  // ------------------------------------- shard locality (DESIGN.md §14)
+  /// True when placement-aware costing applies: a provider is attached
+  /// and the tier has more than one node.
+  bool placement_active() const {
+    return placement_ != nullptr && placement_->node_count() > 1;
+  }
+  const PlacementProvider* placement() const { return placement_; }
+
+  /// True when `table` is hash-partitioned on exactly `column` — a
+  /// probe/build side that needs no shuffle when the other side hashes
+  /// on the tier's same slot map.
+  bool PartitionedOn(const std::string& table,
+                     const std::string& column) const;
+
+  /// Expected fraction of `table`'s pages that must cross nodes to
+  /// reach the slot a tier-wide hash repartition sends them to:
+  /// 1 − Σ_k f_k·s_k, with f_k the table's page fraction on node k and
+  /// s_k node k's shard-slot share. (n−1)/n on a balanced tier.
+  double CrossShardFraction(const std::string& table) const;
+
+  /// Same, for an intermediate result spread like the slot map itself
+  /// (the steady state after a repartitioning join): 1 − Σ_k s_k².
+  double CrossShardFractionDefault() const;
+
+  /// Simulated seconds to ship `pages` pages across the tier — each
+  /// transferred page is charged one block I/O on the CostMeter, so
+  /// the estimate and the executor's charge use the same rate.
+  double ShuffleTransferSeconds(double pages) const {
+    return std::max(0.0, pages) * config_.io_seconds_per_block;
+  }
+
   const CostConfig& config() const { return config_; }
   const Catalog* catalog() const { return catalog_; }
 
  private:
   const Catalog* catalog_;
   CostConfig config_;
+  const PlacementProvider* placement_;
 };
 
 }  // namespace sqp

@@ -1,0 +1,58 @@
+// Data-placement introspection for shard-aware planning (DESIGN.md §14).
+//
+// The optimizer and the speculation cost model are deliberately kept
+// ignorant of the storage router's concrete types: they see placement
+// through this narrow read-only interface, which Database implements
+// over its catalog + ShardedStorageRouter. On a single-node database
+// the provider reports node_count() == 1 and every placement-aware
+// code path collapses to the classic shard-oblivious formulas, so a
+// `storage_nodes = 1` run stays bit-identical to the pre-placement
+// planner.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+/// Where one stored table's rows live on the tier.
+struct TablePlacement {
+  /// Rows are hash-partitioned on `shard_column` (base tables on a
+  /// multi-node tier). False for matviews (node-sticky single copy)
+  /// and for anything on a single-node database.
+  bool sharded = false;
+  /// Partitioning column (the table's first schema column today).
+  std::string shard_column;
+  /// Hash-shard slot count the table was created with. Two tables are
+  /// co-partitioned only when their slot counts match (same
+  /// row-to-slot mapping) — the slot map itself is tier-global.
+  size_t shard_slots = 0;
+  /// Fraction of the table's primary pages homed on each node
+  /// (node_count() entries summing to ~1; empty when unknown/empty
+  /// table).
+  std::vector<double> node_page_fraction;
+};
+
+/// Read-only placement oracle the planner / speculation cost model
+/// consult. Implemented by Database over catalog + storage router.
+class PlacementProvider {
+ public:
+  virtual ~PlacementProvider() = default;
+
+  /// Storage nodes in the tier (1 = single-node: placement inactive).
+  virtual size_t node_count() const = 0;
+
+  /// True iff node `k` is in service (not killed/retired).
+  virtual bool NodeAlive(size_t k) const = 0;
+
+  /// Placement of a stored table (default-constructed for unknown
+  /// tables).
+  virtual TablePlacement TablePlacementOf(const std::string& table) const = 0;
+
+  /// Fraction of hash-shard slots homed at each node — i.e. where a
+  /// freshly shuffled row lands. node_count() entries summing to ~1.
+  virtual std::vector<double> ShardSlotShare() const = 0;
+};
+
+}  // namespace sqp

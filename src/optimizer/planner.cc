@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "common/metrics_registry.h"
+
 namespace sqp {
 
 namespace {
@@ -67,7 +69,17 @@ std::string PlanNode::Explain(int indent) const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), ") rows=%.0f cost=%.4fs", est_rows,
                 est_cost);
-  os << buf << "\n";
+  os << buf;
+  // Placement annotations only ever appear on a multi-node tier, so
+  // single-node EXPLAIN output is unchanged (DESIGN.md §14).
+  if (shard_local) {
+    os << " [shard-local]";
+  } else if (cross_shard) {
+    std::snprintf(buf, sizeof(buf), " [cross-shard xfer=%.0fpg]",
+                  transfer_pages);
+    os << buf;
+  }
+  os << "\n";
   if (left) os << left->Explain(indent + 1);
   if (right) os << right->Explain(indent + 1);
   return os.str();
@@ -197,12 +209,40 @@ Result<PhysicalPlan> Planner::PlanRewritten(
                      static_cast<double>(kPageSize));
   };
 
+  // ---- shard placement (DESIGN.md §14) -----------------------------
+  // On a multi-node tier each scan unit carries the "relation.column"
+  // key it is hash-partitioned on (base tables: their shard column;
+  // matviews: nothing). A hash join whose connecting edge matches a
+  // partition key on both sides is shard-local; otherwise at least one
+  // side repartitions and the plan pays a simulated transfer charge.
+  const bool placement = estimator_.placement_active();
+  std::vector<std::set<std::string>> unit_partition(n);
+  std::vector<double> unit_cross_fraction(n, 0.0);
+  double default_cross = 0.0;
+  if (placement) {
+    default_cross = estimator_.CrossShardFractionDefault();
+    for (size_t u = 0; u < n; u++) {
+      const std::string& stored = rewritten.units[u].stored_table;
+      TablePlacement p =
+          estimator_.placement()->TablePlacementOf(stored);
+      // All sharded tables on one tier share the global slot map (and
+      // so the same slot count), which is what makes matching keys on
+      // both sides sufficient for locality.
+      if (p.sharded) unit_partition[u].insert(stored + "." + p.shard_column);
+      unit_cross_fraction[u] = estimator_.CrossShardFraction(stored);
+    }
+  }
+
   struct DpState {
     double cost = std::numeric_limits<double>::infinity();
     double rows = 0;
     int added_unit = -1;
     uint32_t prev_subset = 0;
     bool cross = false;
+    // Placement of the accumulated intermediate (multi-node tiers).
+    bool shard_local = false;      // the step that built this subset
+    double transfer_pages = 0;     // pages shipped by that step
+    std::set<std::string> partition;  // co-partition keys it preserves
   };
   std::vector<DpState> dp(size_t{1} << n);
 
@@ -211,6 +251,7 @@ Result<PhysicalPlan> Planner::PlanRewritten(
     s.cost = scans[u]->est_cost;
     s.rows = std::max(0.0, scans[u]->est_rows);
     s.added_unit = static_cast<int>(u);
+    if (placement) s.partition = unit_partition[u];
   }
 
   // Edges connecting unit u to subset s.
@@ -256,18 +297,56 @@ Result<PhysicalPlan> Planner::PlanRewritten(
         double sel = connection_selectivity(conn);
         double out_rows = dp[subset].rows * dp[size_t{1} << u].rows * sel;
         double cost;
+        bool local = false;
+        double xfer_pages = 0;
         if (!conn.empty()) {
           // Hash join: build accumulated side, probe unit side.
           cost = dp[subset].cost + scans[u]->est_cost +
                  cpu * (dp[subset].rows + dp[size_t{1} << u].rows + out_rows);
-          // Grace spill when the build side exceeds the hash area.
           double build_pages = pages_of(dp[subset].rows,
                                         subset_width(subset));
+          double probe_pages =
+              pages_of(dp[size_t{1} << u].rows, unit_width[u]);
+          // Grace spill when the build side exceeds the hash area.
           if (build_pages >
               static_cast<double>(config_.hash_join_memory_pages)) {
-            double probe_pages =
-                pages_of(dp[size_t{1} << u].rows, unit_width[u]);
             cost += 2.0 * io * (build_pages + probe_pages);
+          }
+          if (placement) {
+            // Shard-local iff some connecting edge matches a partition
+            // key on both sides: every matching build row already
+            // lives on the probe row's node.
+            for (const auto* e : conn) {
+              const JoinPred& j = e->pred;
+              bool left_is_unit =
+                  unit_of_relation(j.left_table) == static_cast<int>(u);
+              std::string ukey = left_is_unit
+                                     ? j.left_table + "." + j.left_column
+                                     : j.right_table + "." + j.right_column;
+              std::string skey = left_is_unit
+                                     ? j.right_table + "." + j.right_column
+                                     : j.left_table + "." + j.left_column;
+              if (dp[subset].partition.count(skey) > 0 &&
+                  unit_partition[u].count(ukey) > 0) {
+                local = true;
+                break;
+              }
+            }
+            if (!local) {
+              // Cross-shard: each side ships the fraction of its pages
+              // not already on the node the tier-wide repartition
+              // assigns them to. A single-table build side uses its
+              // actual page distribution; a joined intermediate is
+              // assumed spread like the slot map.
+              double build_fraction =
+                  (subset & (subset - 1)) == 0
+                      ? unit_cross_fraction[static_cast<size_t>(
+                            dp[subset].added_unit)]
+                      : default_cross;
+              xfer_pages = build_pages * build_fraction +
+                           probe_pages * unit_cross_fraction[u];
+              cost += estimator_.ShuffleTransferSeconds(xfer_pages);
+            }
           }
         } else {
           // Cross product via nested loops.
@@ -275,8 +354,29 @@ Result<PhysicalPlan> Planner::PlanRewritten(
                  cpu * (dp[subset].rows * dp[size_t{1} << u].rows + out_rows);
         }
         if (cost < dp[next].cost) {
-          dp[next] = DpState{cost, out_rows, static_cast<int>(u), subset,
-                             conn.empty()};
+          DpState state;
+          state.cost = cost;
+          state.rows = out_rows;
+          state.added_unit = static_cast<int>(u);
+          state.prev_subset = subset;
+          state.cross = conn.empty();
+          if (placement && !conn.empty()) {
+            state.shard_local = local;
+            state.transfer_pages = xfer_pages;
+            if (local) {
+              // A local join preserves both sides' partitioning.
+              state.partition = dp[subset].partition;
+              state.partition.insert(unit_partition[u].begin(),
+                                     unit_partition[u].end());
+            } else {
+              // The shuffle repartitions the output on the driving
+              // hash edge (both of its endpoints).
+              const JoinPred& j0 = conn.front()->pred;
+              state.partition.insert(j0.left_table + "." + j0.left_column);
+              state.partition.insert(j0.right_table + "." + j0.right_column);
+            }
+          }
+          dp[next] = std::move(state);
         }
       }
     }
@@ -324,6 +424,11 @@ Result<PhysicalPlan> Planner::PlanRewritten(
     uint32_t next = subset | (uint32_t{1} << u);
     join->est_rows = dp[next].rows;
     join->est_cost = dp[next].cost;
+    if (placement && join->kind == PlanNode::Kind::kHashJoin) {
+      join->shard_local = dp[next].shard_local;
+      join->cross_shard = !dp[next].shard_local;
+      join->transfer_pages = dp[next].transfer_pages;
+    }
     join->left = std::move(root);
     join->right = std::move(scans[u]);
     root = std::move(join);
@@ -466,11 +571,60 @@ std::string NodeDetail(const PlanNode* node) {
         os << l << "=" << r;
         first = false;
       }
+      if (node->shard_local) {
+        os << " [shard-local]";
+      } else if (node->cross_shard) {
+        os << " [cross-shard]";
+      }
       break;
     }
   }
   return os.str();
 }
+
+/// Charges a cross-shard hash join's estimated transfer once, at Init,
+/// on the query's CostMeter. The charge is a planner estimate — a pure
+/// function of catalog stats and the shard map, never of physical read
+/// routing, replica failover, or batch size — so chaos/crash/node-loss
+/// sweeps and the §10 batch charge-parity invariant stay bit-identical.
+/// The page count is mirrored into `storage.node.cross_shard_pages`,
+/// which EXPLAIN ANALYZE diffs per operator (DESIGN.md §14).
+class ShuffleChargeExecutor : public Executor {
+ public:
+  ShuffleChargeExecutor(std::unique_ptr<Executor> inner, CostMeter* meter,
+                        uint64_t pages)
+      : inner_(std::move(inner)),
+        meter_(meter),
+        pages_(pages),
+        counter_(MetricsRegistry::Global().GetCounter(
+            "storage.node.cross_shard_pages")) {}
+
+  Status Init() override {
+    if (!charged_) {
+      charged_ = true;
+      meter_->ChargeBlockRead(pages_);
+      counter_->Increment(pages_);
+    }
+    return inner_->Init();
+  }
+
+  Result<std::optional<Tuple>> Next() override { return inner_->Next(); }
+
+  Result<bool> NextBatch(TupleBatch* out) override {
+    return inner_->NextBatch(out);
+  }
+
+  const Schema& output_schema() const override {
+    return inner_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> inner_;
+  CostMeter* meter_;
+  uint64_t pages_;
+  Counter* counter_;
+  bool charged_ = false;
+};
 
 /// When profiling, wrap `exec` in a MakeProfiled decorator under a new
 /// OperatorProfile node placed into `*profile`. No-op without profile.
@@ -564,12 +718,25 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(
       std::unique_ptr<Executor> join(new HashJoinExecutor(
           std::move(*left), std::move(*right), *lidx, *ridx, meter,
           build_rows_hint));
+      // Cross-shard joins charge their estimated transfer at Init,
+      // inside the profiling wrapper so EXPLAIN ANALYZE attributes the
+      // pages to this operator (DESIGN.md §14).
+      if (node->cross_shard && node->transfer_pages > 0) {
+        join = std::make_unique<ShuffleChargeExecutor>(
+            std::move(join), meter,
+            static_cast<uint64_t>(std::ceil(node->transfer_pages)));
+      }
       // The planner costs the whole multi-edge join as one unit, so the
       // HashJoin and its residual ColumnFilter both carry the composite
       // output estimate (there is no per-edge estimate to split out).
-      join = MaybeProfile(std::move(join), "HashJoin",
-                          lcol0 + "=" + rcol0, node->est_rows, meter,
-                          std::move(kids), profile);
+      std::string join_detail = lcol0 + "=" + rcol0;
+      if (node->shard_local) {
+        join_detail += " [shard-local]";
+      } else if (node->cross_shard) {
+        join_detail += " [cross-shard]";
+      }
+      join = MaybeProfile(std::move(join), "HashJoin", join_detail,
+                          node->est_rows, meter, std::move(kids), profile);
       if (node->join_columns.size() > 1) {
         std::vector<ColumnFilterExecutor::Condition> conds;
         std::ostringstream residual;

@@ -53,6 +53,15 @@ struct PlanNode {
   double est_cost = 0;  // simulated seconds, inclusive of children
   Schema schema;
 
+  // --- shard placement (DESIGN.md §14; joins on a multi-node tier) ---
+  /// Both sides hash-partitioned on the join key: no rows cross nodes.
+  bool shard_local = false;
+  /// At least one side must repartition; est_cost includes the
+  /// transfer term and the built executor charges `transfer_pages`
+  /// block reads (`storage.node.cross_shard_pages`).
+  bool cross_shard = false;
+  double transfer_pages = 0;  // estimated pages shipped across nodes
+
   std::string Explain(int indent = 0) const;
 };
 
@@ -68,8 +77,14 @@ struct PhysicalPlan {
 
 class Planner {
  public:
-  Planner(const Catalog* catalog, CostConfig config)
-      : catalog_(catalog), estimator_(catalog, config), config_(config) {}
+  /// `placement` (nullable, not owned) activates shard-aware join
+  /// costing (DESIGN.md §14). Null — or a single-node provider —
+  /// reproduces the shard-oblivious planner bit for bit.
+  Planner(const Catalog* catalog, CostConfig config,
+          const PlacementProvider* placement = nullptr)
+      : catalog_(catalog),
+        estimator_(catalog, config, placement),
+        config_(config) {}
 
   /// Plan `query`. `views` may be null (no rewriting). With kForced,
   /// every applicable view (greedy, largest first, disjoint) is used;

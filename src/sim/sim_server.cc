@@ -8,21 +8,21 @@
 
 namespace sqp {
 
-SimServer::SimServer() {
+SimServer::SimServer(size_t lanes) : lanes_(std::max<size_t>(1, lanes)) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   m_submitted_ = registry.GetCounter("sim.jobs_submitted");
   m_cancelled_ = registry.GetCounter("sim.jobs_cancelled");
   m_completed_ = registry.GetCounter("sim.jobs_completed");
 }
 
-SimServer::JobId SimServer::Submit(double work) {
+SimServer::JobId SimServer::Submit(double work, size_t lane) {
   assert(work >= 0);
   JobId id = next_id_++;
   if (work <= 0) {
     completed_[id] = now_;
     m_completed_->Increment();
   } else {
-    active_[id] = work;
+    active_[id] = Job{work, lane % lanes_};
   }
   m_submitted_->Increment();
   return id;
@@ -38,13 +38,31 @@ double SimServer::CompletionTime(JobId id) const {
   return it->second;
 }
 
+size_t SimServer::LaneCount(size_t lane) const {
+  size_t count = 0;
+  for (const auto& [id, job] : active_) {
+    if (job.lane == lane) count++;
+  }
+  return count;
+}
+
 double SimServer::NextCompletionTime() const {
   if (active_.empty()) return kNever;
-  double min_rem = kNever;
-  for (const auto& [id, rem] : active_) {
-    if (rem < min_rem) min_rem = rem;
+  // Each lane is its own processor-sharing queue: a job with r seconds
+  // left in a lane with k active jobs finishes in r·k wall seconds.
+  std::vector<double> min_rem(lanes_, kNever);
+  std::vector<size_t> count(lanes_, 0);
+  for (const auto& [id, job] : active_) {
+    count[job.lane]++;
+    if (job.remaining < min_rem[job.lane]) min_rem[job.lane] = job.remaining;
   }
-  return now_ + min_rem * static_cast<double>(active_.size());
+  double next = kNever;
+  for (size_t lane = 0; lane < lanes_; lane++) {
+    if (count[lane] == 0) continue;
+    double done = now_ + min_rem[lane] * static_cast<double>(count[lane]);
+    if (done < next) next = done;
+  }
+  return next;
 }
 
 void SimServer::AdvanceTo(double t) {
@@ -56,13 +74,16 @@ void SimServer::AdvanceTo(double t) {
     double next_done = NextCompletionTime();
     if (next_done > t + 1e-12) break;
     double dt = std::max(0.0, next_done - now_);
-    double progress = dt / static_cast<double>(active_.size());
-    delivered_ += dt;
+    std::vector<size_t> count(lanes_, 0);
+    for (const auto& [id, job] : active_) count[job.lane]++;
+    for (size_t lane = 0; lane < lanes_; lane++) {
+      if (count[lane] > 0) delivered_ += dt;
+    }
     now_ = std::max(now_, next_done);
     std::vector<JobId> done;
-    for (auto& [id, rem] : active_) {
-      rem -= progress;
-      if (rem <= 1e-9) done.push_back(id);
+    for (auto& [id, job] : active_) {
+      job.remaining -= dt / static_cast<double>(count[job.lane]);
+      if (job.remaining <= 1e-9) done.push_back(id);
     }
     assert(!done.empty());
     for (JobId id : done) {
@@ -75,9 +96,14 @@ void SimServer::AdvanceTo(double t) {
   if (t > now_) {
     if (!active_.empty()) {
       double dt = t - now_;
-      delivered_ += dt;
-      double progress = dt / static_cast<double>(active_.size());
-      for (auto& [id, rem] : active_) rem -= progress;
+      std::vector<size_t> count(lanes_, 0);
+      for (const auto& [id, job] : active_) count[job.lane]++;
+      for (size_t lane = 0; lane < lanes_; lane++) {
+        if (count[lane] > 0) delivered_ += dt;
+      }
+      for (auto& [id, job] : active_) {
+        job.remaining -= dt / static_cast<double>(count[job.lane]);
+      }
     }
     now_ = t;
   }

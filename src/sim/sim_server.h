@@ -8,6 +8,12 @@
 // simulated seconds it would take alone (measured by executing it against
 // the database); contention stretches its completion time.
 //
+// On a multi-node storage tier the server has one *lane* per node
+// (DESIGN.md §14): jobs contend only within their lane, so work homed
+// on different nodes proceeds in parallel instead of sharing one
+// capacity pool. A single-lane server (the default) reproduces the
+// classic shared-queue model bit for bit.
+//
 // Side effects of a job (tables created, buffer-pool state) are applied
 // eagerly when the job is created; the simulator only schedules *when*
 // the job counts as complete. Cancelled materializations must have their
@@ -29,10 +35,14 @@ class SimServer {
   using JobId = uint64_t;
   static constexpr double kNever = std::numeric_limits<double>::infinity();
 
-  SimServer();
+  /// `lanes`: independent processor-sharing queues, one per storage
+  /// node (1 = the classic single shared server).
+  explicit SimServer(size_t lanes = 1);
 
   /// Submit a job needing `work` seconds at full capacity; starts now.
-  JobId Submit(double work);
+  /// `lane` picks the queue (the job's home node); out-of-range lanes
+  /// wrap, so callers can pass a node id unchecked.
+  JobId Submit(double work, size_t lane = 0);
 
   /// Remove an active job (no effect on completed/unknown ids).
   void Cancel(JobId id);
@@ -45,7 +55,7 @@ class SimServer {
   /// job is complete or unknown.
   double RemainingWork(JobId id) const {
     auto it = active_.find(id);
-    return it == active_.end() ? 0.0 : it->second;
+    return it == active_.end() ? 0.0 : it->second.remaining;
   }
 
   /// Completion time of a completed job.
@@ -64,14 +74,26 @@ class SimServer {
 
   double now() const { return now_; }
   size_t active_jobs() const { return active_.size(); }
+  size_t lanes() const { return lanes_; }
 
-  /// Total simulated seconds of service delivered (for utilization).
+  /// Total simulated seconds of service delivered (for utilization;
+  /// each busy lane delivers at unit rate, so with l busy lanes the
+  /// tally grows at l× wall time).
   double delivered_work() const { return delivered_; }
 
  private:
+  struct Job {
+    double remaining = 0;  // full-capacity seconds left
+    size_t lane = 0;
+  };
+
+  /// Active jobs in `lane` (its current processor-sharing degree).
+  size_t LaneCount(size_t lane) const;
+
+  size_t lanes_ = 1;
   double now_ = 0;
   JobId next_id_ = 1;
-  std::map<JobId, double> active_;  // id -> remaining work
+  std::map<JobId, Job> active_;
   std::map<JobId, double> completed_;  // id -> completion time
   double delivered_ = 0;
   // Registry handles (DESIGN.md §9), looked up once at construction.

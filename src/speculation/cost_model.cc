@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
+
+#include "optimizer/placement.h"
 
 namespace sqp {
 
@@ -55,7 +58,80 @@ ManipulationEvaluation SpeculationCostModel::EvaluateMaterialization(
 
   eval.score = eval.containment_probability * eval.completion_probability *
                eval.expected_uses * (eval.cost_with - eval.cost_without);
+
+  PlacePerNode(qm, result_pages, elapsed, &eval);
   return eval;
+}
+
+// Pick the result's home node on a multi-node store (DESIGN.md §14):
+// price Cost⊆ per candidate home — building the matview at node h ships
+// the source pages h does not already hold, which stretches the
+// manipulation's duration and so dents its completion probability —
+// and keep the placement that maximizes the benefit. Single-node
+// stores skip this entirely (eval is left untouched).
+void SpeculationCostModel::PlacePerNode(const QueryGraph& qm,
+                                        double result_pages, double elapsed,
+                                        ManipulationEvaluation* eval) const {
+  const PlacementProvider* placement = db_->placement();
+  if (placement == nullptr || placement->node_count() <= 1) return;
+  const size_t nodes = placement->node_count();
+  const CostConfig& rates = db_->planner().estimator().config();
+
+  // Page-weighted source distribution of q_m's inputs over the nodes.
+  std::vector<double> source_pages(nodes, 0.0);
+  double total_pages = 0;
+  for (const auto& rel : qm.relations()) {
+    const TableInfo* info = db_->catalog().GetTable(rel);
+    if (info == nullptr) continue;
+    double pages = static_cast<double>(info->heap->page_count());
+    total_pages += pages;
+    TablePlacement tp = placement->TablePlacementOf(rel);
+    if (tp.node_page_fraction.size() == nodes) {
+      for (size_t k = 0; k < nodes; k++) {
+        source_pages[k] += pages * tp.node_page_fraction[k];
+      }
+    } else {
+      for (size_t k = 0; k < nodes; k++) {
+        source_pages[k] += pages / static_cast<double>(nodes);
+      }
+    }
+  }
+
+  bool have_best = false;
+  double best_score = 0, best_frac = -1;
+  for (size_t h = 0; h < nodes; h++) {
+    if (!placement->NodeAlive(h)) continue;
+    double source_frac =
+        total_pages > 0 ? source_pages[h] / total_pages
+                        : 1.0 / static_cast<double>(nodes);
+    double transfer_pages = result_pages * std::max(0.0, 1.0 - source_frac);
+    double duration = eval->cost_without +
+                      result_pages * rates.io_seconds_per_block +
+                      transfer_pages * rates.io_seconds_per_block;
+    double completion =
+        options_.use_completion_probability
+            ? learner_->think_time().ProbCompleteInTime(elapsed, duration)
+            : 1.0;
+    double score = eval->containment_probability * completion *
+                   eval->expected_uses *
+                   (eval->cost_with - eval->cost_without);
+    // Lexicographic winner: best (most negative) score, then the node
+    // already holding the most source pages, then the lowest id —
+    // deterministic across replays by construction (ascending h with
+    // strict comparisons).
+    bool better = !have_best || score < best_score ||
+                  (score == best_score && source_frac > best_frac);
+    if (better) {
+      have_best = true;
+      best_score = score;
+      best_frac = source_frac;
+      eval->home_node = static_cast<uint32_t>(h);
+      eval->placement_transfer_pages = transfer_pages;
+      eval->estimated_duration = duration;
+      eval->completion_probability = completion;
+      eval->score = score;
+    }
+  }
 }
 
 ManipulationEvaluation SpeculationCostModel::EvaluateHistogram(

@@ -48,6 +48,14 @@ struct ManipulationEvaluation {
   double cost_without = 0;  // cost(q_m, m∅)
   double cost_with = 0;     // cost(q_m, m)
   double estimated_duration = 0;  // manipulation execution estimate
+  /// Chosen home node for the materialized result on a multi-node
+  /// store (DESIGN.md §14): the alive node minimizing Cost⊆ with the
+  /// placement transfer folded into the duration. kAnyNode on
+  /// single-node stores (no placement term).
+  uint32_t home_node = PageAllocOptions::kAnyNode;
+  /// Estimated pages shipped from other nodes to build the result at
+  /// `home_node` (0 when placement is inactive).
+  double placement_transfer_pages = 0;
 };
 
 class SpeculationCostModel {
@@ -71,6 +79,11 @@ class SpeculationCostModel {
                                            double elapsed) const;
   ManipulationEvaluation EvaluateIndex(const Manipulation& m,
                                        double elapsed) const;
+  /// Multi-node placement pass over a materialization's evaluation:
+  /// re-prices score/duration/completion per candidate home node and
+  /// records the winner in eval (no-op on single-node stores).
+  void PlacePerNode(const QueryGraph& qm, double result_pages, double elapsed,
+                    ManipulationEvaluation* eval) const;
 
   const Database* db_;
   const Learner* learner_;

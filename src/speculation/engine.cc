@@ -295,8 +295,10 @@ Status SpeculationEngine::ExecuteManipulation(
     case ManipulationType::kRewriteQuery: {
       out.table_name =
           options_.table_prefix + std::to_string(next_table_id_++);
+      // Land the result on the cost model's chosen home node (kAnyNode
+      // on single-node stores — the legacy round-robin path).
       auto result = db_->Materialize(m.target_query, out.table_name,
-                                     /*register_view=*/false);
+                                     /*register_view=*/false, eval.home_node);
       if (!result.ok()) {
         // The materializer rolls its half-built table back itself, but a
         // failure between create and fill can leave the shell behind.
@@ -322,7 +324,11 @@ Status SpeculationEngine::ExecuteManipulation(
       return Status::OK();
   }
 
-  out.job = server_->Submit(out.work);
+  // Queue the manipulation on its home node's lane (lane 0 — the only
+  // lane — when placement is inactive).
+  out.job = server_->Submit(
+      out.work,
+      eval.home_node == PageAllocOptions::kAnyNode ? 0 : eval.home_node);
   stats_.manipulations_issued++;
   stats_.total_manipulation_work += out.work;
   m_issued_->Increment();

@@ -91,6 +91,10 @@ Result<Rid> HeapFile::Append(const Tuple& tuple) {
     // Keep an unsharded heap whole on the node of its first page, so a
     // matview either fully survives a node loss or is fully gone.
     options.node_hint = PageNode(pages_.front());
+  } else {
+    // First page: honour an explicit home (kAnyNode = the default
+    // round-robin, which is also the single-node path).
+    options.node_hint = placement_.home_node;
   }
   auto fresh = pool_->NewPage(options);
   if (!fresh.ok()) return fresh.status();

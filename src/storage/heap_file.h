@@ -22,6 +22,11 @@ struct HeapPlacement {
   /// Hash-shard appends on the first column over this many shards;
   /// shard k's pages are pinned to storage node k.
   size_t shards = 1;
+  /// Unsharded heaps only: pin the *first* page to this node (later
+  /// pages already follow the first). kAnyNode = round-robin default.
+  /// The speculation engine uses this to land a matview on the cost
+  /// model's chosen home node (DESIGN.md §14).
+  uint32_t home_node = PageAllocOptions::kAnyNode;
 };
 
 class HeapFile {

@@ -194,6 +194,11 @@ class ShardedStorageRouter : public PageStore {
   uint64_t degraded_writes() const { return degraded_writes_; }
   uint64_t reads_primary() const { return reads_primary_; }
   uint64_t reads_shadow() const { return reads_shadow_; }
+  /// Deterministic replica-read round-robin cursor (advances once per
+  /// balanced read of a healthy replicated page). The replayers use it
+  /// to spread query jobs over the SimServer's per-node lanes
+  /// (DESIGN.md §14).
+  uint64_t read_cursor() const { return read_rr_; }
 
  private:
   struct PageMeta {

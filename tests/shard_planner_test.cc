@@ -1,0 +1,241 @@
+// Shard-aware planning and speculation placement (DESIGN.md §14):
+// co-partitioned joins price below shuffling ones, placement choices
+// replay deterministically, the simulated transfer charge is immune to
+// injected faults, and a single-node database plans bit-identically to
+// a placement-blind planner.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "common/metrics_registry.h"
+#include "db/database.h"
+#include "speculation/cost_model.h"
+#include "test_util.h"
+
+namespace sqp {
+namespace {
+
+using testutil::Join;
+using testutil::Sel;
+
+/// 4-node database with a dimension table `r` and two fact tables of
+/// identical shape and FK distribution: `s` carries the FK to r in its
+/// FIRST column (the shard column, so r⋈s is co-partitioned) and `t`
+/// hides it in the second (r⋈t must shuffle).
+std::unique_ptr<Database> MakeShardedDb(size_t nodes = 4, uint64_t seed = 11,
+                                        size_t rows_r = 800,
+                                        size_t rows_fact = 2400) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 256;
+  options.storage_nodes = nodes;
+  auto db = std::make_unique<Database>(options);
+
+  Schema r_schema({{"r_id", TypeId::kInt64}, {"r_pay", TypeId::kInt64}});
+  Schema s_schema({{"s_rid", TypeId::kInt64},
+                   {"s_seq", TypeId::kInt64},
+                   {"s_pay", TypeId::kInt64}});
+  Schema t_schema({{"t_id", TypeId::kInt64},
+                   {"t_rid", TypeId::kInt64},
+                   {"t_pay", TypeId::kInt64}});
+  EXPECT_TRUE(db->CreateTable("r", r_schema).ok());
+  EXPECT_TRUE(db->CreateTable("s", s_schema).ok());
+  EXPECT_TRUE(db->CreateTable("t", t_schema).ok());
+
+  Rng rng(seed);
+  std::vector<Tuple> r_rows;
+  for (size_t i = 0; i < rows_r; i++) {
+    r_rows.push_back(
+        Tuple{Value(static_cast<int64_t>(i)), Value(rng.NextInt(0, 99))});
+  }
+  std::vector<Tuple> s_rows, t_rows;
+  for (size_t i = 0; i < rows_fact; i++) {
+    int64_t fk = rng.NextInt(0, static_cast<int64_t>(rows_r) - 1);
+    int64_t pay = rng.NextInt(0, 999);
+    s_rows.push_back(
+        Tuple{Value(fk), Value(static_cast<int64_t>(i)), Value(pay)});
+    t_rows.push_back(
+        Tuple{Value(static_cast<int64_t>(i)), Value(fk), Value(pay)});
+  }
+  EXPECT_TRUE(db->BulkLoad("r", r_rows).ok());
+  EXPECT_TRUE(db->BulkLoad("s", s_rows).ok());
+  EXPECT_TRUE(db->BulkLoad("t", t_rows).ok());
+  return db;
+}
+
+QueryGraph LocalJoin() {
+  QueryGraph q;
+  q.AddJoin(Join("r", "r_id", "s", "s_rid"));
+  return q;
+}
+
+QueryGraph ShuffleJoin() {
+  QueryGraph q;
+  q.AddJoin(Join("r", "r_id", "t", "t_rid"));
+  return q;
+}
+
+uint64_t CrossShardCounter() {
+  return MetricsRegistry::Global()
+      .GetCounter("storage.node.cross_shard_pages")
+      ->value();
+}
+
+TEST(ShardPlannerTest, CoPartitionedJoinIsPricedBelowShufflingJoin) {
+  auto db = MakeShardedDb();
+  auto local = db->planner().Plan(LocalJoin());
+  auto shuffle = db->planner().Plan(ShuffleJoin());
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(shuffle.ok());
+  // Same cardinalities and widths on both sides; the only difference is
+  // the shuffling join's transfer term, so strict inequality.
+  EXPECT_LT(local->est_cost, shuffle->est_cost);
+  EXPECT_NE(local->Explain().find("[shard-local]"), std::string::npos)
+      << local->Explain();
+  EXPECT_NE(shuffle->Explain().find("[cross-shard"), std::string::npos)
+      << shuffle->Explain();
+}
+
+TEST(ShardPlannerTest, ExecutionChargesTransferOnlyOnCrossShardJoins) {
+  auto db = MakeShardedDb();
+  uint64_t before = CrossShardCounter();
+  auto local = db->Execute(LocalJoin());
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(CrossShardCounter() - before, 0u);
+
+  before = CrossShardCounter();
+  auto shuffle = db->Execute(ShuffleJoin());
+  ASSERT_TRUE(shuffle.ok());
+  EXPECT_GT(CrossShardCounter() - before, 0u);
+  EXPECT_EQ(local->row_count, shuffle->row_count);
+  // The transfer stretches the shuffling join's simulated time.
+  EXPECT_GT(shuffle->seconds, local->seconds);
+}
+
+TEST(ShardPlannerTest, ExplainAnalyzeReportsCrossShardActuals) {
+  auto db = MakeShardedDb();
+  ExecuteOptions exec;
+  exec.explain_analyze = true;
+  auto local = db->Execute(LocalJoin(), exec);
+  auto shuffle = db->Execute(ShuffleJoin(), exec);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(shuffle.ok());
+  ASSERT_NE(local->profile, nullptr);
+  ASSERT_NE(shuffle->profile, nullptr);
+  // Shard-local joins never show transfer actuals; the shuffling join
+  // reports them on the operator that charged (text and JSON).
+  EXPECT_EQ(local->profile->FormatText().find("xshard="), std::string::npos)
+      << local->profile->FormatText();
+  EXPECT_NE(shuffle->profile->FormatText().find("xshard="),
+            std::string::npos)
+      << shuffle->profile->FormatText();
+  EXPECT_NE(shuffle->profile->FormatJson().find("\"cross_shard_pages\":"),
+            std::string::npos);
+  EXPECT_NE(shuffle->profile->FormatText().find("[cross-shard]"),
+            std::string::npos);
+  EXPECT_NE(local->profile->FormatText().find("[shard-local]"),
+            std::string::npos);
+}
+
+TEST(ShardPlannerTest, PlacementChoiceIsDeterministicAcrossReplays) {
+  // Two identically-seeded databases must make bit-identical placement
+  // decisions: same plans, and the speculation cost model picks the
+  // same home node with the same priced evaluation.
+  auto db_a = MakeShardedDb();
+  auto db_b = MakeShardedDb();
+
+  auto plan_a = db_a->planner().Plan(ShuffleJoin());
+  auto plan_b = db_b->planner().Plan(ShuffleJoin());
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  EXPECT_EQ(plan_a->Explain(), plan_b->Explain());
+  EXPECT_EQ(plan_a->est_cost, plan_b->est_cost);
+
+  Learner learner_a, learner_b;
+  SpeculationCostModel model_a(db_a.get(), &learner_a);
+  SpeculationCostModel model_b(db_b.get(), &learner_b);
+  Manipulation m;
+  m.type = ManipulationType::kMaterializeQuery;
+  m.target_query.AddSelection(
+      Sel("r", "r_pay", CompareOp::kLt, Value(int64_t{10})));
+  auto eval_a = model_a.Evaluate(m, 0);
+  auto eval_b = model_b.Evaluate(m, 0);
+  // Multi-node store: a concrete home node was chosen, deterministically.
+  EXPECT_NE(eval_a.home_node, PageAllocOptions::kAnyNode);
+  EXPECT_LT(eval_a.home_node, 4u);
+  EXPECT_EQ(eval_a.home_node, eval_b.home_node);
+  EXPECT_EQ(eval_a.score, eval_b.score);
+  EXPECT_EQ(eval_a.estimated_duration, eval_b.estimated_duration);
+  EXPECT_EQ(eval_a.placement_transfer_pages, eval_b.placement_transfer_pages);
+}
+
+TEST(ShardPlannerTest, CrossShardChargesAreIdenticalUnderInjectedFaults) {
+  // The transfer charge is a plan-time constant, charged once at
+  // executor Init: disk faults perturbing the execution (reads failing
+  // over to the shadow copy) must not move it by a single page.
+  uint64_t clean_pages = 0;
+  uint64_t clean_rows = 0;
+  {
+    auto db = MakeShardedDb();
+    uint64_t before = CrossShardCounter();
+    auto result = db->Execute(ShuffleJoin());
+    ASSERT_TRUE(result.ok());
+    clean_pages = CrossShardCounter() - before;
+    clean_rows = result->row_count;
+    EXPECT_GT(clean_pages, 0u);
+  }
+  {
+    auto db = MakeShardedDb();
+    FaultSpec spec = FaultSpec::EveryNth(3);
+    spec.only_in_region = false;  // hit final-query reads too
+    FaultInjector::Global().Arm("node1.disk.read", spec);
+    uint64_t before = CrossShardCounter();
+    auto result = db->Execute(ShuffleJoin());
+    FaultInjector::Global().Reset();
+    ASSERT_TRUE(result.ok());  // replicated reads fail over
+    EXPECT_EQ(CrossShardCounter() - before, clean_pages);
+    EXPECT_EQ(result->row_count, clean_rows);
+  }
+}
+
+TEST(ShardPlannerTest, SingleNodePlansAreBitIdenticalToPlacementBlind) {
+  // A one-node database must plan exactly as a planner constructed with
+  // no placement provider at all: same explain text, same costs, no
+  // placement tags, no transfer charges.
+  auto db = testutil::MakeTwoTableDb(800, 2400);
+  std::unique_ptr<Database> holder(db);
+  QueryGraph q;
+  q.AddJoin(testutil::RsJoin());
+  q.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{40})));
+
+  auto placed = db->planner().Plan(q);
+  ASSERT_TRUE(placed.ok());
+  Planner blind(&db->catalog(), db->planner().estimator().config());
+  auto bare = blind.Plan(q);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(placed->Explain(), bare->Explain());
+  EXPECT_EQ(placed->est_cost, bare->est_cost);
+  EXPECT_EQ(placed->Explain().find("[shard-local]"), std::string::npos);
+  EXPECT_EQ(placed->Explain().find("[cross-shard"), std::string::npos);
+
+  uint64_t before = CrossShardCounter();
+  auto result = db->Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(CrossShardCounter() - before, 0u);
+
+  // And the speculation cost model leaves placement untouched.
+  Learner learner;
+  SpeculationCostModel model(db, &learner);
+  Manipulation m;
+  m.type = ManipulationType::kMaterializeQuery;
+  m.target_query.AddSelection(
+      Sel("r", "r_a", CompareOp::kLt, Value(int64_t{10})));
+  auto eval = model.Evaluate(m, 0);
+  EXPECT_EQ(eval.home_node, PageAllocOptions::kAnyNode);
+  EXPECT_EQ(eval.placement_transfer_pages, 0.0);
+}
+
+}  // namespace
+}  // namespace sqp
