@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the parallel-vs-sequential differential under distinct
+# fault-schedule base seeds.
+#
+# Each exec_parallel_test invocation replays every differential at
+# exec_threads 1, 2, 4 and 8: rows, CostMeter charges and EXPLAIN
+# ANALYZE actuals must be bit-identical at every thread count, and the
+# fault-schedule rounds (seeded from SQP_CHAOS_SEED, like the chaos
+# sweep) must fail at the same point with the same charges. The default
+# sweep covers 10 base seeds; SQP_SWEEP_SEEDS scales the count (the
+# nightly CI uses more, and additionally runs this suite under TSAN).
+#
+# Every seed runs even after a failure; failed seeds are listed at the
+# end and the script exits non-zero, so one failure cannot mask another.
+#
+# Usage: scripts/check_parallel.sh [exec_parallel_test-binary]
+set -euo pipefail
+
+BIN="${1:-build/tests/exec_parallel_test}"
+if [ ! -x "$BIN" ]; then
+  echo "error: exec_parallel_test binary not found at '$BIN'" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+SWEEP_SEEDS="${SQP_SWEEP_SEEDS:-10}"
+failed_seeds=()
+for ((i = 0; i < SWEEP_SEEDS; i++)); do
+  seed=$((1 + i * 100))
+  echo "=== parallel sweep: base seed $seed ==="
+  if ! SQP_CHAOS_SEED="$seed" "$BIN" --gtest_brief=1; then
+    failed_seeds+=("$seed")
+  fi
+done
+
+if [ "${#failed_seeds[@]}" -gt 0 ]; then
+  echo "check_parallel: FAILED seeds: ${failed_seeds[*]}" >&2
+  exit 1
+fi
+echo "check_parallel: all $SWEEP_SEEDS seed sweeps passed"

@@ -11,7 +11,12 @@
 # Usage: scripts/run_bench_json.sh [output-dir] [bench-binary...]
 #   output-dir defaults to bench_json/; with no binaries listed, every
 #   executable under build/bench/ is run. Bench knobs (SQP_USERS,
-#   SQP_SCALES, SQP_SEED) are honored as usual.
+#   SQP_SCALES, SQP_SEED, SQP_EXEC_THREADS) are honored as usual.
+#
+# Each JSON also records `host_cores` (hardware threads on the machine)
+# and the SQP_EXEC_THREADS knob, so bench_compare.py consumers can tell
+# a scaling regression from a comparison across differently-sized
+# hosts before trusting parallel.* wall-clock figures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +39,7 @@ fi
 
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 
 for bench in "${BENCHES[@]}"; do
   name="$(basename "$bench")"
@@ -46,6 +52,7 @@ for bench in "${BENCHES[@]}"; do
   json_file="$OUT_DIR/BENCH_${name}.json"
   STDOUT_FILE="$stdout_file" BENCH_NAME="$name" GIT_REV="$GIT_REV" \
   TIMESTAMP="$TIMESTAMP" EXIT_CODE="$exit_code" JSON_FILE="$json_file" \
+  HOST_CORES="$HOST_CORES" \
   python3 - <<'PY'
 import json
 import os
@@ -58,9 +65,11 @@ doc = {
     "git_rev": os.environ["GIT_REV"],
     "timestamp": os.environ["TIMESTAMP"],
     "exit_code": int(os.environ["EXIT_CODE"]),
+    "host_cores": int(os.environ.get("HOST_CORES", "0")),
     "env": {
         k: os.environ[k]
-        for k in ("SQP_USERS", "SQP_SCALES", "SQP_SEED")
+        for k in ("SQP_USERS", "SQP_SCALES", "SQP_SEED",
+                  "SQP_EXEC_THREADS")
         if k in os.environ
     },
     "stdout_lines": lines,

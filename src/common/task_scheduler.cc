@@ -1,0 +1,192 @@
+#include "common/task_scheduler.h"
+
+#include <chrono>
+
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+TaskScheduler::TaskScheduler(size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; i++) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Register the scheduler family eagerly so the docs drift test sees
+  // it whenever a parallel database exists.
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("scheduler.workers")
+      ->Set(static_cast<double>(workers));
+  registry.GetCounter("scheduler.tasks");
+  registry.GetCounter("scheduler.steals");
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; i++) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  FoldStats();
+}
+
+void TaskScheduler::Submit(std::function<void()> fn, Priority priority) {
+  size_t target =
+      submit_rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    Worker& w = *workers_[target];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (priority == Priority::kForeground) {
+      w.foreground.push_back(std::move(fn));
+    } else {
+      w.background.push_back(std::move(fn));
+    }
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Wake a parked worker only when one exists: busy workers re-check
+  // pending_ themselves, and skipping the lock + notify syscall on
+  // every submit matters when morsels are small. A worker entering the
+  // park re-checks pending_ under park_mu_ (and the cv wait re-checks
+  // its predicate before blocking), so this fast-path read cannot lose
+  // a wakeup.
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+}
+
+bool TaskScheduler::PopTask(size_t self, std::function<void()>* fn,
+                            bool* stolen) {
+  const size_t n = workers_.size();
+  // Own queues first (workers only; the foreground helper has none).
+  if (self < n) {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.foreground.empty()) {
+      *fn = std::move(w.foreground.front());
+      w.foreground.pop_front();
+      *stolen = false;
+      return true;
+    }
+    if (!w.background.empty()) {
+      *fn = std::move(w.background.front());
+      w.background.pop_front();
+      *stolen = false;
+      return true;
+    }
+  }
+  // Steal: every peer's foreground work outranks anyone's background
+  // work, so speculation never delays a query morsel.
+  for (int pass = 0; pass < 2; pass++) {
+    for (size_t k = 0; k < n; k++) {
+      size_t victim = (self + 1 + k) % n;
+      if (victim == self) continue;
+      Worker& w = *workers_[victim];
+      std::lock_guard<std::mutex> lock(w.mu);
+      auto& queue = pass == 0 ? w.foreground : w.background;
+      if (queue.empty()) continue;
+      // Steal from the back: the owner drains the front, so contention
+      // on a long morsel run stays low.
+      *fn = std::move(queue.back());
+      queue.pop_back();
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskScheduler::Help() {
+  std::function<void()> fn;
+  bool stolen = false;
+  if (!PopTask(workers_.size(), &fn, &stolen)) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  fn();
+  NotifyDone();
+  return true;
+}
+
+void TaskScheduler::NotifyDone() {
+  // Uncontended completions skip the lock + notify entirely; see the
+  // done_waiters_ comment in the header.
+  if (done_waiters_.load(std::memory_order_acquire) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void TaskScheduler::WaitFor(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (Help()) continue;
+    done_waiters_.fetch_add(1, std::memory_order_release);
+    {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      if (!pred()) {
+        // Bounded wait: completion notifies, but a bounded sleep also
+        // re-polls for work that appeared without a completion (fresh
+        // submits land on worker queues, not here) and covers the
+        // benign completion-vs-registration race of the waiter fast
+        // path.
+        done_cv_.wait_for(lock, std::chrono::milliseconds(2));
+      }
+    }
+    done_waiters_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void TaskScheduler::WorkerLoop(size_t index) {
+  Worker& self = *workers_[index];
+  for (;;) {
+    std::function<void()> fn;
+    bool stolen = false;
+    if (PopTask(index, &fn, &stolen)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      fn();
+      self.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) self.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      NotifyDone();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    parked_.fetch_add(1, std::memory_order_release);
+    park_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    parked_.fetch_sub(1, std::memory_order_release);
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void TaskScheduler::FoldStats() {
+  // Fixed worker-index fold order (DESIGN.md §15): the shards are
+  // private per worker, so one ordered pass is race-free after the pool
+  // quiesces and merely approximate while it runs.
+  uint64_t tasks = 0;
+  uint64_t steals = 0;
+  for (const auto& w : workers_) {
+    tasks += w->tasks_run.load(std::memory_order_relaxed);
+    steals += w->tasks_stolen.load(std::memory_order_relaxed);
+  }
+  auto& registry = MetricsRegistry::Global();
+  if (tasks > folded_tasks_) {
+    registry.GetCounter("scheduler.tasks")->Increment(tasks - folded_tasks_);
+    folded_tasks_ = tasks;
+  }
+  if (steals > folded_steals_) {
+    registry.GetCounter("scheduler.steals")
+        ->Increment(steals - folded_steals_);
+    folded_steals_ = steals;
+  }
+}
+
+}  // namespace sqp

@@ -1,0 +1,133 @@
+// Task-parallel worker pool (DESIGN.md §15).
+//
+// A fixed-size pool of worker threads in the mxtasking/tunadb
+// worker-pool style: each worker owns two task deques (foreground query
+// work, background speculation work) and steals from its peers when its
+// own queues drain. The scheduler exists to move *uncharged* CPU work —
+// predicate evaluation, tuple decode, hash probing — off the query
+// thread; it never owns determinism-sensitive state:
+//
+//   * Tasks must touch only data handed to them at submit time (their
+//     morsel) plus frozen shared structures (a built hash table, page
+//     byte snapshots). They never charge a CostMeter, fetch through the
+//     buffer pool, or fire fault points — the submitting (foreground)
+//     thread replays all of that in sequential order when it folds the
+//     morsel's results (see exec/executors.cc).
+//   * Tasks never block, submit, or wait; only the foreground thread
+//     submits and waits, helping execute queued tasks while it does.
+//
+// Two priority classes order the *queues*, not correctness: workers
+// drain foreground tasks (interactive queries) before background ones
+// (speculative materializations), so speculation soaks up idle workers
+// without delaying the user's query. With zero workers the scheduler is
+// never constructed and every parallel code path is compiled out of the
+// execution — bit-identical to the single-threaded engine.
+//
+// Observability: each worker keeps a private metrics shard (tasks run,
+// tasks stolen) with no shared hot counter; FoldStats() folds the
+// shards into the `scheduler.*` registry counters in fixed
+// worker-index order on the foreground thread. Task totals are
+// deterministic (every submitted task runs exactly once); the steal
+// split is wall-clock scheduling and is documented as such.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqp {
+
+class TaskScheduler {
+ public:
+  enum class Priority { kForeground, kBackground };
+
+  /// Spawn `workers` pool threads (>= 1; a zero-thread scheduler has no
+  /// reason to exist — callers gate construction on exec_threads > 1).
+  explicit TaskScheduler(size_t workers);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueue `fn` on a worker queue (round-robin). `fn` must be
+  /// self-contained: no charging, no blocking, no submitting (see file
+  /// comment). Called from the foreground thread.
+  void Submit(std::function<void()> fn,
+              Priority priority = Priority::kForeground);
+
+  /// Run one queued task on the calling thread (foreground helping).
+  /// Returns false when every queue is empty.
+  bool Help();
+
+  /// Block until `pred()` is true, executing queued tasks while
+  /// waiting. `pred` is typically "this morsel's results are
+  /// published" (an acquire load of the morsel's done flag).
+  void WaitFor(const std::function<bool()>& pred);
+
+  /// Fold the per-worker metrics shards into the `scheduler.*`
+  /// registry counters, in worker-index order. Foreground thread only;
+  /// also called by the destructor after the pool is joined.
+  void FoldStats();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> foreground;
+    std::deque<std::function<void()>> background;
+    // Private metrics shard: touched only by this worker's thread (and
+    // by FoldStats after quiescence), relaxed atomics keep TSAN honest
+    // about the fold-while-running read.
+    std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> tasks_stolen{0};
+  };
+
+  /// Pop one task: own queues first (foreground before background),
+  /// then steal from peers in index order. `self` is the calling
+  /// worker's index, or workers_.size() for the foreground thread.
+  bool PopTask(size_t self, std::function<void()>* fn, bool* stolen);
+
+  /// Wake the foreground waiter, if one is registered.
+  void NotifyDone();
+
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Parking lot: workers sleep here when every queue is empty; Submit
+  // wakes one. pending_ is the global queued-task count — checked under
+  // park_mu_ before sleeping so a submit cannot slip between a failed
+  // scan and the wait.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<uint64_t> pending_{0};
+  /// Workers currently blocked on park_cv_; Submit skips the wakeup
+  /// lock + notify when zero (a parking worker re-checks pending_
+  /// under park_mu_, so the fast path cannot lose a wakeup).
+  std::atomic<int> parked_{0};
+  std::atomic<bool> stop_{false};
+
+  // Completion signal for WaitFor. Workers notify only while a waiter
+  // is registered (done_waiters_ > 0): uncontended completions skip the
+  // lock + notify syscall entirely, which matters when morsels are tiny
+  // and the host is oversubscribed. The race (a completion landing
+  // between a waiter's registration and its wait) is bounded by the
+  // waiter's timed re-poll.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<int> done_waiters_{0};
+
+  std::atomic<uint64_t> submit_rr_{0};
+  uint64_t folded_tasks_ = 0;
+  uint64_t folded_steals_ = 0;
+};
+
+}  // namespace sqp

@@ -16,14 +16,24 @@
 
 namespace sqp {
 
-/// `tuple[column_index] op constant`.
+/// `tuple[column_index] op constant`, optionally fused with a second
+/// bound on the same column (`constant <op> col <upper_op> upper`, a
+/// BETWEEN). The planner condenses a `>`/`>=` + `<`/`<=` pair on one
+/// column into a single fused term so the column is accessed (and, on
+/// the late-materializing scan path, decoded from the serialized
+/// record) once for both comparisons.
 struct BoundSelection {
   size_t column_index = 0;
   CompareOp op = CompareOp::kEq;
   Value constant;
+  bool has_upper = false;
+  CompareOp upper_op = CompareOp::kLt;
+  Value upper;
 
   bool Eval(const Tuple& tuple) const {
-    return EvalCompare(tuple[column_index].Compare(constant), op);
+    const Value& v = tuple[column_index];
+    if (!EvalCompare(v.Compare(constant), op)) return false;
+    return !has_upper || EvalCompare(v.Compare(upper), upper_op);
   }
 };
 

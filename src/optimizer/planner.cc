@@ -57,6 +57,9 @@ std::string PlanNode::Explain(int indent) const {
   }
   if (kind == Kind::kSeqScan || kind == Kind::kIndexScan) {
     for (const auto& p : predicates) os << ", " << p.ToString();
+    for (const auto& [lo, hi] : fused_predicates) {
+      os << ", between(" << lo.ToString() << ", " << hi.ToString() << ")";
+    }
     if (index_pred.has_value()) os << ", [" << index_pred->ToString() << "]";
   } else {
     bool first = true;
@@ -139,6 +142,44 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanScan(
       }
       node->est_cost = cost;
     }
+  }
+
+  // Condense range pairs (`a > lo AND a < hi`) on one column into a
+  // single fused BETWEEN term: the scan evaluates both bounds with one
+  // predicate (one column decode on the late-materializing path).
+  // Runs after access-path selection on the surviving seq-scan list,
+  // so selectivity estimates and the scan-vs-index choice are
+  // byte-identical to the unfused planner.
+  if (node->kind == PlanNode::Kind::kSeqScan) {
+    auto is_lower = [](CompareOp op) {
+      return op == CompareOp::kGt || op == CompareOp::kGe;
+    };
+    auto is_upper = [](CompareOp op) {
+      return op == CompareOp::kLt || op == CompareOp::kLe;
+    };
+    std::vector<SelectionPred> rest;
+    rest.reserve(node->predicates.size());
+    for (const SelectionPred& pred : node->predicates) {
+      bool fused = false;
+      if (is_lower(pred.op) || is_upper(pred.op)) {
+        for (size_t i = 0; i < rest.size(); i++) {
+          const SelectionPred& other = rest[i];
+          if (other.column != pred.column) continue;
+          if (is_lower(other.op) && is_upper(pred.op)) {
+            node->fused_predicates.emplace_back(other, pred);
+          } else if (is_upper(other.op) && is_lower(pred.op)) {
+            node->fused_predicates.emplace_back(pred, other);
+          } else {
+            continue;
+          }
+          rest.erase(rest.begin() + i);
+          fused = true;
+          break;
+        }
+      }
+      if (!fused) rest.push_back(pred);
+    }
+    node->predicates = std::move(rest);
   }
   return node;
 }
@@ -559,6 +600,9 @@ std::string NodeDetail(const PlanNode* node) {
         os << " via " << node->index_column;
       }
       for (const auto& p : node->predicates) os << ", " << p.ToString();
+      for (const auto& [lo, hi] : node->fused_predicates) {
+        os << ", between(" << lo.ToString() << ", " << hi.ToString() << ")";
+      }
       if (node->index_pred.has_value()) {
         os << ", [" << node->index_pred->ToString() << "]";
       }
@@ -648,15 +692,30 @@ std::unique_ptr<Executor> MaybeProfile(
 
 Result<std::unique_ptr<Executor>> Planner::BuildNode(
     const PlanNode* node, Catalog* catalog, BufferPool* pool, CostMeter* meter,
-    std::unique_ptr<OperatorProfile>* profile) const {
+    std::unique_ptr<OperatorProfile>* profile,
+    const ExecParallel& parallel) const {
   switch (node->kind) {
     case PlanNode::Kind::kSeqScan: {
       TableInfo* info = catalog->GetTable(node->table);
       if (info == nullptr) return Status::NotFound("table " + node->table);
       auto preds = BindSelections(node->predicates, info->schema);
       if (!preds.ok()) return preds.status();
-      std::unique_ptr<Executor> scan(
-          new SeqScanExecutor(info, pool, meter, std::move(*preds)));
+      // Fused BETWEEN terms: bind both bounds into one BoundSelection
+      // so each surviving row decodes the column once.
+      for (const auto& [lo, hi] : node->fused_predicates) {
+        auto lower = BindSelection(lo, info->schema);
+        if (!lower.ok()) return lower.status();
+        auto upper = BindSelection(hi, info->schema);
+        if (!upper.ok()) return upper.status();
+        BoundSelection fused = std::move(*lower);
+        fused.has_upper = true;
+        fused.upper_op = upper->op;
+        fused.upper = std::move(upper->constant);
+        preds->push_back(std::move(fused));
+      }
+      auto scan = std::make_unique<SeqScanExecutor>(info, pool, meter,
+                                                    std::move(*preds));
+      scan->EnableParallel(parallel);
       return MaybeProfile(std::move(scan), "SeqScan", NodeDetail(node),
                           node->est_rows, meter, {}, profile);
     }
@@ -681,10 +740,10 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(
     case PlanNode::Kind::kNestedLoopJoin: {
       std::unique_ptr<OperatorProfile> lprof, rprof;
       auto left = BuildNode(node->left.get(), catalog, pool, meter,
-                            profile != nullptr ? &lprof : nullptr);
+                            profile != nullptr ? &lprof : nullptr, parallel);
       if (!left.ok()) return left.status();
       auto right = BuildNode(node->right.get(), catalog, pool, meter,
-                             profile != nullptr ? &rprof : nullptr);
+                             profile != nullptr ? &rprof : nullptr, parallel);
       if (!right.ok()) return right.status();
       const Schema& lschema = (*left)->output_schema();
       const Schema& rschema = (*right)->output_schema();
@@ -715,9 +774,11 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(
           node->left->est_rows > 0
               ? static_cast<size_t>(node->left->est_rows)
               : 0;
-      std::unique_ptr<Executor> join(new HashJoinExecutor(
+      auto hash_join = std::make_unique<HashJoinExecutor>(
           std::move(*left), std::move(*right), *lidx, *ridx, meter,
-          build_rows_hint));
+          build_rows_hint);
+      hash_join->EnableParallel(parallel);
+      std::unique_ptr<Executor> join = std::move(hash_join);
       // Cross-shard joins charge their estimated transfer at Init,
       // inside the profiling wrapper so EXPLAIN ANALYZE attributes the
       // pages to this operator (DESIGN.md §14).
@@ -771,14 +832,13 @@ Result<std::unique_ptr<Executor>> Planner::BuildNode(
   return Status::Internal("unknown plan node kind");
 }
 
-Result<std::unique_ptr<Executor>> Planner::Build(const PhysicalPlan& plan,
-                                                 Catalog* catalog,
-                                                 BufferPool* pool,
-                                                 CostMeter* meter,
-                                                 PlanProfile* profile) const {
+Result<std::unique_ptr<Executor>> Planner::Build(
+    const PhysicalPlan& plan, Catalog* catalog, BufferPool* pool,
+    CostMeter* meter, PlanProfile* profile,
+    const ExecParallel& parallel) const {
   std::unique_ptr<OperatorProfile> prof;
   auto exec = BuildNode(plan.root.get(), catalog, pool, meter,
-                        profile != nullptr ? &prof : nullptr);
+                        profile != nullptr ? &prof : nullptr, parallel);
   if (!exec.ok()) return exec.status();
   if (profile != nullptr) profile->root = std::move(prof);
   if (plan.projections.empty()) return exec;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -37,6 +38,12 @@ struct PlanNode {
   // --- scans ---
   std::string table;  // stored table (base relation or view table)
   std::vector<SelectionPred> predicates;  // residual, applied at the scan
+  /// Range pairs (`a > lo AND a < hi`) condensed to single fused
+  /// BETWEEN terms (kSeqScan only): {lower, upper} bounds on one
+  /// column, evaluated with a single column decode. Split out of
+  /// `predicates` after access-path selection, so selectivity
+  /// estimates and the scan-vs-index choice are untouched.
+  std::vector<std::pair<SelectionPred, SelectionPred>> fused_predicates;
   std::string index_column;               // kIndexScan
   std::optional<SelectionPred> index_pred;  // pred served by the index
 
@@ -106,10 +113,14 @@ class Planner {
   /// from the PlanNode tree (a multi-edge join's composite estimate is
   /// assigned to both the HashJoin and its residual ColumnFilter; the
   /// cardinality-preserving Project inherits the root estimate).
+  /// `parallel` (optional) hands the built scan/join executors a task
+  /// scheduler for morsel-parallel execution; the default (no
+  /// scheduler) builds the plain sequential tree.
   Result<std::unique_ptr<Executor>> Build(const PhysicalPlan& plan,
                                           Catalog* catalog, BufferPool* pool,
                                           CostMeter* meter,
-                                          PlanProfile* profile = nullptr) const;
+                                          PlanProfile* profile = nullptr,
+                                          const ExecParallel& parallel = {}) const;
 
   const CardinalityEstimator& estimator() const { return estimator_; }
 
@@ -122,7 +133,8 @@ class Planner {
   /// `profile` (nullable) receives this node's OperatorProfile subtree.
   Result<std::unique_ptr<Executor>> BuildNode(
       const PlanNode* node, Catalog* catalog, BufferPool* pool,
-      CostMeter* meter, std::unique_ptr<OperatorProfile>* profile) const;
+      CostMeter* meter, std::unique_ptr<OperatorProfile>* profile,
+      const ExecParallel& parallel) const;
 
   const Catalog* catalog_;
   CardinalityEstimator estimator_;

@@ -285,5 +285,95 @@ TEST_P(PlanEquivalence, RewrittenPlansReturnIdenticalRows) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalence,
                          ::testing::Values(11, 22, 33, 44));
 
+// ------------------------------------------- BETWEEN range-pair fusion
+
+TEST_F(PlannerTest, RangePairCondensesToSingleBetweenTerm) {
+  // r_b is unindexed, so the scan stays sequential and the pair fuses.
+  QueryGraph q;
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGt, Value(200.0)));
+  q.AddSelection(Sel("r", "r_b", CompareOp::kLt, Value(700.0)));
+  auto plan = db_->planner().Plan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->root->kind, PlanNode::Kind::kSeqScan);
+  ASSERT_EQ(plan->root->fused_predicates.size(), 1u);
+  EXPECT_TRUE(plan->root->predicates.empty());
+  const auto& [lo, hi] = plan->root->fused_predicates[0];
+  EXPECT_EQ(lo.op, CompareOp::kGt);
+  EXPECT_EQ(hi.op, CompareOp::kLt);
+  EXPECT_NE(plan->Explain().find("between("), std::string::npos)
+      << plan->Explain();
+
+  // The fused term filters exactly like the two separate predicates.
+  ExecuteOptions opts;
+  opts.keep_rows = true;
+  auto fused = db_->Execute(q, opts);
+  ASSERT_TRUE(fused.ok());
+  QueryGraph all;
+  all.AddRelation("r");
+  auto baseline = db_->Execute(all, opts);
+  ASSERT_TRUE(baseline.ok());
+  auto b_idx = baseline->schema.ColumnIndex("r_b");
+  ASSERT_TRUE(b_idx.has_value());
+  uint64_t expect = 0;
+  for (const Tuple& row : baseline->rows) {
+    double b = row[*b_idx].AsDouble();
+    if (b > 200.0 && b < 700.0) expect++;
+  }
+  EXPECT_GT(expect, 0u);
+  EXPECT_EQ(fused->row_count, expect);
+  for (const Tuple& row : fused->rows) {
+    double b = row[*b_idx].AsDouble();
+    EXPECT_GT(b, 200.0);
+    EXPECT_LT(b, 700.0);
+  }
+}
+
+TEST_F(PlannerTest, InclusiveBoundsAlsoFuse) {
+  QueryGraph q;
+  q.AddSelection(Sel("r", "r_b", CompareOp::kLe, Value(700.0)));
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGe, Value(200.0)));
+  auto plan = db_->planner().Plan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->root->fused_predicates.size(), 1u);
+  const auto& [lo, hi] = plan->root->fused_predicates[0];
+  EXPECT_EQ(lo.op, CompareOp::kGe);  // lower bound first, either order
+  EXPECT_EQ(hi.op, CompareOp::kLe);
+}
+
+TEST_F(PlannerTest, SameDirectionBoundsDoNotFuse) {
+  QueryGraph q;
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGt, Value(200.0)));
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGe, Value(300.0)));
+  auto plan = db_->planner().Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->root->fused_predicates.empty());
+  EXPECT_EQ(plan->root->predicates.size(), 2u);
+}
+
+TEST_F(PlannerTest, DifferentColumnsDoNotFuse) {
+  QueryGraph q;
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGt, Value(200.0)));
+  q.AddSelection(Sel("r", "r_a", CompareOp::kLt, Value(int64_t{90})));
+  auto plan = db_->planner().Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->root->fused_predicates.empty());
+  EXPECT_EQ(plan->root->predicates.size(), 2u);
+}
+
+TEST_F(PlannerTest, IndexScanKeepsResidualRangePairUnfused) {
+  // A selective point lookup wins the access-path race; fusion only
+  // applies to sequential scans, so the residual pair stays as two
+  // predicates.
+  QueryGraph q;
+  q.AddSelection(Sel("r", "r_id", CompareOp::kEq, Value(int64_t{5})));
+  q.AddSelection(Sel("r", "r_b", CompareOp::kGt, Value(200.0)));
+  q.AddSelection(Sel("r", "r_b", CompareOp::kLt, Value(700.0)));
+  auto plan = db_->planner().Plan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->root->kind, PlanNode::Kind::kIndexScan);
+  EXPECT_TRUE(plan->root->fused_predicates.empty());
+  EXPECT_EQ(plan->root->predicates.size(), 2u);
+}
+
 }  // namespace
 }  // namespace sqp
