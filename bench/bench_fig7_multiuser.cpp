@@ -7,13 +7,50 @@
 // 32 MB -> 96 MB scale-up. Paper shape: speculation still wins for most
 // queries, less than single-user, with nontrivial penalties appearing
 // at the largest dataset where the server is already saturated.
+// Telemetry env knobs (all optional, DESIGN.md §16):
+//   SQP_TRACE_JSON=<f>    Chrome trace (spans + counter tracks)
+//   SQP_TIMELINE_CSV=<f>  sampled time-series dump (.json → JSON)
+//   SQP_METRICS_PROM=<f>  final registry snapshot, OpenMetrics text
+#include <fstream>
+
 #include "bench_common.h"
+#include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
+#include "common/openmetrics.h"
+#include "common/tracing.h"
 #include "harness/metrics.h"
 
 using namespace sqp;
 
+namespace {
+
+const char* EnvFile(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+bool WriteFile(const char* path, const std::string& content,
+               const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("error: cannot write %s\n", path);
+    return false;
+  }
+  out << content;
+  std::printf("wrote %s to %s\n", what, path);
+  return true;
+}
+
+}  // namespace
+
 int main() {
   std::printf("=== Figure 7: three simultaneous users ===\n");
+  const char* trace_json = EnvFile("SQP_TRACE_JSON");
+  const char* timeline_csv = EnvFile("SQP_TIMELINE_CSV");
+  const char* metrics_prom = EnvFile("SQP_METRICS_PROM");
+  Tracer tracer;
+  MetricsTimeline timeline;
+  bool want_telemetry = trace_json != nullptr || timeline_csv != nullptr;
   for (tpch::Scale scale : benchutil::ScalesFromEnv()) {
     ExperimentConfig cfg = benchutil::DefaultConfig(
         scale, benchutil::DefaultUsersForScale(scale, 6));
@@ -22,6 +59,8 @@ int main() {
     cfg.buffer_pool_pages = 3 * cfg.buffer_pool_pages;  // "96 MB"
     // Selection-only manipulation space (§6.3).
     cfg.engine.speculator.space.join_materializations = false;
+    if (trace_json != nullptr) cfg.tracer = &tracer;
+    if (want_telemetry) cfg.timeline = &timeline;
     auto result = RunMultiUserExperiment(cfg, /*group_size=*/3);
     if (!result.ok()) {
       std::printf("experiment failed: %s\n",
@@ -47,15 +86,43 @@ int main() {
                       static_cast<double>(agg.predictions_scored));
     }
 
+    std::printf("  attributed cost (speculative runs):\n%s",
+                result->attribution_table.c_str());
+
     // §7 extension: load-aware issuing (speculate only when the server
     // is idle) — the paper's proposed fix for the 1GB penalties.
+    // Telemetry stays on the main run only (re-attaching would repeat
+    // the per-group epoch labels).
     ExperimentConfig aware = cfg;
+    aware.tracer = nullptr;
+    aware.timeline = nullptr;
     aware.engine.only_issue_when_idle = true;
     auto aware_result = RunMultiUserExperiment(aware, 3);
     if (aware_result.ok()) {
       std::printf("  with load-aware issuing (sec. 7): %5.1f %%\n",
                   100 * aware_result->overall_improvement);
     }
+  }
+
+  if (trace_json != nullptr &&
+      !WriteFile(trace_json, tracer.ExportChromeTrace(), "Chrome trace")) {
+    return 1;
+  }
+  if (timeline_csv != nullptr) {
+    std::string path = timeline_csv;
+    bool json = path.size() >= 5 &&
+                path.compare(path.size() - 5, 5, ".json") == 0;
+    if (!WriteFile(timeline_csv,
+                   json ? timeline.FormatJson() : timeline.FormatCsv(),
+                   "timeline series")) {
+      return 1;
+    }
+  }
+  if (metrics_prom != nullptr &&
+      !WriteFile(metrics_prom,
+                 FormatOpenMetrics(MetricsRegistry::Global().Snapshot()),
+                 "OpenMetrics snapshot")) {
+    return 1;
   }
   return 0;
 }

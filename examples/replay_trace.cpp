@@ -4,7 +4,8 @@
 //
 // Usage: replay_trace <trace-dir> [scale: small|medium|large]
 //                     [--trace-json <file>] [--timeline] [--metrics]
-//                     [--explain] [--decisions]
+//                     [--explain] [--decisions] [--metrics-prom <file>]
+//                     [--timeline-series <file>] [--telemetry-interval s]
 //
 //   --trace-json <file>  export the speculative replays as Chrome
 //                        trace_event JSON (open in chrome://tracing or
@@ -19,12 +20,23 @@
 //                        Speculator round with its Cost⊆ decomposition,
 //                        chosen minimizer, terminal outcome, and the
 //                        learner calibration report — DESIGN.md §11
+//   --metrics-prom <f>   write the final registry snapshot in
+//                        OpenMetrics text format (DESIGN.md §16)
+//   --timeline-series <f> write the sampled time-series dump (CSV; .json
+//                        extension switches to JSON). Deterministic:
+//                        byte-identical across same-seed replays at any
+//                        exec_threads — DESIGN.md §16
+//   --telemetry-interval <s>  simulated seconds between samples
+//                        (default 1.0)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
+#include "common/openmetrics.h"
 #include "common/tracing.h"
 #include "harness/experiment.h"
 #include "speculation/flight_recorder.h"
@@ -37,11 +49,17 @@ int main(int argc, char** argv) {
         "usage: replay_trace <trace-dir> [small|medium|large]\n"
         "                    [--trace-json <file>] [--timeline] "
         "[--metrics]\n"
-        "                    [--explain] [--decisions]\n");
+        "                    [--explain] [--decisions]\n"
+        "                    [--metrics-prom <file>] "
+        "[--timeline-series <file>]\n"
+        "                    [--telemetry-interval <seconds>]\n");
     return 1;
   }
   tpch::Scale scale = tpch::Scale::kSmall;
   std::string trace_json;
+  std::string metrics_prom;
+  std::string timeline_series;
+  double telemetry_interval = 1.0;
   bool print_timeline = false;
   bool print_metrics = false;
   bool print_explain = false;
@@ -51,6 +69,15 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "large") == 0) scale = tpch::Scale::kLarge;
     if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
       trace_json = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
+      metrics_prom = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--timeline-series") == 0 && i + 1 < argc) {
+      timeline_series = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--telemetry-interval") == 0 && i + 1 < argc) {
+      telemetry_interval = std::atof(argv[++i]);
     }
     if (std::strcmp(argv[i], "--timeline") == 0) print_timeline = true;
     if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
@@ -79,6 +106,18 @@ int main(int argc, char** argv) {
   Tracer tracer;
   bool want_trace = !trace_json.empty() || print_timeline;
 
+  // One sampler across all replays: each speculative replay is its own
+  // epoch (its own simulated-clock zero), labelled by session so the
+  // dump rows and counter tracks stay distinguishable (DESIGN.md §16).
+  MetricsTimelineOptions timeline_options;
+  timeline_options.interval = telemetry_interval > 0 ? telemetry_interval : 1.0;
+  MetricsTimeline timeline(timeline_options);
+  bool want_series = !timeline_series.empty();
+  if (!trace_json.empty()) {
+    timeline.set_tracer(&tracer);
+    timeline.AttachScheduler((*db)->scheduler());
+  }
+
   std::printf("%-6s %8s %12s %12s %9s %9s %7s %7s\n", "user", "queries",
               "normal(s)", "spec(s)", "gain%", "manips", "cancel", "failed");
   double total_normal = 0, total_spec = 0;
@@ -102,6 +141,7 @@ int main(int argc, char** argv) {
       spec_opts.tracer = &tracer;
       spec_opts.trace_lane = "user" + std::to_string(trace.user_id);
     }
+    if (want_series || !trace_json.empty()) spec_opts.timeline = &timeline;
     auto spec = TraceReplayer(db->get(), spec_opts).Replay(trace);
     if (!spec.ok()) {
       std::printf("replay failed: %s\n", spec.status().ToString().c_str());
@@ -179,6 +219,29 @@ int main(int argc, char** argv) {
   if (print_metrics) {
     std::printf("\nmetrics registry:\n%s",
                 MetricsRegistry::Global().Snapshot().Format().c_str());
+  }
+  if (want_series) {
+    std::ofstream out(timeline_series);
+    if (!out) {
+      std::printf("error: cannot write %s\n", timeline_series.c_str());
+      return 1;
+    }
+    bool json = timeline_series.size() >= 5 &&
+                timeline_series.compare(timeline_series.size() - 5, 5,
+                                        ".json") == 0;
+    out << (json ? timeline.FormatJson() : timeline.FormatCsv());
+    std::printf("\nwrote timeline series (%llu ticks) to %s\n",
+                static_cast<unsigned long long>(timeline.tick_count()),
+                timeline_series.c_str());
+  }
+  if (!metrics_prom.empty()) {
+    std::ofstream out(metrics_prom);
+    if (!out) {
+      std::printf("error: cannot write %s\n", metrics_prom.c_str());
+      return 1;
+    }
+    out << FormatOpenMetrics(MetricsRegistry::Global().Snapshot());
+    std::printf("wrote OpenMetrics snapshot to %s\n", metrics_prom.c_str());
   }
   return 0;
 }

@@ -1,0 +1,187 @@
+#include "common/attribution.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/cost_meter.h"
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+const char* Attribution::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kQuery:
+      return "query";
+    case Kind::kManipulation:
+      return "manipulation";
+    case Kind::kMaintenance:
+      return "maintenance";
+  }
+  return "unknown";
+}
+
+Attribution::Attribution(const CostMeter* meter, MetricsRegistry* registry)
+    : meter_(meter),
+      registry_(registry != nullptr ? registry
+                                    : &MetricsRegistry::Global()) {
+  // Register the attr.* family eagerly so the docs drift test sees it
+  // whenever a Database exists, not only after the first scope closes.
+  for (Kind kind : {Kind::kQuery, Kind::kManipulation, Kind::kMaintenance}) {
+    std::string base = std::string("attr.") + KindName(kind);
+    registry_->GetHistogram(base + ".seconds",
+                            MetricsRegistry::DefaultDurationBounds());
+    registry_->GetCounter(base + ".blocks");
+    registry_->GetCounter(base + ".tuples");
+  }
+  registry_->GetGauge("attr.sessions");
+}
+
+void Attribution::SetSession(std::string label) {
+  session_ = std::move(label);
+}
+
+double Attribution::Seconds(const Totals& t) const {
+  const CostConfig& config = meter_->config();
+  return static_cast<double>(t.blocks) * config.io_seconds_per_block +
+         static_cast<double>(t.tuples) * config.cpu_seconds_per_tuple;
+}
+
+Attribution::Totals Attribution::unattributed() const {
+  Totals t;
+  uint64_t meter_blocks = meter_->blocks_read() + meter_->blocks_written();
+  uint64_t meter_tuples = meter_->tuples_processed();
+  t.blocks = meter_blocks - attributed_.blocks;
+  t.tuples = meter_tuples - attributed_.tuples;
+  return t;
+}
+
+size_t Attribution::OpenFrame(Kind kind) {
+  Frame frame;
+  frame.kind = kind;
+  frame.session = session_;
+  frame.blocks0 = meter_->blocks_read() + meter_->blocks_written();
+  frame.tuples0 = meter_->tuples_processed();
+  stack_.push_back(std::move(frame));
+  return stack_.size() - 1;
+}
+
+void Attribution::CloseFrame(size_t index, Totals* inclusive,
+                             Totals* exclusive) {
+  // Strict nesting: scopes are RAII on one call chain, so the closing
+  // frame is the top of the stack. Defensively pop any frames a
+  // non-local exit leaked above it (their work folds into this one).
+  if (index >= stack_.size()) return;
+  stack_.resize(index + 1);
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+
+  Totals incl;
+  incl.ops = 1;
+  incl.blocks =
+      meter_->blocks_read() + meter_->blocks_written() - frame.blocks0;
+  incl.tuples = meter_->tuples_processed() - frame.tuples0;
+
+  Totals excl = incl;
+  // Children's inclusive totals never exceed the parent's (same meter,
+  // nested interval); the subtraction cannot underflow.
+  excl.blocks -= frame.children.blocks;
+  excl.tuples -= frame.children.tuples;
+
+  if (!stack_.empty()) {
+    Totals child = incl;
+    stack_.back().children.Add(child);
+  }
+
+  SessionRow& row = sessions_[frame.session];
+  Totals* cell = nullptr;
+  switch (frame.kind) {
+    case Kind::kQuery:
+      cell = &row.query;
+      break;
+    case Kind::kManipulation:
+      cell = &row.manipulation;
+      break;
+    case Kind::kMaintenance:
+      cell = &row.maintenance;
+      break;
+  }
+  cell->Add(excl);
+  attributed_.Add(excl);
+
+  std::string base = std::string("attr.") + KindName(frame.kind);
+  // The histogram observes *inclusive* seconds (per-operation latency
+  // for SLOs); the counters accumulate *exclusive* work (summable
+  // across kinds without double counting).
+  registry_->GetHistogram(base + ".seconds")->Observe(Seconds(incl));
+  registry_->GetCounter(base + ".blocks")->Increment(excl.blocks);
+  registry_->GetCounter(base + ".tuples")->Increment(excl.tuples);
+  registry_->GetGauge("attr.sessions")
+      ->Set(static_cast<double>(sessions_.size()));
+
+  if (inclusive != nullptr) *inclusive = incl;
+  if (exclusive != nullptr) *exclusive = excl;
+}
+
+std::string Attribution::FormatTable() const {
+  std::ostringstream os;
+  os << "per-session attributed cost (exclusive; simulated)\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "  %-16s %5s %9s %9s %9s %9s %10s %10s\n", "session", "ops",
+                "query.s", "manip.s", "maint.s", "total.s", "blocks",
+                "tuples");
+  os << line;
+  auto row_line = [&](const std::string& label, uint64_t ops, double query_s,
+                      double manip_s, double maint_s, double total_s,
+                      uint64_t blocks, uint64_t tuples) {
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %5llu %9.3f %9.3f %9.3f %9.3f %10llu %10llu\n",
+                  label.c_str(), static_cast<unsigned long long>(ops),
+                  query_s, manip_s, maint_s, total_s,
+                  static_cast<unsigned long long>(blocks),
+                  static_cast<unsigned long long>(tuples));
+    os << line;
+  };
+  for (const auto& [label, row] : sessions_) {
+    Totals total = row.total();
+    row_line(label.empty() ? "(system)" : label, total.ops,
+             Seconds(row.query), Seconds(row.manipulation),
+             Seconds(row.maintenance), Seconds(total), total.blocks,
+             total.tuples);
+  }
+  Totals rest = unattributed();
+  row_line("(unattributed)", 0, 0.0, 0.0, 0.0, Seconds(rest), rest.blocks,
+           rest.tuples);
+  SessionRow all;
+  for (const auto& [label, row] : sessions_) {
+    all.query.Add(row.query);
+    all.manipulation.Add(row.manipulation);
+    all.maintenance.Add(row.maintenance);
+  }
+  uint64_t meter_blocks = meter_->blocks_read() + meter_->blocks_written();
+  uint64_t meter_tuples = meter_->tuples_processed();
+  // The total row is the meter itself: per-kind sums plus the
+  // unattributed remainder reconstruct it exactly (the invariant).
+  row_line("total", attributed_.ops, Seconds(all.query),
+           Seconds(all.manipulation), Seconds(all.maintenance),
+           meter_->ElapsedSeconds(), meter_blocks, meter_tuples);
+  return os.str();
+}
+
+AttributionScope::AttributionScope(Attribution* attribution,
+                                   Attribution::Kind kind)
+    : attribution_(attribution), closed_(attribution == nullptr) {
+  if (attribution_ == nullptr) return;
+  session_ = attribution_->session();
+  frame_ = attribution_->OpenFrame(kind);
+}
+
+AttributionScope::~AttributionScope() { Close(); }
+
+void AttributionScope::Close() {
+  if (closed_) return;
+  closed_ = true;
+  attribution_->CloseFrame(frame_, &inclusive_, &exclusive_);
+}
+
+}  // namespace sqp

@@ -1,0 +1,160 @@
+// Per-session / per-operation resource attribution (DESIGN.md §16).
+//
+// The CostMeter answers "how much simulated work happened, in total";
+// this layer answers "on whose behalf". A Database owns one
+// Attribution tied to its meter. Replayers name the active session
+// (SetSession) before handing the engine an event — sessions
+// interleave in a multi-user replay, so the session is ambient state,
+// not a stack frame — and the engine opens a strictly-nested
+// AttributionScope around each unit of work it performs:
+//
+//   kQuery         a user's final-query execution
+//   kManipulation  a speculative materialization (think-time work)
+//   kMaintenance   recovery, repair, re-protection, rebalancing
+//
+// Accounting is *exclusive*: when a scope closes, it takes the meter
+// delta since it opened (inclusive), subtracts the inclusive cost of
+// scopes nested within it, and charges only the remainder to its
+// (session, kind) row. Inclusive costs still surface per operation
+// (EXPLAIN's attribution block, the attr.*.seconds histograms), but
+// the *rows* never double count, so
+//
+//   sum(session rows) + unattributed() == meter totals, exactly
+//
+// — the invariant the fig7 table prints and tests assert. Work charged
+// while no scope is open (catalog bootstrap, trace bookkeeping) is the
+// unattributed remainder. Blocks/tuples are the primitive (integers,
+// exact); seconds derive from them via the meter's CostConfig, so the
+// identity holds in integer arithmetic, not floating-point luck.
+//
+// Aggregate metrics use *static* registry names (attr.query.blocks,
+// attr.manipulation.seconds, ...) — per-session detail stays in this
+// table, never as dynamic registry names, keeping the docs drift test
+// (metrics_catalog_test) meaningful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+class CostMeter;
+class MetricsRegistry;
+
+class Attribution {
+ public:
+  enum class Kind { kQuery, kManipulation, kMaintenance };
+  static const char* KindName(Kind kind);
+
+  /// Integer work tally; seconds derive via Seconds().
+  struct Totals {
+    uint64_t ops = 0;
+    uint64_t blocks = 0;
+    uint64_t tuples = 0;
+
+    void Add(const Totals& other) {
+      ops += other.ops;
+      blocks += other.blocks;
+      tuples += other.tuples;
+    }
+  };
+
+  /// One session's exclusive-attributed work, split by kind.
+  struct SessionRow {
+    Totals query;
+    Totals manipulation;
+    Totals maintenance;
+
+    Totals total() const {
+      Totals t = query;
+      t.Add(manipulation);
+      t.Add(maintenance);
+      return t;
+    }
+  };
+
+  /// `registry` defaults to MetricsRegistry::Global() when null.
+  explicit Attribution(const CostMeter* meter,
+                       MetricsRegistry* registry = nullptr);
+
+  /// Name the session subsequent scopes charge to. Empty = "system"
+  /// work (engine-initiated speculation between events, maintenance).
+  void SetSession(std::string label);
+  const std::string& session() const { return session_; }
+
+  /// Simulated seconds equivalent of `t` under the meter's cost rates.
+  double Seconds(const Totals& t) const;
+
+  /// Session rows, keyed by label (empty label renders as "(system)").
+  const std::map<std::string, SessionRow>& sessions() const {
+    return sessions_;
+  }
+  /// Sum of every session row (exclusive, so no double counting).
+  Totals attributed() const { return attributed_; }
+  /// Meter totals minus attributed() — work no scope claimed.
+  Totals unattributed() const;
+
+  /// Aligned per-session table (fig7 bench): one row per session plus
+  /// "(unattributed)" and a "total" row equal to the meter totals.
+  std::string FormatTable() const;
+
+  size_t open_scopes() const { return stack_.size(); }
+
+ private:
+  friend class AttributionScope;
+
+  size_t OpenFrame(Kind kind);
+  /// Close the top frame (strict nesting). Returns inclusive totals
+  /// via the scope; charges exclusive totals to the frame's row.
+  void CloseFrame(size_t index, Totals* inclusive, Totals* exclusive);
+
+  struct Frame {
+    Kind kind;
+    std::string session;  // session at open
+    uint64_t blocks0 = 0;
+    uint64_t tuples0 = 0;
+    Totals children;  // inclusive totals of closed child scopes
+  };
+
+  const CostMeter* meter_;
+  MetricsRegistry* registry_;
+  std::string session_;
+  std::vector<Frame> stack_;
+  std::map<std::string, SessionRow> sessions_;
+  Totals attributed_;
+};
+
+/// RAII attribution scope. Null-safe: a null Attribution* makes every
+/// operation a no-op, mirroring the null-Tracer convention. Close()
+/// (or destruction) pops the frame and fills inclusive()/exclusive().
+class AttributionScope {
+ public:
+  AttributionScope(Attribution* attribution, Attribution::Kind kind);
+  ~AttributionScope();
+
+  AttributionScope(const AttributionScope&) = delete;
+  AttributionScope& operator=(const AttributionScope&) = delete;
+
+  /// Idempotent; called by the destructor if not already closed.
+  void Close();
+
+  bool closed() const { return closed_; }
+  /// Valid after Close(): meter delta while the scope was open.
+  const Attribution::Totals& inclusive() const { return inclusive_; }
+  /// Valid after Close(): inclusive minus nested scopes' inclusive.
+  const Attribution::Totals& exclusive() const { return exclusive_; }
+  /// Session the scope charged (captured at open).
+  const std::string& session() const { return session_; }
+
+ private:
+  Attribution* attribution_;
+  size_t frame_ = 0;
+  bool closed_;
+  std::string session_;
+  Attribution::Totals inclusive_;
+  Attribution::Totals exclusive_;
+};
+
+}  // namespace sqp

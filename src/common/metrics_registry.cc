@@ -69,6 +69,44 @@ double MetricsSnapshot::HistogramEntry::Quantile(double q) const {
   return bounds.back();
 }
 
+double MetricsSnapshot::HistogramEntry::Percentile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  if (cumulative_.size() != counts.size()) {
+    cumulative_.resize(counts.size());
+    uint64_t running = 0;
+    for (size_t i = 0; i < counts.size(); i++) {
+      running += counts[i];
+      cumulative_[i] = running;
+    }
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(count);
+  if (target == 0) {
+    // Rank zero: the lower edge of the first populated bucket.
+    for (size_t i = 0; i < counts.size(); i++) {
+      if (counts[i] == 0) continue;
+      if (i >= bounds.size()) return bounds.back();
+      return i == 0 ? 0.0 : bounds[i - 1];
+    }
+    return bounds.back();
+  }
+  // First bucket whose cumulative count reaches the target rank (it is
+  // necessarily populated: an empty bucket cannot cross the target).
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target,
+                             [](uint64_t cum, double t) {
+                               return static_cast<double>(cum) < t;
+                             });
+  if (it == cumulative_.end()) return bounds.back();
+  size_t i = static_cast<size_t>(it - cumulative_.begin());
+  if (i >= bounds.size()) return bounds.back();  // open-ended overflow
+  double below = i == 0 ? 0.0 : static_cast<double>(cumulative_[i - 1]);
+  double lower = i == 0 ? 0.0 : bounds[i - 1];
+  double upper = bounds[i];
+  double fraction = std::min(
+      1.0, std::max(0.0, (target - below) / static_cast<double>(counts[i])));
+  return lower + fraction * (upper - lower);
+}
+
 std::string MetricsSnapshot::Format() const {
   std::ostringstream os;
   char line[256];
@@ -88,7 +126,7 @@ std::string MetricsSnapshot::Format() const {
                   "p99=%.4f\n",
                   name.c_str(), static_cast<unsigned long long>(h.count),
                   h.sum, h.count > 0 ? h.sum / h.count : 0.0,
-                  h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99));
+                  h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99));
     os << line;
   }
   return os.str();

@@ -100,6 +100,18 @@ struct MetricsSnapshot {
     /// pinned to the last finite bound — the layout cannot resolve
     /// beyond it. Returns 0 for an empty histogram; `q` in [0, 1].
     double Quantile(double q) const;
+
+    /// Same estimate as Quantile(), but the cumulative bucket prefix is
+    /// built once and reused, so printers asking for p50/p90/p99 of the
+    /// same entry pay one bucket walk instead of three. The cache keys
+    /// on the entry's total count; a snapshot entry is immutable, so it
+    /// never goes stale.
+    double Percentile(double q) const;
+
+   private:
+    /// Lazy cumulative counts for Percentile() (cumulative_[i] = total
+    /// observations in buckets [0, i]).
+    mutable std::vector<uint64_t> cumulative_;
   };
 
   std::map<std::string, uint64_t> counters;

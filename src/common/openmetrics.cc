@@ -1,0 +1,69 @@
+#include "common/openmetrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/metrics_registry.h"
+
+namespace sqp {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dots
+/// (and anything else) map to underscores.
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = Sanitize(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = Sanitize(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << " " << Num(value) << "\n";
+  }
+  for (const auto& [name, entry] : snapshot.histograms) {
+    std::string prom = Sanitize(name);
+    os << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < entry.bounds.size(); i++) {
+      cumulative += i < entry.counts.size() ? entry.counts[i] : 0;
+      os << prom << "_bucket{le=\"" << Num(entry.bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << entry.count << "\n";
+    os << prom << "_sum " << Num(entry.sum) << "\n";
+    os << prom << "_count " << entry.count << "\n";
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+}  // namespace sqp

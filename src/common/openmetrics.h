@@ -1,0 +1,20 @@
+// OpenMetrics / Prometheus text exposition of a MetricsSnapshot
+// (DESIGN.md §16). The registry's dotted `<layer>.<subsystem>.<metric>`
+// names become underscore-joined Prometheus names (dots are invalid
+// there); counters gain the conventional `_total` suffix; histograms
+// expose cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+// Output ends with `# EOF` per the OpenMetrics spec, so the dump can
+// be scraped by any Prometheus-compatible toolchain or diffed as text.
+#pragma once
+
+#include <string>
+
+namespace sqp {
+
+struct MetricsSnapshot;
+
+/// Render `snapshot` in OpenMetrics text format. Deterministic:
+/// instruments sort by name, numbers render with a fixed format.
+std::string FormatOpenMetrics(const MetricsSnapshot& snapshot);
+
+}  // namespace sqp

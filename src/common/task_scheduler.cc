@@ -167,6 +167,23 @@ void TaskScheduler::WorkerLoop(size_t index) {
   }
 }
 
+std::vector<TaskScheduler::WorkerSample> TaskScheduler::SampleWorkers() const {
+  std::vector<WorkerSample> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerSample sample;
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      sample.queued_foreground = w->foreground.size();
+      sample.queued_background = w->background.size();
+    }
+    sample.tasks_run = w->tasks_run.load(std::memory_order_relaxed);
+    sample.tasks_stolen = w->tasks_stolen.load(std::memory_order_relaxed);
+    out.push_back(sample);
+  }
+  return out;
+}
+
 void TaskScheduler::FoldStats() {
   // Fixed worker-index fold order (DESIGN.md §15): the shards are
   // private per worker, so one ordered pass is race-free after the pool

@@ -77,6 +77,20 @@ class TaskScheduler {
   /// also called by the destructor after the pool is joined.
   void FoldStats();
 
+  /// One worker's observable state, sampled for telemetry counter
+  /// tracks (DESIGN.md §16). Queue depths take the worker's lock
+  /// briefly; counters are relaxed reads. Wall-clock observability
+  /// only — like scheduler.steals, never part of simulated results.
+  struct WorkerSample {
+    size_t queued_foreground = 0;
+    size_t queued_background = 0;
+    uint64_t tasks_run = 0;
+    uint64_t tasks_stolen = 0;
+  };
+
+  /// Sample every worker, in worker-index order.
+  std::vector<WorkerSample> SampleWorkers() const;
+
  private:
   struct Worker {
     std::mutex mu;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 namespace sqp {
@@ -56,9 +57,25 @@ void Tracer::Instant(std::string name, std::string category, double t,
   if (sink_ != nullptr) sink_->OnRecord(records_.back());
 }
 
+void Tracer::Counter(std::string track, double t,
+                     std::vector<std::pair<std::string, double>> values) {
+  CounterSample sample;
+  sample.track = std::move(track);
+  sample.t = t;
+  sample.values = std::move(values);
+  counter_samples_.push_back(std::move(sample));
+}
+
+size_t Tracer::counter_track_count() const {
+  std::set<std::string> tracks;
+  for (const auto& sample : counter_samples_) tracks.insert(sample.track);
+  return tracks.size();
+}
+
 void Tracer::Clear() {
   open_.clear();
   records_.clear();
+  counter_samples_.clear();
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -121,10 +138,24 @@ int64_t Micros(double sim_seconds) {
 
 }  // namespace
 
+namespace {
+
+/// Format one double as compact JSON (no trailing zeros beyond what
+/// %.6g keeps, never NaN/Inf — those would unbalance the JSON).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
 std::string Tracer::ExportChromeTrace() const {
   std::vector<const SpanRecord*> sorted = SortedRecords(records_);
 
-  // Deterministic lane -> tid mapping (alphabetical).
+  // Deterministic lane -> tid mapping (alphabetical). tid 0 is reserved
+  // for the telemetry counter tracks.
   std::map<std::string, int> lanes;
   for (const SpanRecord* r : sorted) lanes.emplace(r->lane, 0);
   int tid = 1;
@@ -139,16 +170,39 @@ std::string Tracer::ExportChromeTrace() const {
     os << "\n" << event;
   };
 
+  // Metadata records first: a process name + sort index, then a
+  // thread_name and thread_sort_index for *every* tid the trace uses
+  // (each lane plus the counter track), so Perfetto labels every track
+  // instead of showing bare tids.
   emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
        "\"args\":{\"name\":\"sqp session (simulated time)\"}}");
-  for (const auto& [lane, id] : lanes) {
+  emit("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"sort_index\":1}}");
+  auto emit_thread_meta = [&](int id, const std::string& name) {
     std::ostringstream meta;
     meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
-         << ",\"args\":{\"name\":\"" << JsonEscape(lane) << "\"}}";
+         << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
     emit(meta.str());
-  }
+    std::ostringstream sort;
+    sort << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+         << "\"tid\":" << id << ",\"args\":{\"sort_index\":" << id << "}}";
+    emit(sort.str());
+  };
+  if (!counter_samples_.empty()) emit_thread_meta(0, "telemetry");
+  for (const auto& [lane, id] : lanes) emit_thread_meta(id, lane);
 
-  for (const SpanRecord* r : sorted) {
+  // Merge spans/instants with counter samples into one monotone
+  // timestamp stream (counter samples are emitted in nondecreasing
+  // simulated time; a stable sort keeps emission order at ties).
+  std::vector<const CounterSample*> counters;
+  counters.reserve(counter_samples_.size());
+  for (const auto& sample : counter_samples_) counters.push_back(&sample);
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const CounterSample* a, const CounterSample* b) {
+                     return a->t < b->t;
+                   });
+
+  auto emit_span = [&](const SpanRecord* r) {
     std::ostringstream event;
     event << "{\"name\":\"" << JsonEscape(r->name) << "\",\"cat\":\""
           << JsonEscape(r->category) << "\",\"pid\":1,\"tid\":"
@@ -165,6 +219,32 @@ std::string Tracer::ExportChromeTrace() const {
     }
     event << "}}";
     emit(event.str());
+  };
+  auto emit_counter = [&](const CounterSample* c) {
+    std::ostringstream event;
+    event << "{\"name\":\"" << JsonEscape(c->track)
+          << "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+          << "\"ts\":" << Micros(c->t) << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : c->values) {
+      if (!first_arg) event << ",";
+      first_arg = false;
+      event << "\"" << JsonEscape(key) << "\":" << JsonNumber(value);
+    }
+    event << "}}";
+    emit(event.str());
+  };
+
+  size_t si = 0, ci = 0;
+  while (si < sorted.size() || ci < counters.size()) {
+    bool take_span =
+        ci >= counters.size() ||
+        (si < sorted.size() && sorted[si]->start <= counters[ci]->t);
+    if (take_span) {
+      emit_span(sorted[si++]);
+    } else {
+      emit_counter(counters[ci++]);
+    }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

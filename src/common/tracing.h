@@ -36,6 +36,19 @@
 
 namespace sqp {
 
+/// One sample of a Chrome counter track ("C"-phase event): a named
+/// track holding one or more stacked sub-series at a simulated time.
+/// Emitted by the MetricsTimeline at every telemetry tick so Perfetto
+/// shows queue depths, hit rates, and per-node load as counter tracks
+/// aligned under the session/query spans (DESIGN.md §16).
+struct CounterSample {
+  std::string track;  // Perfetto counter-track name
+  double t = 0;       // simulated seconds
+  /// Sub-series within the track (e.g. one per worker/node); Perfetto
+  /// stacks them. Keys must be stable across samples of one track.
+  std::vector<std::pair<std::string, double>> values;
+};
+
 struct SpanRecord {
   enum class Kind { kSpan, kInstant };
 
@@ -85,7 +98,17 @@ class Tracer {
                std::string lane = "main",
                std::vector<std::pair<std::string, std::string>> args = {});
 
+  /// Record one counter-track sample (exported as a Chrome "C"-phase
+  /// event). Samples of the same track should share the same key set.
+  void Counter(std::string track, double t,
+               std::vector<std::pair<std::string, double>> values);
+
   const std::vector<SpanRecord>& records() const { return records_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
+  /// Distinct counter tracks recorded so far.
+  size_t counter_track_count() const;
   size_t open_spans() const { return open_.size(); }
 
   /// Streaming observer of completed records (nullptr to detach).
@@ -96,8 +119,11 @@ class Tracer {
 
   /// Chrome trace_event JSON ({"traceEvents":[...]} object format):
   /// every completed span as a ph:"X" complete event, instants as
-  /// ph:"i", lanes as named threads, timestamps in microseconds sorted
-  /// monotonically. Open spans are omitted.
+  /// ph:"i", counter samples as ph:"C" counter tracks, lanes as named
+  /// threads, timestamps in microseconds sorted monotonically. Every
+  /// tid used (lanes and the counter track) gets process_name /
+  /// thread_name / sort-index metadata records so Perfetto shows named
+  /// tracks instead of bare tids. Open spans are omitted.
   std::string ExportChromeTrace() const;
 
   /// Compact text timeline for tests and terminals: one line per
@@ -108,6 +134,7 @@ class Tracer {
  private:
   std::map<SpanId, SpanRecord> open_;
   std::vector<SpanRecord> records_;  // completion order
+  std::vector<CounterSample> counter_samples_;  // emission order
   SpanId next_id_ = 1;
   TraceSink* sink_ = nullptr;
 };

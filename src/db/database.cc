@@ -241,6 +241,18 @@ Result<QueryResult> RunToResult(Executor* exec, CostMeter& meter,
 }  // namespace
 
 namespace {
+/// Copy a closed query scope's inclusive cost into the profile's
+/// EXPLAIN ANALYZE attribution block (DESIGN.md §16).
+void FillAttribution(const AttributionScope& attr,
+                     const Attribution& attribution, PlanProfile* profile) {
+  if (profile == nullptr || !attr.closed()) return;
+  profile->attribution.present = true;
+  profile->attribution.session = attr.session();
+  profile->attribution.seconds = attribution.Seconds(attr.inclusive());
+  profile->attribution.blocks = attr.inclusive().blocks;
+  profile->attribution.tuples = attr.inclusive().tuples;
+}
+
 /// Fold a finished profile's root Q-error into the global registry so
 /// long replays expose estimation accuracy without keeping profiles.
 void ObserveProfile(const std::shared_ptr<PlanProfile>& profile) {
@@ -257,6 +269,7 @@ void ObserveProfile(const std::shared_ptr<PlanProfile>& profile) {
 
 Result<QueryResult> Database::Execute(const QueryGraph& query,
                                       const ExecuteOptions& options) {
+  AttributionScope attr(&attribution_, Attribution::Kind::kQuery);
   auto plan = planner_->Plan(query, &views_, options.view_mode);
   if (!plan.ok()) return plan.status();
   std::shared_ptr<PlanProfile> profile;
@@ -268,8 +281,10 @@ Result<QueryResult> Database::Execute(const QueryGraph& query,
   auto result = RunToResult(exec->get(), meter_, options, plan->Explain(),
                             plan->views_used, options_.exec_batch_size);
   if (scheduler_ != nullptr) scheduler_->FoldStats();
+  attr.Close();
   if (result.ok()) {
     result->est_rows = plan->est_rows;
+    FillAttribution(attr, attribution_, profile.get());
     ObserveProfile(profile);
     result->profile = std::move(profile);
     SQP_LOG_DEBUG << "Execute " << query.ToSql() << " -> "
@@ -285,6 +300,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
   if (!bound.ok()) return bound.status();
   if (!bound->has_decorations()) return Execute(bound->graph, options);
 
+  AttributionScope attr(&attribution_, Attribution::Kind::kQuery);
   auto plan = planner_->Plan(bound->graph, &views_, options.view_mode);
   if (!plan.ok()) return plan.status();
   std::shared_ptr<PlanProfile> profile;
@@ -379,8 +395,10 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql,
   auto result = RunToResult(exec.get(), meter_, options, plan->Explain(),
                             plan->views_used, options_.exec_batch_size);
   if (scheduler_ != nullptr) scheduler_->FoldStats();
+  attr.Close();
   if (result.ok()) {
     result->est_rows = cur_est;
+    FillAttribution(attr, attribution_, profile.get());
     ObserveProfile(profile);
     result->profile = std::move(profile);
   }
@@ -395,6 +413,7 @@ Result<double> Database::EstimateCost(const QueryGraph& query,
 Result<MaterializeResult> Database::Materialize(
     const QueryGraph& query, const std::string& table_name,
     bool register_view, uint32_t home_node) {
+  AttributionScope attr(&attribution_, Attribution::Kind::kManipulation);
   // SELECT * semantics: the stored view keeps every column.
   QueryGraph definition = query;
   definition.SetProjections({});
@@ -770,6 +789,7 @@ Status Database::DecommissionNode(size_t k) {
 }
 
 Result<RepairStats> Database::Repair(size_t max_pages) {
+  AttributionScope attr(&attribution_, Attribution::Kind::kMaintenance);
   RepairStats stats;
   if (disk_->node_count() <= 1) {
     stats.complete = true;
@@ -937,6 +957,7 @@ Result<RepairStats> Database::Repair(size_t max_pages) {
 }
 
 Status Database::Reopen() {
+  AttributionScope attr(&attribution_, Attribution::Kind::kMaintenance);
   manifest_.DropUncommitted();
   disk_->Restart();
   const double sim_before = meter_.ElapsedSeconds();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/attribution.h"
 #include "common/cost_meter.h"
 #include "common/status.h"
 #include "common/task_scheduler.h"
@@ -286,6 +287,11 @@ class Database {
   /// single-node database, which deactivates every placement term.
   const PlacementProvider* placement() const;
   CostMeter& meter() { return meter_; }
+  /// Per-session resource attribution over the meter (DESIGN.md §16).
+  /// Replayers SetSession() before handing the engine an event;
+  /// Execute/Materialize/Reopen/Repair open the scopes themselves.
+  Attribution& attribution() { return attribution_; }
+  const Attribution& attribution() const { return attribution_; }
   const DatabaseOptions& options() const { return options_; }
   BufferPool& buffer_pool() { return *pool_; }
   /// Exposed for leak accounting (chaos tests compare live_pages()
@@ -308,6 +314,7 @@ class Database {
 
   DatabaseOptions options_;
   CostMeter meter_;
+  Attribution attribution_{&meter_};
   /// Morsel worker pool (exec_threads - 1 workers); created once at
   /// construction, shared by query execution and speculative
   /// materialization. Null at exec_threads <= 1 so every parallel

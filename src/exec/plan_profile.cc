@@ -118,6 +118,17 @@ void JsonNode(const OperatorProfile& node, bool include_wall,
 std::string PlanProfile::FormatText(bool include_wall) const {
   std::ostringstream os;
   if (root != nullptr) FormatNode(*root, 0, include_wall, os);
+  if (attribution.present) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "attribution: session=%s sim=%.6fs blocks=%llu tuples=%llu\n",
+                  attribution.session.empty() ? "(system)"
+                                              : attribution.session.c_str(),
+                  attribution.seconds,
+                  static_cast<unsigned long long>(attribution.blocks),
+                  static_cast<unsigned long long>(attribution.tuples));
+    os << buf;
+  }
   return os.str();
 }
 
@@ -125,7 +136,20 @@ std::string PlanProfile::FormatJson(bool include_wall) const {
   std::ostringstream os;
   if (root == nullptr) return "{}";
   JsonNode(*root, include_wall, os);
-  return os.str();
+  std::string out = os.str();
+  if (attribution.present && !out.empty() && out.back() == '}') {
+    // Splice the attribution block into the root object, keeping the
+    // output a single JSON object for existing consumers.
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"attribution\":{\"session\":\"%s\",\"sim_seconds\":%.6f,"
+                  "\"blocks\":%llu,\"tuples\":%llu}",
+                  JsonEscape(attribution.session).c_str(), attribution.seconds,
+                  static_cast<unsigned long long>(attribution.blocks),
+                  static_cast<unsigned long long>(attribution.tuples));
+    out.insert(out.size() - 1, buf);
+  }
+  return out;
 }
 
 namespace {

@@ -72,6 +72,20 @@ struct OperatorProfile {
 struct PlanProfile {
   std::unique_ptr<OperatorProfile> root;
 
+  /// Resource attribution of the whole execution (DESIGN.md §16):
+  /// which session the query charged and its inclusive meter delta.
+  /// Filled by Database::Execute* when an Attribution is active;
+  /// rendered as an "attribution" block in FormatJson and a trailing
+  /// line in FormatText when `present`.
+  struct AttributionInfo {
+    bool present = false;
+    std::string session;  // "" renders as "(system)"
+    double seconds = 0;   // inclusive simulated seconds
+    uint64_t blocks = 0;  // inclusive block reads + writes
+    uint64_t tuples = 0;  // inclusive tuple charges
+  };
+  AttributionInfo attribution;
+
   /// Re-root the tree under a new operator (used when decorations —
   /// Aggregate/Sort/Limit/Project — are stacked on top of an already
   /// profiled subtree). Returns the new root node.

@@ -2,13 +2,22 @@
 
 #include <set>
 
+#include "common/metrics_timeline.h"
+
 namespace sqp {
 
 Result<std::unique_ptr<Database>> BuildDatabase(const ExperimentConfig& cfg) {
   DatabaseOptions options;
   options.buffer_pool_pages = cfg.buffer_pool_pages;
   options.cost = cfg.cost;
+  options.exec_threads = cfg.exec_threads;
+  options.storage_nodes = cfg.storage_nodes;
+  options.tracer = cfg.tracer;
   auto db = std::make_unique<Database>(options);
+  if (cfg.timeline != nullptr) {
+    cfg.timeline->set_tracer(cfg.tracer);
+    cfg.timeline->AttachScheduler(db->scheduler());
+  }
   tpch::LoadOptions load;
   load.scale = cfg.scale;
   load.seed = cfg.data_seed;
@@ -225,6 +234,12 @@ Result<MultiUserResult> RunMultiUserExperiment(const ExperimentConfig& cfg,
     MultiUserReplayOptions spec_opts;
     spec_opts.speculation = true;
     spec_opts.engine = cfg.engine;
+    spec_opts.tracer = cfg.tracer;
+    spec_opts.timeline = cfg.timeline;
+    // One epoch per group replay (each gets a fresh shared clock);
+    // scale + group label keeps multi-scale dumps distinguishable.
+    spec_opts.timeline_epoch = std::string(tpch::ScaleName(cfg.scale)) +
+                               "/g" + std::to_string(start / group_size);
     auto spec = MultiUserReplayer(db->get(), spec_opts).Replay(group);
     if (!spec.ok()) return spec.status();
 
@@ -242,6 +257,7 @@ Result<MultiUserResult> RunMultiUserExperiment(const ExperimentConfig& cfg,
   }
   result.overall_improvement = Improvement(result.normal, result.speculative);
   result.overlap = AggregateOverlap(per_user_overlap);
+  result.attribution_table = (*db)->attribution().FormatTable();
   return result;
 }
 

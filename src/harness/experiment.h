@@ -30,6 +30,18 @@ struct ExperimentConfig {
   /// See tpch::LoadOptions::prepare_skewed_fields (ablation E8 sets
   /// false so histogram/index-creation manipulations have room to act).
   bool prepare_skewed_fields = true;
+  /// Morsel worker pool width for the built database (DESIGN.md §15);
+  /// 1 = serial execution.
+  size_t exec_threads = 1;
+  /// Simulated storage nodes (DESIGN.md §12); 1 = single-node store.
+  size_t storage_nodes = 1;
+  /// Optional span tracer threaded through replays and recovery
+  /// (DESIGN.md §9). Null = off.
+  Tracer* tracer = nullptr;
+  /// Optional telemetry sampler (DESIGN.md §16): BuildDatabase attaches
+  /// the scheduler probe, drivers attach it to their SimServers, and
+  /// speculative replays feed it counter tracks. Null = off.
+  MetricsTimeline* timeline = nullptr;
 };
 
 /// Build a database loaded with the configured dataset.
@@ -86,6 +98,10 @@ struct MultiUserResult {
   double overall_improvement = 0;
   /// Aggregated across all users and groups (DESIGN.md §9).
   OverlapStats overlap;
+  /// Per-session attributed cost table over the whole experiment
+  /// (Attribution::FormatTable — DESIGN.md §16): one row per session,
+  /// plus "(unattributed)" and a "total" row equal to the meter.
+  std::string attribution_table;
 };
 
 /// E7 (Figure 7): traces replayed in groups of `group_size` concurrent

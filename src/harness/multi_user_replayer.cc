@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/metrics_timeline.h"
+
 namespace sqp {
 
 std::vector<QueryRecord> MultiUserReplayResult::Flatten() const {
@@ -21,6 +23,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
   // stores get the classic shared-capacity server the paper's §6.3
   // experiment assumes.
   SimServer server(db_->storage().node_count());
+  if (options_.timeline != nullptr) {
+    options_.timeline->BeginEpoch(options_.timeline_epoch);
+    server.set_timeline(options_.timeline);
+  }
   const size_t n = traces.size();
 
   struct UserState {
@@ -93,6 +99,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
       for (size_t u = 0; u < n; u++) {
         UserState& user = users[u];
         if (!user.waiting || !server.IsComplete(user.job)) continue;
+        // Speculation issued from the result examination pause below
+        // charges this user's session.
+        db_->attribution().SetSession("user" +
+                                      std::to_string(traces[u].user_id));
         double done = server.CompletionTime(user.job);
         double duration = done - user.go_time;
         user.exec_offset += duration;
@@ -115,6 +125,10 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     UserState& user = users[who];
     const TraceEvent& event = traces[who].events[user.next_event++];
     double sim_time = event.timestamp + user.exec_offset;
+    // Sessions interleave on the shared clock: name the owner before
+    // any engine/database work this event triggers (DESIGN.md §16).
+    db_->attribution().SetSession("user" +
+                                  std::to_string(traces[who].user_id));
     server.AdvanceTo(sim_time);
 
     user.last_time = sim_time;
@@ -174,6 +188,8 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     }
   }
 
+  // Teardown is system work, not any one session's.
+  db_->attribution().SetSession("");
   for (size_t u = 0; u < n; u++) {
     SQP_RETURN_IF_ERROR(users[u].engine->Shutdown());
     result.engine_stats.push_back(users[u].engine->stats());
@@ -186,6 +202,9 @@ Result<MultiUserReplayResult> MultiUserReplayer::Replay(
     }
   }
   result.session_end_time = server.now();
+  if (options_.timeline != nullptr) {
+    options_.timeline->Flush(result.session_end_time);
+  }
   return result;
 }
 

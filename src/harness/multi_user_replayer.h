@@ -31,6 +31,13 @@ struct MultiUserReplayOptions {
   /// Run every final query with EXPLAIN ANALYZE (DESIGN.md §11); also
   /// implied by an attached tracer. Never affects simulated time.
   bool explain = false;
+  /// Optional telemetry sampler (DESIGN.md §16), driven from the shared
+  /// server's clock-advance points. The whole multi-user run is one
+  /// epoch (one shared simulated clock). Null = off.
+  MetricsTimeline* timeline = nullptr;
+  /// Epoch label for this run's ticks and counter tracks ("" = plain
+  /// track names, the single-run case).
+  std::string timeline_epoch;
 };
 
 struct MultiUserReplayResult {

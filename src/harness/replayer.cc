@@ -1,5 +1,7 @@
 #include "harness/replayer.h"
 
+#include "common/metrics_timeline.h"
+
 namespace sqp {
 
 Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
@@ -10,6 +12,19 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
   // work on the same node. A single-node store gets the classic single
   // shared-capacity server.
   SimServer server(db_->storage().node_count());
+  const std::string session = options_.session_label.empty()
+                                  ? "user" + std::to_string(trace.user_id)
+                                  : options_.session_label;
+  // All work in a single-user replay — queries, speculation, recovery —
+  // happens on this user's behalf.
+  db_->attribution().SetSession(session);
+  if (options_.timeline != nullptr) {
+    // Each replay restarts the simulated clock at zero: give it its own
+    // telemetry epoch so tick times stay epoch-local and monotone.
+    options_.timeline->BeginEpoch(session +
+                                  (options_.speculation ? "/spec" : "/normal"));
+    server.set_timeline(options_.timeline);
+  }
   SpeculationEngineOptions engine_options = options_.engine;
   engine_options.enabled = options_.speculation;
   engine_options.tracer = options_.tracer;
@@ -138,6 +153,10 @@ Result<ReplayResult> TraceReplayer::Replay(const Trace& trace) {
                     std::to_string(result.queries.size()));
     tracer->EndSpan(session_span, result.session_end_time);
   }
+  if (options_.timeline != nullptr) {
+    options_.timeline->Flush(result.session_end_time);
+  }
+  db_->attribution().SetSession("");
   return result;
 }
 

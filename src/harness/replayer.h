@@ -42,6 +42,14 @@ struct ReplayOptions {
   /// profile JSON attaches to the query's trace span. Profiling is
   /// also implied by an attached tracer. Never affects simulated time.
   bool explain = false;
+  /// Optional telemetry sampler (DESIGN.md §16): the replayer starts an
+  /// epoch (labelled `session_label`, or "user<id>" when empty), hands
+  /// the sampler to the SimServer's clock-advance points, and flushes a
+  /// final tick at session end. Null = off.
+  MetricsTimeline* timeline = nullptr;
+  /// Session name for resource attribution and the telemetry epoch.
+  /// Empty = derive "user<id>" from the trace.
+  std::string session_label;
 };
 
 struct ReplayResult {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
 
 namespace sqp {
 
@@ -13,6 +14,7 @@ SimServer::SimServer(size_t lanes) : lanes_(std::max<size_t>(1, lanes)) {
   m_submitted_ = registry.GetCounter("sim.jobs_submitted");
   m_cancelled_ = registry.GetCounter("sim.jobs_cancelled");
   m_completed_ = registry.GetCounter("sim.jobs_completed");
+  registry.GetGauge("sim.active_jobs");
 }
 
 SimServer::JobId SimServer::Submit(double work, size_t lane) {
@@ -91,6 +93,15 @@ void SimServer::AdvanceTo(double t) {
       completed_[id] = now_;
       m_completed_->Increment();
     }
+    // Sample between completion batches: the tick sees the registry as
+    // of this batch's simulated instant, so the timeline resolves job
+    // churn inside one AdvanceTo call.
+    if (timeline_ != nullptr) {
+      MetricsRegistry::Global()
+          .GetGauge("sim.active_jobs")
+          ->Set(static_cast<double>(active_.size()));
+      timeline_->AdvanceTo(now_);
+    }
   }
   // Phase 2: burn the remaining interval without completions.
   if (t > now_) {
@@ -106,6 +117,12 @@ void SimServer::AdvanceTo(double t) {
       }
     }
     now_ = t;
+  }
+  if (timeline_ != nullptr) {
+    MetricsRegistry::Global()
+        .GetGauge("sim.active_jobs")
+        ->Set(static_cast<double>(active_.size()));
+    timeline_->AdvanceTo(now_);
   }
 }
 

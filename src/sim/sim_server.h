@@ -29,6 +29,7 @@
 namespace sqp {
 
 class Counter;
+class MetricsTimeline;
 
 class SimServer {
  public:
@@ -81,6 +82,13 @@ class SimServer {
   /// tally grows at l× wall time).
   double delivered_work() const { return delivered_; }
 
+  /// Attach a telemetry sampler (DESIGN.md §16): AdvanceTo drives it
+  /// from the same clock the engine advances on — after every
+  /// completion batch and at the target time — so ticks interleave
+  /// with job completions deterministically. Null detaches.
+  void set_timeline(MetricsTimeline* timeline) { timeline_ = timeline; }
+  MetricsTimeline* timeline() const { return timeline_; }
+
  private:
   struct Job {
     double remaining = 0;  // full-capacity seconds left
@@ -96,6 +104,7 @@ class SimServer {
   std::map<JobId, Job> active_;
   std::map<JobId, double> completed_;  // id -> completion time
   double delivered_ = 0;
+  MetricsTimeline* timeline_ = nullptr;
   // Registry handles (DESIGN.md §9), looked up once at construction.
   Counter* m_submitted_;
   Counter* m_cancelled_;

@@ -31,6 +31,18 @@ SpeculationEngine::SpeculationEngine(Database* db, SimServer* server,
   m_evicted_ = registry.GetCounter("engine.views_evicted_for_budget");
   m_gc_ = registry.GetCounter("engine.views_garbage_collected");
   m_durations_ = registry.GetHistogram("engine.manipulation_seconds");
+  m_cache_views_ = registry.GetGauge("spec.cache.views");
+  m_cache_pages_ = registry.GetGauge("spec.cache.pages");
+}
+
+void SpeculationEngine::UpdateCacheGauges() {
+  uint64_t pages = 0;
+  for (const auto& [name, view] : owned_views_) {
+    const TableInfo* info = db_->catalog().GetTable(name);
+    if (info != nullptr) pages += info->heap->page_count();
+  }
+  m_cache_views_->Set(static_cast<double>(owned_views_.size()));
+  m_cache_pages_->Set(static_cast<double>(pages));
 }
 
 void SpeculationEngine::SyncOutstanding(double sim_time) {
@@ -108,6 +120,7 @@ void SpeculationEngine::SyncOutstanding(double sim_time) {
     it = outstanding_.erase(it);
   }
   EnforceBudget();
+  UpdateCacheGauges();
 }
 
 bool SpeculationEngine::StillRelevant(const Outstanding& out) const {
@@ -186,6 +199,7 @@ void SpeculationEngine::GarbageCollect(double sim_time) {
       ++it;
     }
   }
+  UpdateCacheGauges();
 }
 
 void SpeculationEngine::EnforceBudget() {
@@ -579,6 +593,7 @@ Status SpeculationEngine::Shutdown() {
   consecutive_failures_ = 0;
   retry_not_before_ = 0;
   suspended_until_ = 0;
+  UpdateCacheGauges();
   return first_error;
 }
 
@@ -681,6 +696,7 @@ Status SpeculationEngine::RecoverAfterCrash(double sim_time) {
   }
   SQP_LOG_DEBUG << "spec: recovered after crash, adopted "
                 << stats_.views_recovered << " views";
+  UpdateCacheGauges();
   return Status::OK();
 }
 

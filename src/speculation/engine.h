@@ -362,6 +362,13 @@ class SpeculationEngine {
   Counter* m_evicted_;
   Counter* m_gc_;
   HistogramMetric* m_durations_;
+  /// Speculative-cache occupancy gauges (`spec.cache.views` /
+  /// `spec.cache.pages`), refreshed at every owned_views_ mutation so
+  /// the telemetry timeline can chart cache churn.
+  Gauge* m_cache_views_;
+  Gauge* m_cache_pages_;
+  /// Recompute the cache gauges from owned_views_ + the catalog.
+  void UpdateCacheGauges();
   double last_sim_time_ = 0;
 };
 

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injector.h"
+#include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
 #include "db/database.h"
 #include "db/manifest.h"
 #include "sim/sim_server.h"
@@ -565,9 +567,14 @@ struct CrashRunResult {
 /// which the "zero orphan pages" invariant is checked.
 Result<CrashRunResult> RunCrashSession(
     Database* db, const Trace& trace,
-    const SpeculationEngineOptions& options, uint64_t seed, bool inject) {
+    const SpeculationEngineOptions& options, uint64_t seed, bool inject,
+    MetricsTimeline* timeline = nullptr) {
   SQP_RETURN_IF_ERROR(db->ColdStart());
   SimServer server;
+  if (timeline != nullptr) {
+    timeline->BeginEpoch("");
+    server.set_timeline(timeline);
+  }
   SpeculationEngine engine(db, &server, options);
   Rng rng(seed * 0x6a09e667f3bcc909ULL + 5);
   CrashRunResult out;
@@ -629,6 +636,7 @@ Result<CrashRunResult> RunCrashSession(
     out.results.push_back(RowSet(*result));
   }
   SQP_RETURN_IF_ERROR(engine.Shutdown());
+  if (timeline != nullptr) timeline->Flush(server.now());
   return out;
 }
 
@@ -702,6 +710,63 @@ TEST(CrashChaosTest, RandomizedCrashSchedulesRecoverToBaseline) {
   // passed its checksum — divergence would have failed (a) above.
   SUCCEED() << "checksum failures handled: "
             << db->disk_manager().checksum_failures();
+}
+
+/// The telemetry dump is part of the determinism contract (DESIGN.md
+/// §16): the same crash schedule replayed twice — same trace, same
+/// fault seed, fresh identically-seeded database — yields a
+/// byte-identical timeline-series dump. Crash/recovery work lands in
+/// the sampled series at exactly the same ticks both times.
+TEST(CrashChaosTest, TimelineSeriesDeterministicUnderCrashSchedules) {
+  uint64_t base_seed = 1;
+  if (const char* env = std::getenv("SQP_CRASH_SEED")) {
+    base_seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  const uint64_t seed = base_seed * 1000 + 3;
+  Trace trace = MakeCrashTrace(seed);
+
+  SpeculationEngineOptions on;
+  on.enabled = true;
+  on.max_retries = 1;
+  on.retry_backoff_seconds = 0.25;
+  on.circuit_breaker_threshold = 4;
+  on.circuit_breaker_cooldown_seconds = 15.0;
+
+  std::string base_csv;
+  size_t base_crashes = 0;
+  // Run 0 is a warm-up: recovery and learner families register lazily
+  // on their first use, and a series must exist before a run starts for
+  // its ticks to be comparable. Runs 1 and 2 are the differential.
+  for (int run = 0; run < 3; run++) {
+    SCOPED_TRACE("run " + std::to_string(run));
+    // Zero the global registry so cumulative values (not just deltas)
+    // start from the same baseline both times.
+    MetricsRegistry::Global().ResetAll();
+    std::unique_ptr<Database> db(testutil::MakeTwoTableDb(600, 1800));
+    FaultInjector& injector = FaultInjector::Global();
+    injector.Reset();
+    injector.Seed(seed * 31 + 7);
+    FaultSpec crash =
+        FaultSpec::Probability(0.008, StatusCode::kDataLoss);
+    crash.only_in_region = false;
+    injector.Arm("disk.crash", crash);
+
+    MetricsTimeline timeline;
+    auto out = RunCrashSession(db.get(), trace, on, seed, /*inject=*/true,
+                               &timeline);
+    FaultInjector::Global().Reset();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_GT(timeline.tick_count(), 2u);
+    if (run == 0) continue;
+    if (run == 1) {
+      base_csv = timeline.FormatCsv();
+      base_crashes = out->crashes;
+    } else {
+      EXPECT_EQ(out->crashes, base_crashes);
+      EXPECT_EQ(timeline.FormatCsv(), base_csv)
+          << "timeline series diverged across identical crash replays";
+    }
+  }
 }
 
 }  // namespace

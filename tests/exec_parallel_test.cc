@@ -13,9 +13,12 @@
 
 #include "common/fault_injector.h"
 #include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
 #include "common/rng.h"
 #include "db/database.h"
+#include "harness/replayer.h"
 #include "test_util.h"
+#include "trace/trace.h"
 
 namespace sqp {
 namespace {
@@ -253,6 +256,63 @@ TEST(ExecParallelDifferentialTest, MaterializationIdentical) {
       EXPECT_EQ(result->row_count, base_rows);
       EXPECT_EQ(result->seconds, base_seconds) << "materialize cost diverged";
     }
+  }
+}
+
+/// The timeline-series dump (DESIGN.md §16) is part of the parallel
+/// determinism contract: a speculative replay of the same trace at
+/// exec_threads 1/2/4/8 yields a byte-identical dump. The sampler ticks
+/// on the simulated clock (never wall time) and the deterministic
+/// filter excludes the `scheduler.*` / `*.parallel.*` families, so
+/// every remaining series is a pure function of the replay seed.
+TEST(ExecParallelDifferentialTest, TimelineSeriesByteIdentical) {
+  Trace trace;
+  trace.user_id = 3;
+  auto event = [&](double t, TraceEventType type) {
+    TraceEvent e;
+    e.timestamp = t;
+    e.type = type;
+    return e;
+  };
+  TraceEvent sel = event(1, TraceEventType::kAddSelection);
+  sel.selection = Sel("r", "r_a", CompareOp::kLt, Value(int64_t{20}));
+  TraceEvent join = event(2, TraceEventType::kAddJoin);
+  join.join = testutil::RsJoin();
+  TraceEvent sel2 = event(40, TraceEventType::kAddSelection);
+  sel2.selection = Sel("s", "s_c", CompareOp::kLt, Value(int64_t{10}));
+  trace.events = {sel, join, event(31, TraceEventType::kGo), sel2,
+                  event(70, TraceEventType::kGo)};
+
+  auto replay_csv = [&](size_t threads, std::string* csv) {
+    // Cumulative values must start from the same baseline each run;
+    // registrations survive the reset, so series sets align too (the
+    // warm-up run below registers the lazy families).
+    MetricsRegistry::Global().ResetAll();
+    std::unique_ptr<Database> db(
+        testutil::MakeTwoTableDb(1200, 3600, 11, 128, threads));
+    MetricsTimeline timeline;
+    ReplayOptions options;
+    options.speculation = true;
+    options.timeline = &timeline;
+    auto result = TraceReplayer(db.get(), options).Replay(trace);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(timeline.tick_count(), 10u);
+    *csv = timeline.FormatCsv();
+  };
+
+  std::string warmup;
+  replay_csv(1, &warmup);  // registers lazy families (learner, q-error)
+  std::string base;
+  replay_csv(1, &base);
+  ASSERT_FALSE(base.empty());
+  EXPECT_NE(base.find("bufferpool.hits"), std::string::npos);
+  EXPECT_NE(base.find("attr.query.blocks"), std::string::npos);
+  for (size_t threads : kThreadCounts) {
+    if (threads == 1) continue;
+    SCOPED_TRACE("exec_threads " + std::to_string(threads));
+    std::string csv;
+    replay_csv(threads, &csv);
+    EXPECT_EQ(csv, base) << "timeline series diverged from sequential";
   }
 }
 

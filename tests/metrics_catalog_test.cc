@@ -20,6 +20,7 @@
 
 #include "common/fault_injector.h"
 #include "common/metrics_registry.h"
+#include "common/metrics_timeline.h"
 #include "db/database.h"
 #include "sim/sim_server.h"
 #include "speculation/engine.h"
@@ -79,8 +80,13 @@ std::string JoinSet(const std::set<std::string>& set) {
 /// Touch every registration site, eager and lazy.
 void RegisterEverything() {
   // Simulator + single-node storage stack (legacy "storage.disk.*").
+  // The Database constructor registers the attr.* attribution family
+  // eagerly; the timeline sampler registers telemetry.* and ticks once
+  // so its self-metrics carry values.
   SimServer server;
   std::unique_ptr<Database> single(testutil::MakeTwoTableDb(100, 300));
+  MetricsTimeline timeline;
+  timeline.Flush(1.0);
 
   // Speculation stack: engine construction registers the engine,
   // speculator and flight-recorder families; a GO observation is the
@@ -175,6 +181,18 @@ TEST(MetricsCatalogDriftTest, RegisteredMetricsMatchTheDocCatalogue) {
       << JoinSet(stale);
   // Belt and braces: the doc parser found a plausible table at all.
   EXPECT_GE(documented.size(), 60u);
+
+  // The telemetry/attribution families this harness drives must be in
+  // the registered set (and therefore, via the checks above, in the
+  // docs): guards against RegisterEverything silently losing them.
+  for (const char* name :
+       {"attr.query.seconds", "attr.query.blocks", "attr.query.tuples",
+        "attr.manipulation.seconds", "attr.maintenance.seconds",
+        "attr.sessions", "telemetry.ticks", "telemetry.ticks_dropped",
+        "telemetry.series", "spec.cache.views", "spec.cache.pages",
+        "sim.active_jobs"}) {
+    EXPECT_TRUE(registered.count(name) == 1) << "not registered: " << name;
+  }
 }
 
 }  // namespace
